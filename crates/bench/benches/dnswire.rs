@@ -1,0 +1,65 @@
+//! DNS wire-format throughput: the hot path of the simulation (every
+//! packet's payload is encoded/decoded once per hop endpoint).
+
+use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn experiment_query() -> Message {
+    Message::query(
+        0x1234,
+        "t123456789.s10-1-2-3.d203-0-113-77.a64500.x7.dns-lab.org"
+            .parse()
+            .unwrap(),
+        RType::A,
+    )
+}
+
+fn nxdomain_response() -> Message {
+    let q = experiment_query();
+    let mut resp = Message::response_to(&q, RCode::NXDomain);
+    resp.authorities.push(Record::new(
+        "dns-lab.org".parse().unwrap(),
+        60,
+        RData::Soa(bcd_dnswire::Soa {
+            mname: "project.dns-lab.org".parse().unwrap(),
+            rname: "contact.dns-lab.org".parse().unwrap(),
+            serial: 2019110601,
+            refresh: 7200,
+            retry: 900,
+            expire: 1209600,
+            minimum: 60,
+        }),
+    ));
+    resp
+}
+
+fn bench(c: &mut Criterion) {
+    let query = experiment_query();
+    let resp = nxdomain_response();
+    let query_bytes = query.encode();
+    let resp_bytes = resp.encode();
+
+    c.bench_function("encode_experiment_query", |b| {
+        b.iter(|| black_box(&query).encode())
+    });
+    c.bench_function("decode_experiment_query", |b| {
+        b.iter(|| Message::decode(black_box(&query_bytes)).unwrap())
+    });
+    c.bench_function("encode_nxdomain_response", |b| {
+        b.iter(|| black_box(&resp).encode())
+    });
+    c.bench_function("decode_nxdomain_response", |b| {
+        b.iter(|| Message::decode(black_box(&resp_bytes)).unwrap())
+    });
+    c.bench_function("name_parse", |b| {
+        b.iter(|| {
+            "t123.s10-1-2-3.d203-0-113-77.a64500.x7.dns-lab.org"
+                .parse::<Name>()
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

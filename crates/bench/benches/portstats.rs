@@ -1,0 +1,36 @@
+//! The statistics behind Table 4: exact range-distribution evaluation and
+//! cutoff derivation, plus the per-resolver classification step.
+
+use bcd_core::analysis::ports::{adjust_windows_wrap, BandCutoffs};
+use bcd_stats::{optimal_cutoff, Beta, RangeDistribution};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let linux = RangeDistribution::new(28_232, 10);
+    c.bench_function("range_cdf", |b| {
+        b.iter(|| black_box(linux.cdf(black_box(20_000))))
+    });
+    c.bench_function("beta_cdf", |b| {
+        let beta = Beta::range_model(10);
+        b.iter(|| black_box(beta.cdf(black_box(0.73))))
+    });
+    c.bench_function("optimal_cutoff_freebsd_linux", |b| {
+        b.iter(|| {
+            optimal_cutoff(
+                RangeDistribution::new(16_383, 10),
+                RangeDistribution::new(28_232, 10),
+            )
+        })
+    });
+    c.bench_function("derive_all_band_cutoffs", |b| {
+        b.iter(BandCutoffs::derive)
+    });
+    c.bench_function("windows_wrap_adjustment", |b| {
+        let ports = [65_400u16, 49_200, 65_500, 49_300, 65_300, 49_152, 65_535, 49_400, 65_450, 49_250];
+        b.iter(|| adjust_windows_wrap(black_box(&ports)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

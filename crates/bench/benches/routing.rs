@@ -1,0 +1,53 @@
+//! Longest-prefix-match performance: the routing trie is consulted up to
+//! four times per packet (OSAV source, destination, DSAV source, partial
+//! SAV) across tens of millions of packets per survey.
+
+use bcd_netsim::{Asn, Prefix, PrefixTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::IpAddr;
+
+fn build_table(n_as: u32, prefixes_per_as: u32) -> PrefixTable {
+    let mut t = PrefixTable::new();
+    let mut block = 0u32;
+    for asn in 0..n_as {
+        for _ in 0..prefixes_per_as {
+            let a = 1 + (block >> 16) % 220;
+            let b = (block >> 8) & 0xFF;
+            let c = block & 0xFF;
+            let ip: IpAddr = format!("{a}.{b}.{c}.0").parse().unwrap();
+            t.announce(Prefix::new(ip, 24), Asn(asn));
+            block += 1;
+        }
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let table = build_table(2_000, 30); // 60k /24s
+    let hits: Vec<IpAddr> = (0..1_000u32)
+        .map(|i| {
+            format!("1.{}.{}.7", (i >> 8) & 0xFF, i & 0xFF)
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    let miss: IpAddr = "223.255.255.1".parse().unwrap();
+
+    c.bench_function("lpm_lookup_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % hits.len();
+            black_box(table.origin(hits[i]))
+        })
+    });
+    c.bench_function("lpm_lookup_miss", |b| {
+        b.iter(|| black_box(table.origin(black_box(miss))))
+    });
+    c.bench_function("table_build_10k_prefixes", |b| {
+        b.iter(|| build_table(500, 20))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

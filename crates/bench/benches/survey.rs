@@ -1,0 +1,26 @@
+//! End-to-end survey benchmark: world generation plus the full scan and
+//! analysis over a miniature Internet — the shape of the whole
+//! reproduction, measured.
+
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::{Experiment, ExperimentConfig};
+use bcd_worldgen::{build, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("survey");
+    g.sample_size(10);
+    g.bench_function("worldgen_tiny", |b| {
+        b.iter(|| build::build(WorldConfig::tiny(1)))
+    });
+    g.bench_function("full_survey_tiny", |b| {
+        b.iter(|| {
+            let data = Experiment::run(ExperimentConfig::tiny(1));
+            Reachability::compute(&data.input()).reached.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

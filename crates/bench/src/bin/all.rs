@@ -1,0 +1,45 @@
+//! Regenerate every table and figure in one run (one shared survey).
+
+use bcd_core::analysis::categories::CategoryReport;
+use bcd_core::analysis::country::CountryReport;
+use bcd_core::analysis::forwarding::ForwardingReport;
+use bcd_core::analysis::local::LocalInfiltrationReport;
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::passive::PassiveReport;
+use bcd_core::analysis::ports::PortReport;
+use bcd_core::analysis::qmin::QminReport;
+use bcd_core::analysis::reachability::{MiddleboxReport, Reachability};
+use bcd_core::{lab, report};
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let countries = CountryReport::compute(&input, &reach);
+    let cats = CategoryReport::compute(&reach);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+    let fwd = ForwardingReport::compute(&input);
+    let local = LocalInfiltrationReport::compute(&reach);
+    let qmin = QminReport::compute(&input, &reach);
+    let mbx = MiddleboxReport::compute(&input, &reach);
+    let passive = PassiveReport::compute(&ports, &data.world.ditl2018);
+
+    println!("{}", report::render_headline(&data.targets, &reach));
+    println!("{}", report::render_table1(&countries, 10));
+    println!("{}", report::render_table2(&countries, 10));
+    println!("{}", report::render_table3(&cats));
+    println!("{}", report::render_table4(&ports));
+    let n = bcd_bench::env_u64("BCD_LAB_QUERIES", 10_000) as usize;
+    let seed = bcd_bench::env_u64("BCD_SEED", 2019);
+    println!("{}", report::render_table5(&lab::table5(n, seed)));
+    println!("{}", report::render_table6(&lab::table6()));
+    println!("{}", report::render_figure2(&ports));
+    println!("{}", report::render_figure3a(&lab::figure3a_samples(n, seed)));
+    println!("{}", report::render_figure3b(&ports));
+    println!("{}", report::render_openclosed(&oc));
+    println!("{}", report::render_forwarding(&fwd));
+    println!("{}", report::render_local(&local));
+    println!("{}", report::render_methodology(&reach, &qmin, &mbx));
+    println!("{}", report::render_passive(&passive));
+}

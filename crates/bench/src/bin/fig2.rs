@@ -1,0 +1,17 @@
+//! Regenerate Figure 2: frequency distribution of source-port ranges of
+//! reachable resolvers, stacked by open/closed status, full scale and the
+//! 0–3,000 zoom.
+
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::ports::PortReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+    print!("{}", report::render_figure2(&ports));
+}

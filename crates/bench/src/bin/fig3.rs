@@ -1,0 +1,22 @@
+//! Regenerate Figure 3: (a) lab-controlled 10-query sample ranges per OS
+//! pool with the Beta(9,2) model overlay, and (b) the field distribution
+//! stacked by p0f classification.
+
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::ports::PortReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::{lab, report};
+
+fn main() {
+    let n = bcd_bench::env_u64("BCD_LAB_QUERIES", 10_000) as usize;
+    let seed = bcd_bench::env_u64("BCD_SEED", 2019);
+    let samples = lab::figure3a_samples(n, seed);
+    print!("{}", report::render_figure3a(&samples));
+    println!();
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+    print!("{}", report::render_figure3b(&ports));
+}

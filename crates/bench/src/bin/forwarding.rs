@@ -1,0 +1,11 @@
+//! Regenerate §5.4: direct vs forwarding resolvers.
+
+use bcd_core::analysis::forwarding::ForwardingReport;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let fwd = ForwardingReport::compute(&input);
+    print!("{}", report::render_forwarding(&fwd));
+}

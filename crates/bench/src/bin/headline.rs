@@ -1,0 +1,11 @@
+//! Regenerate the paper's §4 headline reachability numbers.
+
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    print!("{}", report::render_headline(&data.targets, &reach));
+}

@@ -1,0 +1,16 @@
+//! Regenerate the §3.6 methodology accounting: the lifetime
+//! (human-intervention) filter, QNAME-minimization coverage, and middlebox
+//! attribution.
+
+use bcd_core::analysis::qmin::QminReport;
+use bcd_core::analysis::reachability::{MiddleboxReport, Reachability};
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let qmin = QminReport::compute(&input, &reach);
+    let mbx = MiddleboxReport::compute(&input, &reach);
+    print!("{}", report::render_methodology(&reach, &qmin, &mbx));
+}

@@ -1,0 +1,13 @@
+//! Regenerate §5.1: open vs closed resolver classification.
+
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    print!("{}", report::render_openclosed(&oc));
+}

@@ -1,0 +1,18 @@
+//! Regenerate §5.2.2: the passive 2018-DITL comparison for resolvers with
+//! no source-port randomization.
+
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::passive::PassiveReport;
+use bcd_core::analysis::ports::PortReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+    let passive = PassiveReport::compute(&ports, &data.world.ditl2018);
+    print!("{}", report::render_passive(&passive));
+}

@@ -1,0 +1,14 @@
+//! Regenerate Table 2: DSAV results for the top countries by reachable-IP
+//! percentage.
+
+use bcd_core::analysis::country::CountryReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let countries = CountryReport::compute(&input, &reach);
+    print!("{}", report::render_table2(&countries, 10));
+}

@@ -1,0 +1,14 @@
+//! Regenerate Table 3: spoofed-source category effectiveness
+//! (inclusive/exclusive, addresses and ASNs, both families).
+
+use bcd_core::analysis::categories::CategoryReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let cats = CategoryReport::compute(&reach);
+    print!("{}", report::render_table3(&cats));
+}

@@ -1,0 +1,16 @@
+//! Regenerate Table 4: reachable targets by source-port range band, with
+//! open/closed status and p0f cross-checks (§5.2–5.3).
+
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::ports::PortReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::report;
+
+fn main() {
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+    print!("{}", report::render_table4(&ports));
+}

@@ -1,0 +1,12 @@
+//! Regenerate Table 5: default source-port allocation per DNS software,
+//! from the controlled lab (10,000 queries per instance, like the paper;
+//! override with BCD_LAB_QUERIES).
+
+use bcd_core::{lab, report};
+
+fn main() {
+    let n = bcd_bench::env_u64("BCD_LAB_QUERIES", 10_000) as usize;
+    let seed = bcd_bench::env_u64("BCD_SEED", 2019);
+    let results = lab::table5(n, seed);
+    print!("{}", report::render_table5(&results));
+}

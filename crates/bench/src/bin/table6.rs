@@ -1,0 +1,17 @@
+//! Regenerate Table 6 (lab OS acceptance matrix) plus the §5.5 field
+//! counterpart (destination-as-source / loopback hits in the survey).
+
+use bcd_core::analysis::local::LocalInfiltrationReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::{lab, report};
+
+fn main() {
+    let rows = lab::table6();
+    print!("{}", report::render_table6(&rows));
+    println!();
+    let data = bcd_bench::standard_data();
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let local = LocalInfiltrationReport::compute(&reach);
+    print!("{}", report::render_local(&local));
+}

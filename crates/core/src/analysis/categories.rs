@@ -1,0 +1,116 @@
+//! Spoofed-source category effectiveness — Table 3 (§4.1).
+//!
+//! *Category-inclusive*: targets/ASNs reached by at least one source of
+//! the category. *Category-exclusive*: targets/ASNs that **only** that
+//! category reached — the measure of what the experiment would have missed
+//! without it.
+
+use crate::analysis::reachability::Reachability;
+use crate::sources::SourceCategory;
+use bcd_netsim::Asn;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One Table 3 row (for one family).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CategoryRow {
+    pub inclusive_addrs: usize,
+    pub inclusive_asns: usize,
+    pub exclusive_addrs: usize,
+    pub exclusive_asns: usize,
+}
+
+/// The full Table 3 (both families).
+#[derive(Debug, Default)]
+pub struct CategoryReport {
+    pub v4: BTreeMap<SourceCategory, CategoryRow>,
+    pub v6: BTreeMap<SourceCategory, CategoryRow>,
+    pub reached_addrs_v4: usize,
+    pub reached_addrs_v6: usize,
+    pub reached_asns_v4: usize,
+    pub reached_asns_v6: usize,
+    /// Median number of working sources per reached target (the paper:
+    /// 3 for IPv4, 2 for IPv6).
+    pub median_sources_v4: usize,
+    pub median_sources_v6: usize,
+    /// Fraction of reached targets reachable via more than 50 sources
+    /// (paper: 16% IPv4, 9% IPv6).
+    pub many_sources_v4: f64,
+    pub many_sources_v6: f64,
+}
+
+impl CategoryReport {
+    /// Build from the reachability analysis.
+    pub fn compute(reach: &Reachability) -> CategoryReport {
+        let mut report = CategoryReport::default();
+        // Per-AS category unions, per family.
+        let mut as_union: BTreeMap<(bool, Asn), BTreeSet<SourceCategory>> = BTreeMap::new();
+        let mut as_by_cat: BTreeMap<(bool, SourceCategory), BTreeSet<Asn>> = BTreeMap::new();
+        let mut source_counts_v4: Vec<usize> = Vec::new();
+        let mut source_counts_v6: Vec<usize> = Vec::new();
+
+        for (addr, hit) in &reach.reached {
+            let v6 = addr.is_ipv6();
+            let rows = if v6 { &mut report.v6 } else { &mut report.v4 };
+            for cat in &hit.categories {
+                rows.entry(*cat).or_default().inclusive_addrs += 1;
+                as_by_cat.entry((v6, *cat)).or_default().insert(hit.asn);
+            }
+            if hit.categories.len() == 1 {
+                let only = *hit.categories.iter().next().unwrap();
+                rows.entry(only).or_default().exclusive_addrs += 1;
+            }
+            as_union
+                .entry((v6, hit.asn))
+                .or_default()
+                .extend(hit.categories.iter().copied());
+            if v6 {
+                source_counts_v6.push(hit.sources.len());
+            } else {
+                source_counts_v4.push(hit.sources.len());
+            }
+        }
+
+        for ((v6, cat), asns) in &as_by_cat {
+            let rows = if *v6 { &mut report.v6 } else { &mut report.v4 };
+            rows.entry(*cat).or_default().inclusive_asns = asns.len();
+        }
+        for ((v6, asn), cats) in &as_union {
+            if cats.len() == 1 {
+                let only = *cats.iter().next().unwrap();
+                let rows = if *v6 { &mut report.v6 } else { &mut report.v4 };
+                rows.entry(only).or_default().exclusive_asns += 1;
+            }
+            let _ = asn;
+        }
+
+        report.reached_addrs_v4 = source_counts_v4.len();
+        report.reached_addrs_v6 = source_counts_v6.len();
+        report.reached_asns_v4 = as_union.keys().filter(|(v6, _)| !v6).count();
+        report.reached_asns_v6 = as_union.keys().filter(|(v6, _)| *v6).count();
+
+        let med = |counts: &mut Vec<usize>| -> usize {
+            if counts.is_empty() {
+                return 0;
+            }
+            counts.sort_unstable();
+            counts[counts.len() / 2]
+        };
+        let many = |counts: &[usize]| -> f64 {
+            if counts.is_empty() {
+                return 0.0;
+            }
+            counts.iter().filter(|&&c| c > 50).count() as f64 / counts.len() as f64
+        };
+        report.many_sources_v4 = many(&source_counts_v4);
+        report.many_sources_v6 = many(&source_counts_v6);
+        report.median_sources_v4 = med(&mut source_counts_v4);
+        report.median_sources_v6 = med(&mut source_counts_v6);
+        report
+    }
+
+    /// Row accessor with zero default.
+    pub fn row(&self, v6: bool, cat: SourceCategory) -> CategoryRow {
+        let rows = if v6 { &self.v6 } else { &self.v4 };
+        rows.get(&cat).copied().unwrap_or_default()
+    }
+}

@@ -1,0 +1,60 @@
+//! Local-system infiltration — §5.5, the field counterpart of Table 6.
+//!
+//! Destination-as-source and loopback sources should never arrive from
+//! outside a host, yet kernels accept them (Table 6); this report counts
+//! the targets reached by each anomalous category, per family, from the
+//! reachability evidence.
+
+use crate::analysis::reachability::Reachability;
+use crate::sources::SourceCategory;
+use bcd_netsim::Asn;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// The §5.5 report.
+#[derive(Debug, Default)]
+pub struct LocalInfiltrationReport {
+    pub dst_as_src_v4: BTreeSet<IpAddr>,
+    pub dst_as_src_v6: BTreeSet<IpAddr>,
+    pub loopback_v4: BTreeSet<IpAddr>,
+    pub loopback_v6: BTreeSet<IpAddr>,
+    pub dst_as_src_asns: BTreeSet<Asn>,
+    pub loopback_asns: BTreeSet<Asn>,
+}
+
+impl LocalInfiltrationReport {
+    /// Extract the anomalous-source hits.
+    pub fn compute(reach: &Reachability) -> LocalInfiltrationReport {
+        let mut r = LocalInfiltrationReport::default();
+        for (addr, hit) in &reach.reached {
+            let v6 = addr.is_ipv6();
+            if hit.categories.contains(&SourceCategory::DstAsSrc) {
+                if v6 {
+                    r.dst_as_src_v6.insert(*addr);
+                } else {
+                    r.dst_as_src_v4.insert(*addr);
+                }
+                r.dst_as_src_asns.insert(hit.asn);
+            }
+            if hit.categories.contains(&SourceCategory::Loopback) {
+                if v6 {
+                    r.loopback_v6.insert(*addr);
+                } else {
+                    r.loopback_v4.insert(*addr);
+                }
+                r.loopback_asns.insert(hit.asn);
+            }
+        }
+        r
+    }
+
+    /// Total destination-as-source hits (the paper: 123,592).
+    pub fn dst_as_src_total(&self) -> usize {
+        self.dst_as_src_v4.len() + self.dst_as_src_v6.len()
+    }
+
+    /// Total loopback hits (the paper: 107 — 1 IPv4, 106 IPv6).
+    pub fn loopback_total(&self) -> usize {
+        self.loopback_v4.len() + self.loopback_v6.len()
+    }
+}

@@ -1,0 +1,84 @@
+//! Passive longitudinal comparison — §5.2.2.
+//!
+//! For every resolver the *active* measurement found pinned to a single
+//! source port, look it up in the (18-month-old) 2018 DITL trace:
+//!
+//! * already fixed then — the vulnerability is long-standing (paper: 51%),
+//! * varied then — it *regressed* in the intervening 18 months (25%),
+//! * insufficient data for a fair comparison (24%).
+//!
+//! A resolver is comparable only if the old trace holds ≥ 10 unique-name
+//! queries from it, or at least one query using exactly the port the
+//! active measurement observed — the paper's false-positive guard.
+
+use crate::analysis::ports::PortReport;
+use bcd_worldgen::DitlRecord;
+use std::collections::{BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// The §5.2.2 outcome for one zero-range resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassiveOutcome {
+    /// No port variation in 2018 either.
+    FixedThen,
+    /// Showed variation in 2018 — has since regressed.
+    VariedThen,
+    /// Not enough 2018 data.
+    Insufficient,
+}
+
+/// The report.
+#[derive(Debug, Default)]
+pub struct PassiveReport {
+    pub fixed_then: usize,
+    pub varied_then: usize,
+    pub insufficient: usize,
+    pub outcomes: Vec<(IpAddr, PassiveOutcome)>,
+}
+
+impl PassiveReport {
+    /// Compare the active zero-range population against the 2018 trace.
+    pub fn compute(ports: &PortReport, trace_2018: &[DitlRecord]) -> PassiveReport {
+        // Index the old trace: src -> (ports, unique qnames).
+        let mut old: HashMap<IpAddr, (Vec<u16>, BTreeSet<String>)> = HashMap::new();
+        for rec in trace_2018 {
+            let e = old.entry(rec.src).or_default();
+            e.0.push(rec.src_port);
+            e.1.insert(rec.qname.to_string());
+        }
+
+        let mut report = PassiveReport::default();
+        for obs in ports.observations.iter().filter(|o| o.range == 0) {
+            let current_port = obs.ports[0];
+            let outcome = match old.get(&obs.addr) {
+                Some((ports2018, qnames)) => {
+                    let comparable = qnames.len() >= 10
+                        || ports2018.contains(&current_port);
+                    if !comparable {
+                        PassiveOutcome::Insufficient
+                    } else {
+                        let unique: BTreeSet<u16> = ports2018.iter().copied().collect();
+                        if unique.len() == 1 {
+                            PassiveOutcome::FixedThen
+                        } else {
+                            PassiveOutcome::VariedThen
+                        }
+                    }
+                }
+                None => PassiveOutcome::Insufficient,
+            };
+            match outcome {
+                PassiveOutcome::FixedThen => report.fixed_then += 1,
+                PassiveOutcome::VariedThen => report.varied_then += 1,
+                PassiveOutcome::Insufficient => report.insufficient += 1,
+            }
+            report.outcomes.push((obs.addr, outcome));
+        }
+        report
+    }
+
+    /// Total zero-range resolvers compared.
+    pub fn total(&self) -> usize {
+        self.fixed_then + self.varied_then + self.insufficient
+    }
+}

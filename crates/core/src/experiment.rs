@@ -1,0 +1,223 @@
+//! End-to-end experiment orchestration: world → target extraction → source
+//! planning → schedule → scan → log snapshot.
+//!
+//! [`Experiment::run`] performs the entire §3 methodology against a
+//! generated world and returns an [`ExperimentData`] from which every §4–§5
+//! analysis can be computed via [`ExperimentData::input`].
+
+use crate::qname::QnameCodec;
+use crate::scanner::{HumanNoise, Scanner, ScannerConfig, ScannerStats};
+use crate::schedule::Schedule;
+use crate::sources::SourcePlan;
+use crate::targets::TargetSet;
+use bcd_dns::QueryLogEntry;
+use bcd_dnswire::RCode;
+use bcd_netsim::{HostConfig, SimDuration, SimTime, StackPolicy};
+use bcd_worldgen::{World, WorldConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Experiment parameters (§3.4–§3.5 knobs).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    pub world: WorldConfig,
+    /// Scan window (auto-extended by the rate cap when needed). The paper
+    /// ran four weeks; the simulation compresses the window — all analyses
+    /// are time-scale-free except the lifetime filter, which keeps its
+    /// absolute 10 s threshold.
+    pub window: SimDuration,
+    /// Global probe rate cap (the paper's administrative 700 qps).
+    pub rate: u32,
+    /// Authoritative-log poll interval (real-time follow-up latency).
+    pub poll_interval: SimDuration,
+    /// Follow-up queries per family (the paper's 10).
+    pub followups_per_family: usize,
+    /// §3.6.3 lifetime threshold.
+    pub lifetime_threshold: SimDuration,
+    /// Experiment keyword (the `kw` label).
+    pub keyword: String,
+    /// Extra simulation time after the last scheduled probe, to let
+    /// follow-ups, retries, and human-noise queries drain.
+    pub drain: SimDuration,
+    /// §3.8 opt-outs honoured mid-campaign: `(when received, prefix)`.
+    pub opt_outs: Vec<(SimTime, bcd_netsim::Prefix)>,
+    /// §3.4 interruptions: `(start, duration)` windows with no probing.
+    pub outages: Vec<(SimTime, SimDuration)>,
+    /// Restrict the scan to these source categories (None = all five).
+    /// Drives the Table 3 ablation: what coverage does each category buy?
+    pub category_filter: Option<Vec<crate::sources::SourceCategory>>,
+    /// Experiment-zone answer mode: NXDOMAIN (the paper's choice, with its
+    /// §3.6.4 QNAME-minimization blind spot) or the wildcard synthesis the
+    /// paper proposes for a future run. The ablation binary compares both.
+    pub wildcard_zone: bool,
+}
+
+impl ExperimentConfig {
+    /// Full-shape defaults over a paper-shape world.
+    pub fn paper_shape(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            world: WorldConfig::paper_shape(seed),
+            window: SimDuration::from_hours(2),
+            rate: 700,
+            poll_interval: SimDuration::from_secs(60),
+            followups_per_family: 10,
+            lifetime_threshold: SimDuration::from_secs(10),
+            keyword: "x7".into(),
+            drain: SimDuration::from_hours(4),
+            opt_outs: Vec::new(),
+            outages: Vec::new(),
+            category_filter: None,
+            wildcard_zone: false,
+        }
+    }
+
+    /// Small and fast, for tests.
+    pub fn tiny(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            world: WorldConfig::tiny(seed),
+            window: SimDuration::from_mins(20),
+            ..ExperimentConfig::paper_shape(seed)
+        }
+    }
+}
+
+/// Everything the analyses need, owned.
+pub struct ExperimentData {
+    pub world: World,
+    pub targets: TargetSet,
+    pub codec: QnameCodec,
+    /// Snapshot of the experiment estate's query log.
+    pub entries: Vec<QueryLogEntry>,
+    pub scanner_stats: ScannerStats,
+    /// Responses received at the scanner's real addresses.
+    pub scanner_responses: Vec<(SimTime, IpAddr, RCode)>,
+    /// All public DNS addresses (v4 + v6), for middlebox attribution.
+    pub public_dns: Vec<IpAddr>,
+    pub cfg: ExperimentConfig,
+}
+
+impl ExperimentData {
+    /// Borrow an [`crate::analysis::AnalysisInput`] over this data.
+    pub fn input(&self) -> crate::analysis::AnalysisInput<'_> {
+        crate::analysis::AnalysisInput {
+            log: &self.entries,
+            codec: &self.codec,
+            targets: &self.targets,
+            routes: &self.world.net.routes,
+            geo: &self.world.geo,
+            scanner_v4: self.world.scanner.v4,
+            scanner_v6: self.world.scanner.v6,
+            public_dns: &self.public_dns,
+            lifetime_threshold: self.cfg.lifetime_threshold,
+        }
+    }
+}
+
+/// The experiment runner.
+pub struct Experiment;
+
+impl Experiment {
+    /// Run the full methodology and return the collected data.
+    pub fn run(cfg: ExperimentConfig) -> ExperimentData {
+        let mut world = bcd_worldgen::build::build(cfg.world.clone());
+        if cfg.wildcard_zone {
+            bcd_worldgen::build::set_experiment_zone_wildcard(&mut world);
+        }
+
+        // §3.1: extract targets from the DITL trace.
+        let targets = TargetSet::extract(&world.ditl2019, &world.net.routes);
+
+        // §3.2: spoofed-source plans.
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.world.seed.wrapping_add(2));
+        let plans: Vec<SourcePlan> = targets
+            .iter()
+            .map(|t| {
+                let mut plan = SourcePlan::build_with_hitlist(
+                    t.addr,
+                    &world.net.routes,
+                    &world.v6_hitlist,
+                    &mut rng,
+                );
+                if let Some(keep) = &cfg.category_filter {
+                    plan.sources.retain(|(cat, _)| keep.contains(cat));
+                }
+                plan
+            })
+            .collect();
+
+        // §3.4: the schedule.
+        let schedule = Schedule::build(&plans, cfg.window, cfg.rate, &mut rng);
+
+        // §3.3/§3.5: codec + scanner node at the reserved vantage.
+        let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
+        let asn_of: HashMap<IpAddr, u32> =
+            targets.iter().map(|t| (t.addr, t.asn.0)).collect();
+        let schedule_end = schedule.end;
+        let human_noise = if cfg.world.human_lookup_fraction > 0.0 {
+            Some(HumanNoise {
+                probability: cfg.world.human_lookup_fraction,
+                delay: SimDuration::from_secs(cfg.world.human_lookup_delay_secs),
+            })
+        } else {
+            None
+        };
+        let scanner_cfg = ScannerConfig {
+            v4: world.scanner.v4,
+            v6: world.scanner.v6,
+            codec: codec.clone(),
+            schedule,
+            asn_of,
+            poll_interval: cfg.poll_interval,
+            log: world.log.clone(),
+            followups_per_family: cfg.followups_per_family,
+            lab_v4: world.auth.lab_v4,
+            lab_v6: world.auth.lab_v6,
+            human_noise,
+            opt_outs: cfg.opt_outs.clone(),
+            outages: cfg.outages.clone(),
+        };
+        let scanner_host = world.net.add_host(
+            HostConfig {
+                addrs: vec![world.scanner.v4, world.scanner.v6],
+                asn: world.scanner.asn,
+                stack: StackPolicy::strict(),
+            },
+            Box::new(Scanner::new(scanner_cfg)),
+        );
+
+        // Run the scan plus drain time (outages push the real end out, the
+        // paper's "longer than the four weeks we had planned").
+        let outage_total = cfg
+            .outages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (_, len)| acc + *len);
+        world.net.run_until(schedule_end + outage_total + cfg.drain);
+
+        let scanner = world
+            .net
+            .node::<Scanner>(scanner_host)
+            .expect("scanner node");
+        let scanner_stats = scanner.stats.clone();
+        let scanner_responses = scanner.responses.clone();
+        let entries = world.log.borrow().entries().to_vec();
+        let public_dns: Vec<IpAddr> = world
+            .public_dns_v4
+            .iter()
+            .chain(&world.public_dns_v6)
+            .copied()
+            .collect();
+
+        ExperimentData {
+            world,
+            targets,
+            codec,
+            entries,
+            scanner_stats,
+            scanner_responses,
+            public_dns,
+            cfg,
+        }
+    }
+}

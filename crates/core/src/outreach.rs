@@ -1,0 +1,155 @@
+//! Administrator outreach planning — §5.2.1's disclosure methodology and
+//! §6's "individual reach-out" plan, as code.
+//!
+//! For resolvers with no source-port randomization, the paper located
+//! contacts by reverse (PTR) lookup of each resolver address and reading
+//! the SOA RNAME of the resulting domain, then sampled 40 administrators at
+//! random — half from resolvers pinned to port 53 and half from resolvers
+//! on an unprivileged port — plus 3 prior acquaintances (43 total, covering
+//! 53 resolvers). [`plan_outreach`] reproduces that sampling over a
+//! [`PortReport`]'s zero-range census.
+
+use crate::analysis::ports::PortReport;
+use bcd_dnswire::Name;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use std::net::IpAddr;
+
+/// One planned contact.
+#[derive(Debug, Clone)]
+pub struct Contact {
+    /// The vulnerable resolver.
+    pub resolver: IpAddr,
+    /// Its fixed source port.
+    pub port: u16,
+    /// The PTR name to resolve for the contact domain (§5.2.1 step 1).
+    pub ptr_name: Name,
+    /// Sampled from the port-53 stratum (vs the unprivileged stratum).
+    pub port53_stratum: bool,
+}
+
+/// The outreach plan.
+#[derive(Debug, Default)]
+pub struct OutreachPlan {
+    pub contacts: Vec<Contact>,
+    /// Zero-range resolvers in the port-53 stratum (population).
+    pub port53_population: usize,
+    /// Zero-range resolvers in the unprivileged stratum.
+    pub unprivileged_population: usize,
+}
+
+/// Sample `per_stratum` contacts from each stratum (the paper used 20+20,
+/// then added 3 acquaintances out of band).
+pub fn plan_outreach(ports: &PortReport, per_stratum: usize, rng: &mut ChaCha8Rng) -> OutreachPlan {
+    let mut port53: Vec<(IpAddr, u16)> = Vec::new();
+    let mut unprivileged: Vec<(IpAddr, u16)> = Vec::new();
+    for obs in ports.observations.iter().filter(|o| o.range == 0) {
+        let port = obs.ports[0];
+        if port == 53 {
+            port53.push((obs.addr, port));
+        } else if port > 1_023 {
+            unprivileged.push((obs.addr, port));
+        }
+    }
+    let mut plan = OutreachPlan {
+        contacts: Vec::new(),
+        port53_population: port53.len(),
+        unprivileged_population: unprivileged.len(),
+    };
+    port53.shuffle(rng);
+    unprivileged.shuffle(rng);
+    for (stratum, is53) in [(&port53, true), (&unprivileged, false)] {
+        for (addr, port) in stratum.iter().take(per_stratum) {
+            plan.contacts.push(Contact {
+                resolver: *addr,
+                port: *port,
+                ptr_name: Name::reverse_ptr(*addr),
+                port53_stratum: is53,
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ports::{BandCutoffs, PortObservation};
+    use bcd_netsim::Asn;
+    use bcd_osmodel::P0fClass;
+    use rand::SeedableRng;
+
+    fn obs(addr: &str, port: u16) -> PortObservation {
+        PortObservation {
+            addr: addr.parse().unwrap(),
+            asn: Asn(1),
+            ports: vec![port; 10],
+            range: 0,
+            raw_range: 0,
+            adjusted: false,
+            open: false,
+            p0f: P0fClass::Unknown,
+        }
+    }
+
+    fn report(observations: Vec<PortObservation>) -> PortReport {
+        PortReport {
+            observations,
+            insufficient: 0,
+            zero: Default::default(),
+            low: Default::default(),
+            cutoffs: BandCutoffs::derive(),
+            bands: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn samples_both_strata() {
+        let mut observations = Vec::new();
+        for i in 0..30 {
+            observations.push(obs(&format!("17.0.0.{i}"), 53));
+        }
+        for i in 0..30 {
+            observations.push(obs(&format!("17.0.1.{i}"), 32_768));
+        }
+        let ports = report(observations);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let plan = plan_outreach(&ports, 20, &mut rng);
+        assert_eq!(plan.port53_population, 30);
+        assert_eq!(plan.unprivileged_population, 30);
+        assert_eq!(plan.contacts.len(), 40);
+        assert_eq!(plan.contacts.iter().filter(|c| c.port53_stratum).count(), 20);
+        // PTR names are correct reverse forms.
+        let c = plan
+            .contacts
+            .iter()
+            .find(|c| c.resolver.to_string() == "17.0.0.5")
+            .or_else(|| plan.contacts.first());
+        let c = c.unwrap();
+        assert!(c.ptr_name.to_string().ends_with(".in-addr.arpa"));
+        // No duplicate resolvers in the plan.
+        let unique: std::collections::HashSet<IpAddr> =
+            plan.contacts.iter().map(|c| c.resolver).collect();
+        assert_eq!(unique.len(), plan.contacts.len());
+    }
+
+    #[test]
+    fn small_population_takes_everyone() {
+        let ports = report(vec![obs("17.0.0.1", 53), obs("17.0.0.2", 40_000)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let plan = plan_outreach(&ports, 20, &mut rng);
+        assert_eq!(plan.contacts.len(), 2);
+    }
+
+    #[test]
+    fn privileged_non53_ports_excluded() {
+        // A resolver pinned to e.g. port 123 fits neither stratum (the
+        // paper sampled "port 53" and "an unprivileged source port").
+        let ports = report(vec![obs("17.0.0.1", 123)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let plan = plan_outreach(&ports, 20, &mut rng);
+        assert!(plan.contacts.is_empty());
+        assert_eq!(plan.port53_population, 0);
+        assert_eq!(plan.unprivileged_population, 0);
+    }
+}

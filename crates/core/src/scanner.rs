@@ -1,0 +1,324 @@
+//! The measurement client (§3.4–§3.5).
+//!
+//! A single [`Scanner`] node:
+//!
+//! * walks the [`Schedule`], emitting spoofed-source DNS queries at their
+//!   scheduled times (the spoof is literal: the packet's source address is
+//!   the chosen category address; the vantage AS runs no OSAV),
+//! * tails the shared authoritative [`bcd_dns::QueryLog`] "in real time" (a polling
+//!   timer, like the paper's log monitoring) and, on the *first* observed
+//!   hit for a target, fires the follow-up battery: 10 IPv4-only queries,
+//!   10 IPv6-only queries, one non-spoofed open-resolver probe, and one
+//!   TC-forced TCP probe (§3.5). Subsequent hits for the same target are
+//!   logged but not re-probed,
+//! * optionally injects §3.6.3 *human-intervention* noise: a fraction of
+//!   probes get a delayed direct lookup of the same query name from an
+//!   address inside the target AS — the curious-analyst queries whose long
+//!   lifetime the analysis must filter out.
+
+use crate::qname::{Decoded, QnameCodec, SuffixKind};
+use crate::schedule::Schedule;
+use bcd_dns::SharedLog;
+use bcd_dnswire::{Message, RCode, RType};
+use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, Transport};
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::IpAddr;
+
+const TOK_WALK: u64 = 0;
+const TOK_POLL: u64 = 1;
+const TOK_HUMAN: u64 = 2;
+
+/// Human-intervention noise model (§3.6.3).
+#[derive(Debug, Clone, Copy)]
+pub struct HumanNoise {
+    /// Probability per spoofed probe of a later human lookup.
+    pub probability: f64,
+    /// Delay before the human resolves the logged name.
+    pub delay: SimDuration,
+}
+
+/// Scanner configuration.
+pub struct ScannerConfig {
+    /// The scanner's real addresses (used for open-resolver probes and as
+    /// the packet source of nothing else).
+    pub v4: IpAddr,
+    pub v6: IpAddr,
+    pub codec: QnameCodec,
+    pub schedule: Schedule,
+    /// Target → ASN, from the extraction pipeline (encoded into qnames).
+    pub asn_of: HashMap<IpAddr, u32>,
+    /// Log-tail poll interval ("real-time" monitoring granularity).
+    pub poll_interval: SimDuration,
+    pub log: SharedLog,
+    /// Follow-up queries per family (the paper's 10).
+    pub followups_per_family: usize,
+    /// Lab authoritative server addresses (human-noise queries go straight
+    /// here, in the matching family).
+    pub lab_v4: IpAddr,
+    pub lab_v6: IpAddr,
+    pub human_noise: Option<HumanNoise>,
+    /// §3.8 opt-outs: from `time` onward, no probes are sent to targets in
+    /// `prefix` (the paper honoured five such requests mid-campaign).
+    pub opt_outs: Vec<(SimTime, Prefix)>,
+    /// §3.4 interruptions (the paper hit "several unexpected interruptions,
+    /// including a power outage"): during `[start, start+len)` no probes
+    /// leave; the schedule resumes afterwards so *every* prepared query is
+    /// still issued — "albeit behind schedule".
+    pub outages: Vec<(SimTime, SimDuration)>,
+}
+
+/// Counters for tests and reports.
+#[derive(Debug, Default, Clone)]
+pub struct ScannerStats {
+    pub spoofed_sent: u64,
+    pub followup_sets: u64,
+    pub followup_queries: u64,
+    pub open_probes: u64,
+    pub tcp_probes: u64,
+    pub human_lookups: u64,
+    pub responses_received: u64,
+    pub refused_responses: u64,
+    /// Probes suppressed by §3.8 opt-outs.
+    pub opted_out: u64,
+    /// Walker wake-ups deferred by §3.4 outages.
+    pub outage_deferrals: u64,
+}
+
+/// The scanner node.
+pub struct Scanner {
+    cfg: ScannerConfig,
+    next_query: usize,
+    log_cursor: usize,
+    followed_up: HashSet<IpAddr>,
+    human_queue: BTreeMap<SimTime, Vec<(bcd_dnswire::Name, IpAddr)>>,
+    /// Responses received at the scanner's real addresses:
+    /// `(time, responder, rcode)`.
+    pub responses: Vec<(SimTime, IpAddr, RCode)>,
+    pub stats: ScannerStats,
+}
+
+impl Scanner {
+    /// Create the node.
+    pub fn new(cfg: ScannerConfig) -> Scanner {
+        Scanner {
+            cfg,
+            next_query: 0,
+            log_cursor: 0,
+            followed_up: HashSet::new(),
+            human_queue: BTreeMap::new(),
+            responses: Vec::new(),
+            stats: ScannerStats::default(),
+        }
+    }
+
+    /// Targets that have received their follow-up battery.
+    pub fn followed_up(&self) -> &HashSet<IpAddr> {
+        &self.followed_up
+    }
+
+    fn send_dns(&mut self, ctx: &mut NodeCtx<'_>, src: IpAddr, dst: IpAddr, qname: bcd_dnswire::Name) {
+        let txid: u16 = ctx.rng().gen();
+        let sport: u16 = ctx.rng().gen_range(20_000..60_000);
+        let msg = Message::query(txid, qname, RType::A);
+        ctx.send(Packet::udp(src, dst, sport, 53, msg.encode()));
+    }
+
+    /// If `now` falls inside a configured outage, the time it ends.
+    fn outage_end(&self, now: SimTime) -> Option<SimTime> {
+        self.cfg
+            .outages
+            .iter()
+            .filter(|(start, len)| now >= *start && now < *start + *len)
+            .map(|(start, len)| *start + *len)
+            .max()
+    }
+
+    fn emit_scheduled(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        // Powered off: nothing leaves; resume the walker when power returns.
+        if let Some(end) = self.outage_end(now) {
+            self.stats.outage_deferrals += 1;
+            ctx.set_timer(end - now, TOK_WALK);
+            return;
+        }
+        while self.next_query < self.cfg.schedule.queries.len() {
+            let q = self.cfg.schedule.queries[self.next_query];
+            if q.at > now {
+                ctx.set_timer(q.at - now, TOK_WALK);
+                return;
+            }
+            self.next_query += 1;
+            // §3.8: honour opt-out requests received before this probe.
+            if self
+                .cfg
+                .opt_outs
+                .iter()
+                .any(|(t, p)| now >= *t && p.contains(q.target))
+            {
+                self.stats.opted_out += 1;
+                continue;
+            }
+            let asn = self.cfg.asn_of.get(&q.target).copied().unwrap_or(0);
+            let qname = self
+                .cfg
+                .codec
+                .encode(now, q.source, q.target, asn, SuffixKind::Main);
+            self.stats.spoofed_sent += 1;
+
+            // §3.6.3: with small probability an IDS logs this probe and a
+            // human later resolves the name from inside the target network.
+            if let Some(h) = self.cfg.human_noise {
+                if ctx.rng().gen_bool(h.probability) {
+                    let admin: IpAddr = Prefix::subprefix_of(
+                        q.target,
+                        if q.target.is_ipv6() { 64 } else { 24 },
+                    )
+                    .nth(199)
+                    .unwrap();
+                    let due = now + h.delay;
+                    self.human_queue
+                        .entry(due)
+                        .or_default()
+                        .push((qname.clone(), admin));
+                    ctx.set_timer(h.delay, TOK_HUMAN);
+                }
+            }
+
+            self.send_dns(ctx, q.source, q.target, qname);
+        }
+    }
+
+    fn fire_followups(&mut self, ctx: &mut NodeCtx<'_>, src: IpAddr, dst: IpAddr) {
+        let now = ctx.now();
+        let asn = self.cfg.asn_of.get(&dst).copied().unwrap_or(0);
+        self.stats.followup_sets += 1;
+        let n = self.cfg.followups_per_family as u64;
+        // 10 IPv4-only + 10 IPv6-only, each with a unique timestamp label
+        // (nanosecond offsets keep names unique without altering lifetime).
+        for i in 0..n {
+            let name = self.cfg.codec.encode(
+                now + SimDuration::from_nanos(i),
+                src,
+                dst,
+                asn,
+                SuffixKind::F4,
+            );
+            self.send_dns(ctx, src, dst, name);
+            let name = self.cfg.codec.encode(
+                now + SimDuration::from_nanos(n + i),
+                src,
+                dst,
+                asn,
+                SuffixKind::F6,
+            );
+            self.send_dns(ctx, src, dst, name);
+            self.stats.followup_queries += 2;
+        }
+        // Open-resolver probe: NOT spoofed — our real source address.
+        let real = if dst.is_ipv6() { self.cfg.v6 } else { self.cfg.v4 };
+        let name = self.cfg.codec.encode(
+            now + SimDuration::from_nanos(2 * n),
+            real,
+            dst,
+            asn,
+            SuffixKind::Main,
+        );
+        self.send_dns(ctx, real, dst, name);
+        self.stats.open_probes += 1;
+        // TCP probe: spoofed again, in the TC=1 zone.
+        let name = self.cfg.codec.encode(
+            now + SimDuration::from_nanos(2 * n + 1),
+            src,
+            dst,
+            asn,
+            SuffixKind::Tcp,
+        );
+        self.send_dns(ctx, src, dst, name);
+        self.stats.tcp_probes += 1;
+    }
+
+    fn poll_log(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Collect triggers first (the borrow on the log must end before we
+        // stage sends).
+        let mut triggers: Vec<(IpAddr, IpAddr)> = Vec::new();
+        {
+            let log = self.cfg.log.clone();
+            let log = log.borrow();
+            let (fresh, cursor) = log.tail_from(self.log_cursor);
+            for entry in fresh {
+                if let Decoded::Full(tag) = self.cfg.codec.decode(&entry.qname) {
+                    if tag.suffix == SuffixKind::Main
+                        && tag.src != self.cfg.v4
+                        && tag.src != self.cfg.v6
+                        && self.followed_up.insert(tag.dst)
+                    {
+                        triggers.push((tag.src, tag.dst));
+                    }
+                }
+            }
+            self.log_cursor = cursor;
+        }
+        for (src, dst) in triggers {
+            self.fire_followups(ctx, src, dst);
+        }
+        ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
+    }
+
+    fn drain_human_queue(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        let due: Vec<SimTime> = self
+            .human_queue
+            .range(..=now)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in due {
+            for (qname, admin) in self.human_queue.remove(&t).unwrap_or_default() {
+                // The analyst's resolver queries our authoritative server
+                // directly with the logged name (source: inside target AS).
+                self.stats.human_lookups += 1;
+                let lab = if admin.is_ipv6() {
+                    self.cfg.lab_v6
+                } else {
+                    self.cfg.lab_v4
+                };
+                self.send_dns(ctx, admin, lab, qname);
+            }
+        }
+    }
+}
+
+impl Node for Scanner {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(q) = self.cfg.schedule.queries.first() {
+            ctx.set_timer(q.at - SimTime::ZERO, TOK_WALK);
+        }
+        ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        match token {
+            TOK_WALK => self.emit_scheduled(ctx),
+            TOK_POLL => self.poll_log(ctx),
+            TOK_HUMAN => self.drain_human_queue(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        // Responses to our open-resolver probes (and REFUSED evidence).
+        let Transport::Udp(u) = &pkt.transport else {
+            return;
+        };
+        let Ok(msg) = Message::decode(&u.payload) else {
+            return;
+        };
+        if msg.header.qr {
+            self.stats.responses_received += 1;
+            if msg.header.rcode == RCode::Refused {
+                self.stats.refused_responses += 1;
+            }
+            self.responses.push((ctx.now(), pkt.src, msg.header.rcode));
+        }
+    }
+}

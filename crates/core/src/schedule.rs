@@ -1,0 +1,198 @@
+//! The query schedule (§3.4).
+//!
+//! The paper sent ~1 billion queries over four weeks at ~700 qps (an
+//! administrative cap), spreading each target's queries evenly over the
+//! whole window so no destination saw more than ~4 queries/day. We build
+//! the same structure over a configurable (usually compressed) window:
+//!
+//! * each target's `k` sources are spaced `window / k` apart with a
+//!   per-target random phase,
+//! * a leaky-bucket pass enforces the global per-second cap by pushing
+//!   overflow queries into following seconds,
+//! * the window auto-extends if `total / rate` exceeds it.
+
+use crate::sources::{SourceCategory, SourcePlan};
+use bcd_netsim::{SimDuration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+/// One scheduled spoofed probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledQuery {
+    pub at: SimTime,
+    pub target: IpAddr,
+    pub source: IpAddr,
+    pub category: SourceCategory,
+}
+
+/// The full experiment schedule, sorted by time.
+#[derive(Debug, Default)]
+pub struct Schedule {
+    pub queries: Vec<ScheduledQuery>,
+    /// The actual window end (≥ the requested one if the rate cap forced
+    /// an extension — the paper, too, ran long, §3.4).
+    pub end: SimTime,
+}
+
+impl Schedule {
+    /// Build a schedule for all plans over `window`, capped at `rate`
+    /// queries per second.
+    pub fn build(
+        plans: &[SourcePlan],
+        window: SimDuration,
+        rate: u32,
+        rng: &mut ChaCha8Rng,
+    ) -> Schedule {
+        assert!(rate > 0);
+        let total: usize = plans.iter().map(|p| p.len()).sum();
+        // Extend the window if the cap makes the request infeasible.
+        let needed = SimDuration::from_secs((total as u64 / rate as u64) + 1);
+        let window = window.max(needed);
+
+        let mut queries: Vec<ScheduledQuery> = Vec::with_capacity(total);
+        let w_ns = window.as_nanos().max(1);
+        for plan in plans {
+            let k = plan.len() as u64;
+            if k == 0 {
+                continue;
+            }
+            let phase = rng.gen_range(0..w_ns);
+            let gap = w_ns / k;
+            for (i, (category, source)) in plan.sources.iter().enumerate() {
+                let at = (phase + i as u64 * gap) % w_ns;
+                queries.push(ScheduledQuery {
+                    at: SimTime::from_nanos(at),
+                    target: plan.target,
+                    source: *source,
+                    category: *category,
+                });
+            }
+        }
+        queries.sort_by_key(|q| (q.at, q.target, q.source));
+
+        // Leaky-bucket smoothing: at most `rate` sends per second.
+        let mut used: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut end = SimTime::ZERO;
+        for q in &mut queries {
+            let mut sec = q.at.as_secs();
+            loop {
+                let u = used.entry(sec).or_insert(0);
+                if *u < rate {
+                    *u += 1;
+                    break;
+                }
+                sec += 1;
+            }
+            if sec != q.at.as_secs() {
+                q.at = SimTime::from_secs(sec);
+            }
+            end = end.max(q.at);
+        }
+        queries.sort_by_key(|q| (q.at, q.target, q.source));
+        Schedule { queries, end }
+    }
+
+    /// Number of scheduled probes.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The maximum number of sends in any single second.
+    pub fn peak_rate(&self) -> u32 {
+        let mut per_sec: BTreeMap<u64, u32> = BTreeMap::new();
+        for q in &self.queries {
+            *per_sec.entry(q.at.as_secs()).or_insert(0) += 1;
+        }
+        per_sec.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcd_netsim::{Asn, Prefix, PrefixTable};
+    use rand::SeedableRng;
+
+    fn plans(n_targets: usize) -> Vec<SourcePlan> {
+        let mut routes = PrefixTable::new();
+        routes.announce("16.0.0.0/12".parse::<Prefix>().unwrap(), Asn(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        (0..n_targets)
+            .map(|i| {
+                let addr: IpAddr = format!("16.0.{}.{}", i / 200, 1 + i % 200).parse().unwrap();
+                SourcePlan::build(addr, &routes, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_queries_scheduled_and_sorted() {
+        let ps = plans(10);
+        let total: usize = ps.iter().map(|p| p.len()).sum();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let s = Schedule::build(&ps, SimDuration::from_secs(1_000), 700, &mut rng);
+        assert_eq!(s.len(), total);
+        for w in s.queries.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(s.end.as_secs() <= 1_001);
+    }
+
+    #[test]
+    fn rate_cap_is_enforced() {
+        let ps = plans(50); // 50 * 101 = 5050 queries
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Force congestion: 10-second window at 100 qps can hold 1000.
+        let s = Schedule::build(&ps, SimDuration::from_secs(10), 100, &mut rng);
+        assert_eq!(s.len(), 5_050);
+        assert!(s.peak_rate() <= 100, "peak {}", s.peak_rate());
+        // The window must have been extended (like the paper's overrun).
+        assert!(s.end.as_secs() >= 50);
+    }
+
+    #[test]
+    fn per_target_queries_are_spread() {
+        let ps = plans(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let s = Schedule::build(&ps, SimDuration::from_secs(101_000), 700, &mut rng);
+        // 101 queries over ~101k seconds: successive queries for the target
+        // should be roughly 1000s apart, definitely not bunched.
+        let mut times: Vec<u64> = s.queries.iter().map(|q| q.at.as_secs()).collect();
+        times.sort_unstable();
+        let mut gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        // Median gap near the even-spacing value (wrap-around makes one gap
+        // big and one small).
+        let median = gaps[gaps.len() / 2];
+        assert!(
+            (700..1_300).contains(&median),
+            "median inter-query gap {median}s"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let ps = plans(5);
+        let build = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Schedule::build(&ps, SimDuration::from_secs(100), 700, &mut rng).queries
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn empty_plans_empty_schedule() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = Schedule::build(&[], SimDuration::from_secs(10), 700, &mut rng);
+        assert!(s.is_empty());
+        assert_eq!(s.peak_rate(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-network assessment — the §6 "testing tool" the paper promises to
+//! offer operators ("we plan to make the analysis of a network or system
+//! available to the general public via a Web interface").
+//!
+//! [`SelfCheck::assess`] compiles everything the survey learned about one
+//! AS into an operator-facing report: the DSAV verdict with the exact
+//! spoofed-source categories that penetrated, every reached resolver with
+//! its open/closed status, port-randomization health, and concrete
+//! remediation items ordered by severity.
+
+use crate::analysis::openclosed::OpenClosedReport;
+use crate::analysis::ports::PortReport;
+use crate::analysis::reachability::Reachability;
+use crate::sources::SourceCategory;
+use bcd_netsim::Asn;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::net::IpAddr;
+
+/// The network-level verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Spoofed-source packets entered the network: DSAV is absent.
+    Vulnerable,
+    /// Probes were sent, none penetrated — consistent with deployed DSAV.
+    NoPenetrationObserved,
+    /// The survey had no targets in this AS.
+    NotTested,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Vulnerable => "VULNERABLE — spoofed internal-source traffic enters this network",
+            Verdict::NoPenetrationObserved => "no penetration observed (consistent with DSAV)",
+            Verdict::NotTested => "not tested (no targets in this network)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reached resolver inside the assessed network.
+#[derive(Debug, Clone)]
+pub struct ResolverFinding {
+    pub addr: IpAddr,
+    pub open: bool,
+    /// Observed source-port range over the 10 follow-ups, if measured
+    /// directly.
+    pub port_range: Option<u32>,
+    /// The single source port, when the range is zero.
+    pub fixed_port: Option<u16>,
+}
+
+/// The operator-facing report for one AS.
+#[derive(Debug)]
+pub struct SelfCheckReport {
+    pub asn: Asn,
+    pub verdict: Verdict,
+    pub targets_tested: usize,
+    pub resolvers_reached: usize,
+    /// Spoofed-source categories that penetrated the border.
+    pub categories_admitted: BTreeSet<SourceCategory>,
+    pub findings: Vec<ResolverFinding>,
+    /// Ordered remediation advice.
+    pub recommendations: Vec<String>,
+}
+
+/// The assessment engine.
+pub struct SelfCheck;
+
+impl SelfCheck {
+    /// Assess one AS from completed survey analyses.
+    pub fn assess(
+        asn: Asn,
+        targets: &crate::targets::TargetSet,
+        reach: &Reachability,
+        open_closed: &OpenClosedReport,
+        ports: &PortReport,
+    ) -> SelfCheckReport {
+        let targets_tested = targets.iter().filter(|t| t.asn == asn).count();
+        let reached: Vec<(&IpAddr, &crate::analysis::reachability::TargetHit)> = reach
+            .reached
+            .iter()
+            .filter(|(_, h)| h.asn == asn)
+            .collect();
+
+        let mut categories_admitted = BTreeSet::new();
+        for (_, h) in &reached {
+            categories_admitted.extend(h.categories.iter().copied());
+        }
+
+        let mut findings = Vec::new();
+        for (addr, _) in &reached {
+            let obs = ports.observations.iter().find(|o| o.addr == **addr);
+            findings.push(ResolverFinding {
+                addr: **addr,
+                open: open_closed.is_open(**addr),
+                port_range: obs.map(|o| o.range),
+                fixed_port: obs.filter(|o| o.range == 0).map(|o| o.ports[0]),
+            });
+        }
+        findings.sort_by_key(|f| (f.port_range.unwrap_or(u32::MAX), f.addr));
+
+        let verdict = if !reached.is_empty() {
+            Verdict::Vulnerable
+        } else if targets_tested > 0 {
+            Verdict::NoPenetrationObserved
+        } else {
+            Verdict::NotTested
+        };
+
+        let mut recommendations = Vec::new();
+        if verdict == Verdict::Vulnerable {
+            recommendations.push(
+                "deploy destination-side SAV: drop inbound packets bearing your own \
+                 announced prefixes as source (mirror of BCP 38)"
+                    .to_string(),
+            );
+        }
+        if categories_admitted.contains(&SourceCategory::Private) {
+            recommendations
+                .push("add bogon ACLs: RFC 1918 / ULA sources arrive from outside".to_string());
+        }
+        if categories_admitted.contains(&SourceCategory::Loopback) {
+            recommendations
+                .push("loopback-source packets cross your border: add martian filters".to_string());
+        }
+        if categories_admitted.contains(&SourceCategory::DstAsSrc) {
+            recommendations.push(
+                "destination-as-source packets are delivered: filter at the border and \
+                 harden host stacks (no kernel should accept them)"
+                    .to_string(),
+            );
+        }
+        for f in &findings {
+            if let Some(port) = f.fixed_port {
+                recommendations.push(format!(
+                    "URGENT: resolver {} uses the single source port {port} — trivially \
+                     cache-poisonable (search space 2^16); upgrade/remove any \
+                     query-source configuration",
+                    f.addr
+                ));
+            }
+        }
+        if findings.iter().any(|f| f.open) {
+            recommendations.push(
+                "open resolvers answered external queries: restrict recursion (RFC 5358)"
+                    .to_string(),
+            );
+        }
+        if findings.iter().any(|f| !f.open) {
+            recommendations.push(
+                "closed resolvers were reached via spoofed sources: their ACLs are not \
+                 a defence without DSAV"
+                    .to_string(),
+            );
+        }
+
+        SelfCheckReport {
+            asn,
+            verdict,
+            targets_tested,
+            resolvers_reached: reached.len(),
+            categories_admitted,
+            findings,
+            recommendations,
+        }
+    }
+}
+
+impl fmt::Display for SelfCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== network self-check: {} ==", self.asn)?;
+        writeln!(f, "verdict: {}", self.verdict)?;
+        writeln!(
+            f,
+            "targets tested: {}; resolvers reached: {}",
+            self.targets_tested, self.resolvers_reached
+        )?;
+        if !self.categories_admitted.is_empty() {
+            let cats: Vec<String> = self
+                .categories_admitted
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            writeln!(f, "spoof categories admitted: {}", cats.join(", "))?;
+        }
+        for finding in &self.findings {
+            write!(
+                f,
+                "  resolver {:<18} {}",
+                finding.addr.to_string(),
+                if finding.open { "OPEN  " } else { "closed" }
+            )?;
+            match (finding.fixed_port, finding.port_range) {
+                (Some(p), _) => writeln!(f, "  FIXED SOURCE PORT {p}")?,
+                (None, Some(r)) => writeln!(f, "  port range {r}")?,
+                (None, None) => writeln!(f, "  (no direct port data)")?,
+            }
+        }
+        if !self.recommendations.is_empty() {
+            writeln!(f, "recommendations:")?;
+            for (i, r) in self.recommendations.iter().enumerate() {
+                writeln!(f, "  {}. {r}", i + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display() {
+        assert!(Verdict::Vulnerable.to_string().contains("VULNERABLE"));
+        assert!(Verdict::NotTested.to_string().contains("not tested"));
+    }
+}

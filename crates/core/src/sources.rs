@@ -1,0 +1,362 @@
+//! Spoofed-source selection (§3.2).
+//!
+//! For each target we build up to 101 spoofed sources:
+//!
+//! * **other-prefix** — up to 97 addresses, one from each other /24 (IPv4)
+//!   or /64 (IPv6) announced by the target's AS. The first and last
+//!   address of a /24 are excluded (network/broadcast); IPv6 selection is
+//!   restricted to the first 100 addresses of the /64 minus the first two
+//!   (the hitlist-informed heuristic),
+//! * **same-prefix** — one address from the target's own /24 or /64,
+//!   distinct from the target,
+//! * **private / unique-local** — `192.168.0.10` or `fc00::10`,
+//! * **destination-as-source** — the target address itself,
+//! * **loopback** — `127.0.0.1` or `::1`.
+
+use bcd_netsim::{Packet, Prefix, PrefixTable};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::net::IpAddr;
+
+/// Maximum number of other-prefix sources per target (the paper's 97 —
+/// chosen so the total came to "an even 100" before a fifth category was
+/// added, footnote 2).
+pub const MAX_OTHER_PREFIX: usize = 97;
+
+/// The five §3.2 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SourceCategory {
+    OtherPrefix,
+    SamePrefix,
+    Private,
+    DstAsSrc,
+    Loopback,
+}
+
+impl SourceCategory {
+    /// All categories in presentation order (Table 3 rows).
+    pub const ALL: [SourceCategory; 5] = [
+        SourceCategory::OtherPrefix,
+        SourceCategory::SamePrefix,
+        SourceCategory::Private,
+        SourceCategory::DstAsSrc,
+        SourceCategory::Loopback,
+    ];
+}
+
+impl fmt::Display for SourceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SourceCategory::OtherPrefix => "Other Prefix",
+            SourceCategory::SamePrefix => "Same Prefix",
+            SourceCategory::Private => "Private",
+            SourceCategory::DstAsSrc => "Dst-as-Src",
+            SourceCategory::Loopback => "Loopback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The spoofed-source plan for one target.
+#[derive(Debug, Clone)]
+pub struct SourcePlan {
+    pub target: IpAddr,
+    /// `(category, spoofed source)` pairs, at most 101.
+    pub sources: Vec<(SourceCategory, IpAddr)>,
+}
+
+impl SourcePlan {
+    /// Build the plan for `target` using the announced routes of its AS.
+    /// Equivalent to [`SourcePlan::build_with_hitlist`] with no hitlist.
+    pub fn build(target: IpAddr, routes: &PrefixTable, rng: &mut ChaCha8Rng) -> SourcePlan {
+        SourcePlan::build_with_hitlist(target, routes, &[], rng)
+    }
+
+    /// Build the plan, preferring IPv6 /64s that appear in `hitlist` — the
+    /// §3.2 heuristic ("we gave preference to /64 prefixes that contained
+    /// IPv6 addresses from an IPv6 hit list — a sign of observed activity
+    /// within that prefix") that avoids blindly probing the sparse v6
+    /// space. The hitlist has no effect on IPv4 targets.
+    pub fn build_with_hitlist(
+        target: IpAddr,
+        routes: &PrefixTable,
+        hitlist: &[Prefix],
+        rng: &mut ChaCha8Rng,
+    ) -> SourcePlan {
+        let mut sources = Vec::with_capacity(101);
+        let v6 = target.is_ipv6();
+        let sub_len = if v6 { 64 } else { 24 };
+        let own_subnet = Prefix::subprefix_of(target, sub_len);
+
+        if let Some(asn) = routes.origin(target) {
+            let mut other: Vec<Prefix> = Vec::new();
+            // Hitlist preference (IPv6 only): this AS's active /64s go in
+            // first, before any blind enumeration — "we gave preference to
+            // /64 prefixes that contained IPv6 addresses from an IPv6 hit
+            // list" (§3.2).
+            if v6 {
+                for h in hitlist {
+                    if h.is_v6()
+                        && h.len() == sub_len
+                        && *h != own_subnet
+                        && routes.origin(h.network()) == Some(asn)
+                    {
+                        other.push(*h);
+                    }
+                    if other.len() >= MAX_OTHER_PREFIX {
+                        break;
+                    }
+                }
+            }
+            let preferred: std::collections::HashSet<Prefix> = other.iter().copied().collect();
+            // Divide the rest of the AS's space into /24s or /64s.
+            'walk: for p in routes.prefixes_of(asn) {
+                if p.is_v6() != v6 {
+                    continue;
+                }
+                for sub in p.subprefixes(sub_len) {
+                    if sub != own_subnet && !preferred.contains(&sub) {
+                        other.push(sub);
+                    }
+                    if other.len() >= MAX_OTHER_PREFIX * 4 {
+                        break 'walk;
+                    }
+                }
+            }
+            // Cap at 97 prefixes with a deterministic spread over the
+            // non-preferred tail (hitlist entries sit at the head and
+            // always survive the cap).
+            if other.len() > MAX_OTHER_PREFIX {
+                let head = preferred.len().min(MAX_OTHER_PREFIX);
+                let tail: Vec<Prefix> = other.split_off(head);
+                let need = MAX_OTHER_PREFIX - head;
+                if need > 0 {
+                    let step = (tail.len() / need).max(1);
+                    other.extend(tail.into_iter().step_by(step).take(need));
+                }
+            }
+            for p in other {
+                sources.push((SourceCategory::OtherPrefix, pick_in_prefix(p, rng, None)));
+            }
+        }
+
+        // Same-prefix: an address in the target's own subnet, ≠ target.
+        sources.push((
+            SourceCategory::SamePrefix,
+            pick_in_prefix(own_subnet, rng, Some(target)),
+        ));
+
+        // Private / unique-local.
+        let private: IpAddr = if v6 {
+            "fc00::10".parse().unwrap()
+        } else {
+            "192.168.0.10".parse().unwrap()
+        };
+        sources.push((SourceCategory::Private, private));
+
+        // Destination-as-source.
+        sources.push((SourceCategory::DstAsSrc, target));
+
+        // Loopback.
+        sources.push((SourceCategory::Loopback, Packet::loopback_addr(v6)));
+
+        SourcePlan { target, sources }
+    }
+
+    /// Number of sources in the plan.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if the plan has no sources (cannot happen via [`SourcePlan::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// Classify an observed (spoofed) source relative to its target — the
+/// inverse of planning, used by the analysis side which only sees the
+/// `src`/`dst` labels recovered from query names.
+pub fn classify_source(src: IpAddr, dst: IpAddr, routes: &PrefixTable) -> Option<SourceCategory> {
+    use bcd_netsim::prefix::special;
+    if special::is_loopback(src) {
+        return Some(SourceCategory::Loopback);
+    }
+    if src == dst {
+        return Some(SourceCategory::DstAsSrc);
+    }
+    if special::is_private_or_ula(src) {
+        return Some(SourceCategory::Private);
+    }
+    if src.is_ipv6() == dst.is_ipv6() {
+        let sub = if dst.is_ipv6() { 64 } else { 24 };
+        if Prefix::subprefix_of(dst, sub).contains(src) {
+            return Some(SourceCategory::SamePrefix);
+        }
+    }
+    match (routes.origin(src), routes.origin(dst)) {
+        (Some(a), Some(b)) if a == b => Some(SourceCategory::OtherPrefix),
+        _ => None,
+    }
+}
+
+/// A random usable address inside `prefix`, avoiding `exclude` and the
+/// first/last addresses (IPv4 network/broadcast; IPv6 router addresses per
+/// the paper's "first two" rule), and restricted to the first 100 hosts of
+/// an IPv6 /64.
+fn pick_in_prefix(prefix: Prefix, rng: &mut ChaCha8Rng, exclude: Option<IpAddr>) -> IpAddr {
+    let (lo, hi): (u128, u128) = if prefix.is_v6() {
+        (2, 99)
+    } else {
+        (1, prefix.size().saturating_sub(2))
+    };
+    for _ in 0..64 {
+        let i = rng.gen_range(lo..=hi.max(lo));
+        let addr = prefix.nth(i).expect("offset inside prefix");
+        if Some(addr) != exclude {
+            return addr;
+        }
+    }
+    // Degenerate fallback (a /31-like prefix with the target in it).
+    prefix.nth(lo).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcd_netsim::Asn;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    fn routes_with(prefixes: &[&str], asn: u32) -> PrefixTable {
+        let mut t = PrefixTable::new();
+        for p in prefixes {
+            t.announce(p.parse().unwrap(), Asn(asn));
+        }
+        t
+    }
+
+    #[test]
+    fn v4_plan_has_all_categories() {
+        let routes = routes_with(&["203.0.112.0/22"], 7); // 4 /24s
+        let target: IpAddr = "203.0.112.10".parse().unwrap();
+        let plan = SourcePlan::build(target, &routes, &mut rng());
+        let count = |c: SourceCategory| plan.sources.iter().filter(|(k, _)| *k == c).count();
+        assert_eq!(count(SourceCategory::OtherPrefix), 3); // 4 /24s minus own
+        assert_eq!(count(SourceCategory::SamePrefix), 1);
+        assert_eq!(count(SourceCategory::Private), 1);
+        assert_eq!(count(SourceCategory::DstAsSrc), 1);
+        assert_eq!(count(SourceCategory::Loopback), 1);
+        assert_eq!(plan.len(), 7);
+
+        // Category semantics.
+        for (cat, src) in &plan.sources {
+            match cat {
+                SourceCategory::OtherPrefix => {
+                    assert!(!Prefix::subprefix_of(target, 24).contains(*src));
+                    assert_eq!(routes.origin(*src), Some(Asn(7)));
+                }
+                SourceCategory::SamePrefix => {
+                    assert!(Prefix::subprefix_of(target, 24).contains(*src));
+                    assert_ne!(*src, target);
+                }
+                SourceCategory::Private => assert_eq!(src.to_string(), "192.168.0.10"),
+                SourceCategory::DstAsSrc => assert_eq!(*src, target),
+                SourceCategory::Loopback => assert_eq!(src.to_string(), "127.0.0.1"),
+            }
+        }
+    }
+
+    #[test]
+    fn other_prefix_capped_at_97() {
+        // A /14 has 1024 /24s; the plan must cap at 97.
+        let routes = routes_with(&["16.0.0.0/14"], 9);
+        let target: IpAddr = "16.0.0.5".parse().unwrap();
+        let plan = SourcePlan::build(target, &routes, &mut rng());
+        let other = plan
+            .sources
+            .iter()
+            .filter(|(k, _)| *k == SourceCategory::OtherPrefix)
+            .count();
+        assert_eq!(other, MAX_OTHER_PREFIX);
+        assert_eq!(plan.len(), 101, "the paper's 'at most 101 sources'");
+    }
+
+    #[test]
+    fn v4_avoids_network_and_broadcast() {
+        let routes = routes_with(&["203.0.112.0/23"], 7);
+        let target: IpAddr = "203.0.112.10".parse().unwrap();
+        for seed in 0..50 {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            let plan = SourcePlan::build(target, &routes, &mut r);
+            for (_, src) in &plan.sources {
+                if let IpAddr::V4(a) = src {
+                    let last = a.octets()[3];
+                    if Prefix::subprefix_of(*src, 24).contains(*src)
+                        && routes.origin(*src).is_some()
+                    {
+                        assert_ne!(last, 0, "network address used");
+                        assert_ne!(last, 255, "broadcast address used");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v6_plan_uses_first_hundred_minus_two() {
+        let routes = routes_with(&["2600:9::/48"], 11); // 65536 /64s -> cap 97
+        let target: IpAddr = "2600:9:0:5::42".parse().unwrap();
+        let plan = SourcePlan::build(target, &routes, &mut rng());
+        let mut other = 0;
+        for (cat, src) in &plan.sources {
+            match cat {
+                SourceCategory::OtherPrefix | SourceCategory::SamePrefix => {
+                    let sub = Prefix::subprefix_of(*src, 64);
+                    let idx = sub.index_of(*src).unwrap();
+                    assert!((2..100).contains(&idx), "v6 host offset {idx}");
+                    if *cat == SourceCategory::OtherPrefix {
+                        other += 1;
+                    }
+                }
+                SourceCategory::Private => assert_eq!(src.to_string(), "fc00::10"),
+                SourceCategory::Loopback => assert_eq!(src.to_string(), "::1"),
+                SourceCategory::DstAsSrc => assert_eq!(*src, target),
+            }
+        }
+        assert_eq!(other, MAX_OTHER_PREFIX);
+    }
+
+    #[test]
+    fn unrouted_target_still_gets_non_prefix_categories() {
+        let routes = PrefixTable::new();
+        let target: IpAddr = "203.0.112.10".parse().unwrap();
+        let plan = SourcePlan::build(target, &routes, &mut rng());
+        // No other-prefix sources, but the rest are present.
+        assert_eq!(plan.len(), 4);
+        assert!(plan
+            .sources
+            .iter()
+            .all(|(k, _)| *k != SourceCategory::OtherPrefix));
+    }
+
+    #[test]
+    fn same_prefix_never_equals_target() {
+        let routes = routes_with(&["203.0.112.0/24"], 7);
+        let target: IpAddr = "203.0.112.10".parse().unwrap();
+        for seed in 0..200 {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            let plan = SourcePlan::build(target, &routes, &mut r);
+            let same = plan
+                .sources
+                .iter()
+                .find(|(k, _)| *k == SourceCategory::SamePrefix)
+                .unwrap();
+            assert_ne!(same.1, target);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Target extraction from the DITL root trace (§3.1).
+//!
+//! Pipeline, exactly as the paper describes:
+//!
+//! 1. take every source address seen at the root servers,
+//! 2. de-duplicate,
+//! 3. exclude IANA special-purpose addresses ("no legitimate entries in the
+//!    public routing table" — the paper dropped ~4M),
+//! 4. exclude addresses with no announced route (the paper dropped 36,027 —
+//!    without a route there is no AS to derive other-prefix sources from),
+//! 5. attribute each survivor to its origin ASN.
+
+use bcd_netsim::prefix::special;
+use bcd_netsim::{Asn, PrefixTable};
+use bcd_worldgen::DitlRecord;
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// A target address with its origin AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Target {
+    pub addr: IpAddr,
+    pub asn: Asn,
+}
+
+/// The extracted target list plus exclusion accounting.
+#[derive(Debug, Default)]
+pub struct TargetSet {
+    pub v4: Vec<Target>,
+    pub v6: Vec<Target>,
+    /// Unique addresses dropped as special-purpose.
+    pub excluded_special: usize,
+    /// Unique addresses dropped for lacking an announced route.
+    pub excluded_unrouted: usize,
+}
+
+impl TargetSet {
+    /// Run the extraction pipeline over a DITL trace.
+    pub fn extract(trace: &[DitlRecord], routes: &PrefixTable) -> TargetSet {
+        let unique: BTreeSet<IpAddr> = trace.iter().map(|r| r.src).collect();
+        let mut out = TargetSet::default();
+        for addr in unique {
+            if special::is_special_purpose(addr) {
+                out.excluded_special += 1;
+                continue;
+            }
+            let Some(asn) = routes.origin(addr) else {
+                out.excluded_unrouted += 1;
+                continue;
+            };
+            let t = Target { addr, asn };
+            if addr.is_ipv6() {
+                out.v6.push(t);
+            } else {
+                out.v4.push(t);
+            }
+        }
+        out
+    }
+
+    /// Total targets across both families.
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// True if no targets were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All targets, v4 first.
+    pub fn iter(&self) -> impl Iterator<Item = &Target> {
+        self.v4.iter().chain(self.v6.iter())
+    }
+
+    /// Distinct ASNs among v4 targets.
+    pub fn asns_v4(&self) -> BTreeSet<Asn> {
+        self.v4.iter().map(|t| t.asn).collect()
+    }
+
+    /// Distinct ASNs among v6 targets.
+    pub fn asns_v6(&self) -> BTreeSet<Asn> {
+        self.v6.iter().map(|t| t.asn).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcd_dnswire::Name;
+    use bcd_netsim::{Prefix, SimTime};
+
+    fn rec(src: &str) -> DitlRecord {
+        DitlRecord {
+            time: SimTime::ZERO,
+            src: src.parse().unwrap(),
+            src_port: 1234,
+            qname: "q.example.com".parse::<Name>().unwrap(),
+        }
+    }
+
+    fn routes() -> PrefixTable {
+        let mut t = PrefixTable::new();
+        t.announce("203.0.112.0/24".parse::<Prefix>().unwrap(), Asn(100));
+        t.announce("2600:1::/32".parse::<Prefix>().unwrap(), Asn(200));
+        t
+    }
+
+    #[test]
+    fn pipeline_dedupes_and_excludes() {
+        let trace = vec![
+            rec("203.0.112.5"),
+            rec("203.0.112.5"),  // duplicate
+            rec("203.0.112.9"),  // second target, same AS
+            rec("192.168.1.1"),  // special: private
+            rec("127.0.0.1"),    // special: loopback
+            rec("8.8.8.8"),      // no route announced
+            rec("2600:1::42"),   // v6 target
+            rec("fc00::1"),      // special: ULA
+        ];
+        let set = TargetSet::extract(&trace, &routes());
+        assert_eq!(set.v4.len(), 2);
+        assert_eq!(set.v6.len(), 1);
+        assert_eq!(set.excluded_special, 3);
+        assert_eq!(set.excluded_unrouted, 1);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.v4[0].asn, Asn(100));
+        assert_eq!(set.v6[0].asn, Asn(200));
+        assert_eq!(set.asns_v4().len(), 1);
+        assert_eq!(set.asns_v6().len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_set() {
+        let set = TargetSet::extract(&[], &routes());
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+    }
+}

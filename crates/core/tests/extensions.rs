@@ -1,0 +1,138 @@
+//! Tests for the methodology extensions: §3.8 opt-outs, the §3.6.4
+//! wildcard-zone ablation, and category-restricted scans.
+
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::{Experiment, ExperimentConfig, SourceCategory};
+use bcd_netsim::{Prefix, SimTime};
+
+#[test]
+fn opt_out_stops_probes_to_the_prefix() {
+    // First run: find a prefix that gets probed.
+    let cfg = ExperimentConfig::tiny(301);
+    let data = Experiment::run(cfg.clone());
+    let victim = data
+        .targets
+        .v4
+        .first()
+        .expect("targets exist")
+        .addr;
+    let prefix = Prefix::subprefix_of(victim, 16);
+
+    // Second run: same world, opt the whole /16 out from t=0.
+    let mut cfg2 = cfg;
+    cfg2.opt_outs = vec![(SimTime::ZERO, prefix)];
+    let data2 = Experiment::run(cfg2);
+    assert!(
+        data2.scanner_stats.opted_out > 0,
+        "opt-out suppressed nothing"
+    );
+    // No spoofed probe evidence for any target inside the opted-out prefix.
+    let reach = Reachability::compute(&data2.input());
+    for addr in reach.reached.keys() {
+        assert!(
+            !prefix.contains(*addr),
+            "{addr} inside opted-out {prefix} was still probed"
+        );
+    }
+    // And fewer probes were sent than in the original run.
+    assert!(data2.scanner_stats.spoofed_sent < data.scanner_stats.spoofed_sent);
+}
+
+#[test]
+fn wildcard_zone_recovers_qmin_halted_targets() {
+    let mut base = ExperimentConfig::tiny(302);
+    base.world.qmin_fraction = 0.5;
+    base.world.qmin_halts_fraction = 1.0;
+
+    let nx = Experiment::run(base.clone());
+    let nx_reach = Reachability::compute(&nx.input());
+
+    let mut wc_cfg = base;
+    wc_cfg.wildcard_zone = true;
+    let wc = Experiment::run(wc_cfg);
+    let wc_reach = Reachability::compute(&wc.input());
+
+    // NXDOMAIN mode loses qmin-halted resolvers; wildcard mode answers
+    // intermediate labels positively so the full QNAME always arrives.
+    assert!(
+        nx_reach.qmin.partial_only_sources.len() > wc_reach.qmin.partial_only_sources.len(),
+        "wildcard should reduce partial-only resolvers: {} vs {}",
+        nx_reach.qmin.partial_only_sources.len(),
+        wc_reach.qmin.partial_only_sources.len()
+    );
+    assert!(
+        wc_reach.reached.len() >= nx_reach.reached.len(),
+        "wildcard must not lose coverage: {} vs {}",
+        wc_reach.reached.len(),
+        nx_reach.reached.len()
+    );
+    // Soundness is preserved in both modes.
+    for asn in wc_reach.reached_asns_all() {
+        assert!(wc.world.truly_lacks_dsav(asn));
+    }
+}
+
+#[test]
+fn category_restricted_scan_only_uses_those_sources() {
+    let mut cfg = ExperimentConfig::tiny(303);
+    cfg.category_filter = Some(vec![SourceCategory::SamePrefix]);
+    let data = Experiment::run(cfg);
+    let reach = Reachability::compute(&data.input());
+    assert!(!reach.reached.is_empty());
+    for hit in reach.reached.values() {
+        assert_eq!(
+            hit.categories.len(),
+            1,
+            "only same-prefix evidence expected, got {:?}",
+            hit.categories
+        );
+        assert!(hit.categories.contains(&SourceCategory::SamePrefix));
+    }
+}
+
+#[test]
+fn restricted_scan_reaches_no_more_than_full_scan() {
+    let full = Experiment::run(ExperimentConfig::tiny(304));
+    let full_reach = Reachability::compute(&full.input());
+
+    let mut cfg = ExperimentConfig::tiny(304);
+    cfg.category_filter = Some(vec![SourceCategory::OtherPrefix]);
+    let restricted = Experiment::run(cfg);
+    let restricted_reach = Reachability::compute(&restricted.input());
+
+    assert!(restricted_reach.reached.len() <= full_reach.reached.len());
+    // Everything the restricted scan reached, the full scan reached too.
+    for addr in restricted_reach.reached.keys() {
+        assert!(
+            full_reach.reached.contains_key(addr),
+            "{addr} reached only by the restricted scan?"
+        );
+    }
+}
+
+#[test]
+fn outages_defer_but_never_drop_queries() {
+    let clean = Experiment::run(ExperimentConfig::tiny(305));
+
+    let mut cfg = ExperimentConfig::tiny(305);
+    // A power outage covering the middle third of the window (§3.4).
+    let w = cfg.window.as_secs();
+    cfg.outages = vec![(
+        SimTime::from_secs(w / 3),
+        bcd_netsim::SimDuration::from_secs(w / 3),
+    )];
+    let data = Experiment::run(cfg);
+    assert!(data.scanner_stats.outage_deferrals > 0, "outage never hit");
+    // "We were able to successfully issue all of the prepared queries":
+    // the interrupted run sends everything the clean run sends (minus
+    // nothing — opt-outs are the only suppression mechanism).
+    assert_eq!(
+        data.scanner_stats.spoofed_sent,
+        clean.scanner_stats.spoofed_sent
+    );
+    // The campaign ran long, like the paper's.
+    let reach = Reachability::compute(&data.input());
+    for asn in reach.reached_asns_all() {
+        assert!(data.world.truly_lacks_dsav(asn));
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the methodology's codecs and algorithms.
+
+use bcd_core::analysis::ports::{adjust_windows_wrap, increasing_pattern, range_of};
+use bcd_core::qname::{Decoded, QnameCodec, SuffixKind};
+use bcd_core::schedule::Schedule;
+use bcd_core::sources::{classify_source, SourceCategory, SourcePlan};
+use bcd_netsim::{Asn, Prefix, PrefixTable, SimDuration, SimTime};
+use bcd_osmodel::ports::{IANA_HI, IANA_LO, WINDOWS_POOL_SIZE};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn any_v4() -> impl Strategy<Value = IpAddr> {
+    any::<u32>().prop_map(|v| IpAddr::V4(Ipv4Addr::from(v)))
+}
+
+fn any_v6() -> impl Strategy<Value = IpAddr> {
+    any::<u128>().prop_map(|v| IpAddr::V6(Ipv6Addr::from(v)))
+}
+
+fn any_ip() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![any_v4(), any_v6()]
+}
+
+fn any_suffix() -> impl Strategy<Value = SuffixKind> {
+    prop_oneof![
+        Just(SuffixKind::Main),
+        Just(SuffixKind::F4),
+        Just(SuffixKind::F6),
+        Just(SuffixKind::Tcp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The qname codec round-trips every (ts, src, dst, asn, suffix) tuple,
+    /// for any mixture of families.
+    #[test]
+    fn qname_round_trips(
+        ts in any::<u64>(),
+        src in any_ip(),
+        dst in any_ip(),
+        asn in any::<u32>(),
+        suffix in any_suffix(),
+    ) {
+        let codec = QnameCodec::new(&"dns-lab.org".parse().unwrap(), "x7");
+        let name = codec.encode(SimTime::from_nanos(ts), src, dst, asn, suffix);
+        prop_assert!(name.wire_len() <= 255);
+        match codec.decode(&name) {
+            Decoded::Full(tag) => {
+                prop_assert_eq!(tag.ts.as_nanos(), ts);
+                prop_assert_eq!(tag.src, src);
+                prop_assert_eq!(tag.dst, dst);
+                prop_assert_eq!(tag.asn, asn);
+                prop_assert_eq!(tag.suffix, suffix);
+            }
+            other => prop_assert!(false, "decode failed: {:?}", other),
+        }
+    }
+
+    /// The wrap adjustment never *increases* an in-pool range beyond the
+    /// Windows pool size, never fires for samples outside the IANA range,
+    /// and is idempotent on non-wrapping samples.
+    #[test]
+    fn wrap_adjustment_invariants(ports in proptest::collection::vec(any::<u16>(), 10)) {
+        let (adjusted, fired) = adjust_windows_wrap(&ports);
+        let raw = range_of(&ports);
+        if fired {
+            // Only fires when every port is in one of the two wrap regions.
+            let s = WINDOWS_POOL_SIZE;
+            let (lo, hi) = (IANA_LO as u32, IANA_HI as u32);
+            for &p in &ports {
+                let p = p as u32;
+                prop_assert!(
+                    (lo..=(lo + s - 1)).contains(&p) || ((hi - s + 2)..=hi).contains(&p)
+                );
+            }
+            // The adjusted range treats the pool as contiguous: it is
+            // bounded by the two regions' combined width.
+            prop_assert!(adjusted < 2 * s);
+        } else {
+            prop_assert_eq!(adjusted, raw);
+        }
+    }
+
+    /// Pattern detection: sorted-unique sequences are increasing; reversed
+    /// ones (len > 1, distinct) are not.
+    #[test]
+    fn increasing_pattern_props(mut ports in proptest::collection::vec(any::<u16>(), 3..12)) {
+        ports.sort_unstable();
+        ports.dedup();
+        prop_assume!(ports.len() >= 3);
+        let (inc, wrapped) = increasing_pattern(&ports);
+        prop_assert!(inc && !wrapped);
+        let rev: Vec<u16> = ports.iter().rev().copied().collect();
+        let (inc_rev, _) = increasing_pattern(&rev);
+        prop_assert!(!inc_rev);
+        // Rotating a strictly increasing sequence yields one wrap.
+        let k = ports.len() / 2;
+        prop_assume!(k >= 1 && k < ports.len());
+        let mut rotated = ports[k..].to_vec();
+        rotated.extend_from_slice(&ports[..k]);
+        let (inc_rot, wrap_rot) = increasing_pattern(&rotated);
+        prop_assert!(inc_rot && wrap_rot, "rotation of increasing should wrap once: {rotated:?}");
+    }
+
+    /// classify_source is consistent with plan construction: every source a
+    /// plan generates classifies back to its own category.
+    #[test]
+    fn classification_inverts_planning(seed in any::<u64>(), third_octet in 0u8..255) {
+        let mut routes = PrefixTable::new();
+        routes.announce("17.32.0.0/16".parse::<Prefix>().unwrap(), Asn(9));
+        let target: IpAddr = format!("17.32.{third_octet}.77").parse().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let plan = SourcePlan::build(target, &routes, &mut rng);
+        for (cat, src) in &plan.sources {
+            let got = classify_source(*src, target, &routes);
+            prop_assert_eq!(got, Some(*cat), "source {} of {}", src, target);
+        }
+    }
+
+    /// Schedules preserve query counts, respect the rate cap, and stay
+    /// sorted, for arbitrary small worlds.
+    #[test]
+    fn schedule_invariants(
+        n_targets in 1usize..20,
+        rate in 1u32..200,
+        window_secs in 1u64..500,
+        seed in any::<u64>(),
+    ) {
+        let mut routes = PrefixTable::new();
+        routes.announce("17.0.0.0/14".parse::<Prefix>().unwrap(), Asn(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let plans: Vec<SourcePlan> = (0..n_targets)
+            .map(|i| {
+                let addr: IpAddr = format!("17.0.{}.{}", i / 200, 1 + i % 200).parse().unwrap();
+                SourcePlan::build(addr, &routes, &mut rng)
+            })
+            .collect();
+        let total: usize = plans.iter().map(|p| p.len()).sum();
+        let s = Schedule::build(&plans, SimDuration::from_secs(window_secs), rate, &mut rng);
+        prop_assert_eq!(s.len(), total);
+        prop_assert!(s.peak_rate() <= rate);
+        for w in s.queries.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Every planned (target, source) pair is scheduled exactly once.
+        let mut planned: Vec<(IpAddr, IpAddr)> = plans
+            .iter()
+            .flat_map(|p| p.sources.iter().map(move |(_, s)| (p.target, *s)))
+            .collect();
+        let mut scheduled: Vec<(IpAddr, IpAddr)> =
+            s.queries.iter().map(|q| (q.target, q.source)).collect();
+        planned.sort();
+        scheduled.sort();
+        prop_assert_eq!(planned, scheduled);
+    }
+
+    /// Loopback/ds/private categories are mutually exclusive under
+    /// classification, for arbitrary address pairs.
+    #[test]
+    fn classification_is_a_function(src in any_ip(), dst in any_ip()) {
+        let routes = PrefixTable::new();
+        match classify_source(src, dst, &routes) {
+            Some(SourceCategory::Loopback) => {
+                prop_assert!(bcd_netsim::prefix::special::is_loopback(src));
+            }
+            Some(SourceCategory::DstAsSrc) => prop_assert_eq!(src, dst),
+            Some(SourceCategory::Private) => {
+                prop_assert!(bcd_netsim::prefix::special::is_private_or_ula(src));
+            }
+            Some(SourceCategory::SamePrefix) => {
+                prop_assert_eq!(src.is_ipv6(), dst.is_ipv6());
+                prop_assert_ne!(src, dst);
+            }
+            // No routes announced: other-prefix can never be inferred.
+            Some(SourceCategory::OtherPrefix) => prop_assert!(false),
+            None => {}
+        }
+    }
+}
+
+proptest! {
+    /// Hitlist preference: with a hitlist containing a specific /64, that
+    /// prefix always contributes an other-prefix source even when the AS
+    /// has far more than 97 subnets.
+    #[test]
+    fn hitlist_prefixes_win_the_cap(seed in any::<u64>()) {
+        let mut routes = PrefixTable::new();
+        // A /48 = 65,536 /64s.
+        routes.announce("2600:77::/48".parse::<Prefix>().unwrap(), Asn(4));
+        let target: IpAddr = "2600:77:0:1::53".parse().unwrap();
+        // Put a far-away /64 on the hitlist (index 40,000 — never in the
+        // head of the enumeration).
+        let active: Prefix = "2600:77:0:9c40::/64".parse().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let plan = bcd_core::sources::SourcePlan::build_with_hitlist(
+            target,
+            &routes,
+            &[active],
+            &mut rng,
+        );
+        let in_active = plan
+            .sources
+            .iter()
+            .any(|(c, s)| *c == SourceCategory::OtherPrefix && active.contains(*s));
+        prop_assert!(in_active, "hitlist /64 missing from the plan");
+        // Still capped at 97 + 4 singleton categories.
+        prop_assert!(plan.len() <= 101);
+    }
+}

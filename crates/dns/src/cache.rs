@@ -1,0 +1,201 @@
+//! The resolver cache: positive answers, negative (NXDOMAIN) entries with
+//! RFC 8020 subtree semantics, and zone-cut (NS/glue) entries.
+//!
+//! The experiment's query names embed a timestamp precisely so they are
+//! *never* cache hits (§3.3); what caching buys the simulation is realism
+//! for the infrastructure path — after the first resolution, the resolver
+//! goes straight to the `dns-lab.org` servers instead of re-walking root
+//! and `org`, exactly like a real resolver (and exactly why DITL only sees
+//! cache-cold resolvers, §3.6.2).
+
+use bcd_dnswire::{Name, RCode, RType, Record};
+use bcd_netsim::SimTime;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// A cached response.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    pub rcode: RCode,
+    pub answers: Vec<Record>,
+    pub expires: SimTime,
+}
+
+/// A cached zone cut: the addresses of a zone's nameservers.
+#[derive(Debug, Clone)]
+pub struct CachedCut {
+    pub servers: Vec<IpAddr>,
+    pub expires: SimTime,
+}
+
+/// The resolver cache.
+#[derive(Debug, Default)]
+pub struct Cache {
+    answers: HashMap<(Name, RType), CachedAnswer>,
+    /// NXDOMAIN names (RFC 8020: implies nothing exists beneath them).
+    nxdomain: HashMap<Name, SimTime>,
+    cuts: HashMap<Name, CachedCut>,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Cache {
+        Cache::default()
+    }
+
+    /// Store a positive (or NODATA) answer.
+    pub fn put_answer(
+        &mut self,
+        name: Name,
+        rtype: RType,
+        rcode: RCode,
+        answers: Vec<Record>,
+        expires: SimTime,
+    ) {
+        self.answers.insert(
+            (name, rtype),
+            CachedAnswer {
+                rcode,
+                answers,
+                expires,
+            },
+        );
+    }
+
+    /// Store an NXDOMAIN for `name`.
+    pub fn put_nxdomain(&mut self, name: Name, expires: SimTime) {
+        self.nxdomain.insert(name, expires);
+    }
+
+    /// Store a zone cut.
+    pub fn put_cut(&mut self, zone: Name, servers: Vec<IpAddr>, expires: SimTime) {
+        self.cuts.insert(zone, CachedCut { servers, expires });
+    }
+
+    /// Look up an answer. NXDOMAIN entries cover the whole subtree
+    /// (RFC 8020): a cached NXDOMAIN for `b.c` answers `a.b.c` too.
+    pub fn get_answer(&self, name: &Name, rtype: RType, now: SimTime) -> Option<CachedAnswer> {
+        // Subtree negative match first.
+        for k in (0..=name.label_count()).rev() {
+            let suffix = name.suffix(k);
+            if let Some(&exp) = self.nxdomain.get(&suffix) {
+                if exp > now {
+                    return Some(CachedAnswer {
+                        rcode: RCode::NXDomain,
+                        answers: Vec::new(),
+                        expires: exp,
+                    });
+                }
+            }
+        }
+        self.answers
+            .get(&(name.clone(), rtype))
+            .filter(|a| a.expires > now)
+            .cloned()
+    }
+
+    /// The deepest cached zone cut enclosing `name` that is still fresh.
+    /// Returns `(zone, servers)`.
+    pub fn best_cut(&self, name: &Name, now: SimTime) -> Option<(Name, Vec<IpAddr>)> {
+        for k in (0..=name.label_count()).rev() {
+            let suffix = name.suffix(k);
+            if let Some(cut) = self.cuts.get(&suffix) {
+                if cut.expires > now {
+                    return Some((suffix, cut.servers.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Drop expired entries (called opportunistically).
+    pub fn evict_expired(&mut self, now: SimTime) {
+        self.answers.retain(|_, a| a.expires > now);
+        self.nxdomain.retain(|_, &mut exp| exp > now);
+        self.cuts.retain(|_, c| c.expires > now);
+    }
+
+    /// Entry counts `(answers, nxdomains, cuts)` for tests/metrics.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.answers.len(), self.nxdomain.len(), self.cuts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcd_dnswire::RData;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn answers_respect_ttl() {
+        let mut c = Cache::new();
+        let rec = Record::new(n("www.org"), 60, RData::A("192.0.2.1".parse().unwrap()));
+        c.put_answer(n("www.org"), RType::A, RCode::NoError, vec![rec], t(100));
+        assert!(c.get_answer(&n("www.org"), RType::A, t(50)).is_some());
+        assert!(c.get_answer(&n("www.org"), RType::A, t(100)).is_none());
+        assert!(c.get_answer(&n("www.org"), RType::Aaaa, t(50)).is_none());
+        // Case-insensitive key.
+        assert!(c.get_answer(&n("WWW.ORG"), RType::A, t(50)).is_some());
+    }
+
+    #[test]
+    fn rfc8020_subtree_negative() {
+        let mut c = Cache::new();
+        c.put_nxdomain(n("kw.dns-lab.org"), t(100));
+        // The name itself and anything below it are negative.
+        let hit = c.get_answer(&n("kw.dns-lab.org"), RType::A, t(10)).unwrap();
+        assert_eq!(hit.rcode, RCode::NXDomain);
+        let below = c
+            .get_answer(&n("ts.src.dst.asn.kw.dns-lab.org"), RType::A, t(10))
+            .unwrap();
+        assert_eq!(below.rcode, RCode::NXDomain);
+        // Siblings and ancestors are not.
+        assert!(c.get_answer(&n("other.dns-lab.org"), RType::A, t(10)).is_none());
+        assert!(c.get_answer(&n("dns-lab.org"), RType::A, t(10)).is_none());
+        // Expiry honoured.
+        assert!(c.get_answer(&n("kw.dns-lab.org"), RType::A, t(100)).is_none());
+    }
+
+    #[test]
+    fn deepest_cut_wins() {
+        let mut c = Cache::new();
+        c.put_cut(Name::root(), vec!["198.41.0.4".parse().unwrap()], t(1000));
+        c.put_cut(n("org"), vec!["199.19.56.1".parse().unwrap()], t(1000));
+        c.put_cut(n("dns-lab.org"), vec!["203.0.113.53".parse().unwrap()], t(1000));
+        let (zone, servers) = c.best_cut(&n("a.b.kw.dns-lab.org"), t(1)).unwrap();
+        assert_eq!(zone, n("dns-lab.org"));
+        assert_eq!(servers.len(), 1);
+        let (zone, _) = c.best_cut(&n("example.org"), t(1)).unwrap();
+        assert_eq!(zone, n("org"));
+        let (zone, _) = c.best_cut(&n("example.com"), t(1)).unwrap();
+        assert_eq!(zone, Name::root());
+    }
+
+    #[test]
+    fn expired_cut_falls_back_to_parent() {
+        let mut c = Cache::new();
+        c.put_cut(Name::root(), vec!["198.41.0.4".parse().unwrap()], t(1000));
+        c.put_cut(n("org"), vec!["199.19.56.1".parse().unwrap()], t(10));
+        let (zone, _) = c.best_cut(&n("example.org"), t(50)).unwrap();
+        assert_eq!(zone, Name::root());
+    }
+
+    #[test]
+    fn eviction_clears_expired() {
+        let mut c = Cache::new();
+        c.put_nxdomain(n("a.org"), t(10));
+        c.put_nxdomain(n("b.org"), t(100));
+        c.put_cut(n("org"), vec![], t(10));
+        c.put_answer(n("x.org"), RType::A, RCode::NoError, vec![], t(10));
+        c.evict_expired(t(50));
+        assert_eq!(c.sizes(), (0, 1, 0));
+    }
+}

@@ -1,0 +1,186 @@
+//! A transparent DNS-intercepting middlebox (§3.6.1).
+//!
+//! Some networks terminate all outbound-or-inbound UDP/53 at a middlebox
+//! that answers on behalf of the nominal destination, typically by
+//! forwarding to a public DNS service. For the experiment this matters
+//! because a spoofed query can *enter the AS* (proving no DSAV) without the
+//! target resolver itself handling it — the recursive-to-authoritative
+//! query then arrives from Cloudflare/Google/etc. instead of the target AS.
+//!
+//! The engine redirects UDP/53 entering an AS to this node (see
+//! [`bcd_netsim::Network::set_dns_interceptor`]); the node proxies to its
+//! upstream and relays the answer with the original destination spoofed as
+//! the response source, like real intercepting middleboxes do.
+
+use bcd_dnswire::Message;
+use bcd_netsim::{Node, NodeCtx, Packet, Transport};
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+struct Flow {
+    client: IpAddr,
+    client_port: u16,
+    client_txid: u16,
+    /// The address the client thought it was querying.
+    original_dst: IpAddr,
+}
+
+/// The middlebox node.
+pub struct Interceptor {
+    /// Our own address (used as the source of upstream queries).
+    addr: IpAddr,
+    /// Upstream resolver (a public DNS service in the simulation).
+    upstream: IpAddr,
+    flows: HashMap<u16, Flow>,
+    /// Queries proxied, for tests.
+    pub proxied: u64,
+}
+
+impl Interceptor {
+    /// Create a middlebox proxying to `upstream`.
+    pub fn new(addr: IpAddr, upstream: IpAddr) -> Interceptor {
+        assert_eq!(
+            addr.is_ipv6(),
+            upstream.is_ipv6(),
+            "interceptor and upstream must share a family"
+        );
+        Interceptor {
+            addr,
+            upstream,
+            flows: HashMap::new(),
+            proxied: 0,
+        }
+    }
+}
+
+impl Node for Interceptor {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        let Transport::Udp(u) = &pkt.transport else {
+            return;
+        };
+        let Ok(msg) = Message::decode(&u.payload) else {
+            return;
+        };
+        if !msg.header.qr && u.dst_port == 53 {
+            // Client → middlebox (possibly addressed to someone else):
+            // re-originate toward the upstream.
+            if pkt.src.is_ipv6() != self.addr.is_ipv6() {
+                return;
+            }
+            // A loopback "client" has no reply path through a middlebox;
+            // such packets are dropped rather than proxied.
+            if pkt.has_loopback_src() {
+                return;
+            }
+            let txid: u16 = ctx.rng().gen();
+            self.flows.insert(
+                txid,
+                Flow {
+                    client: pkt.src,
+                    client_port: u.src_port,
+                    client_txid: msg.header.id,
+                    original_dst: pkt.dst,
+                },
+            );
+            let mut fwd = msg;
+            fwd.header.id = txid;
+            fwd.header.rd = true;
+            self.proxied += 1;
+            ctx.send(Packet::udp(self.addr, self.upstream, 53_000, 53, fwd.encode()));
+        } else if msg.header.qr && pkt.src == self.upstream {
+            // Upstream → middlebox: relay to the client, spoofing the
+            // original destination as the source.
+            let Some(flow) = self.flows.remove(&msg.header.id) else {
+                return;
+            };
+            let mut resp = msg;
+            resp.header.id = flow.client_txid;
+            ctx.send(Packet::udp(
+                flow.original_dst,
+                flow.client,
+                53,
+                flow.client_port,
+                resp.encode(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcd_dnswire::{Name, RType};
+    use bcd_netsim::SimTime;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn proxies_query_and_relays_response() {
+        let mbx_addr: IpAddr = "198.51.100.53".parse().unwrap();
+        let upstream: IpAddr = "203.0.113.1".parse().unwrap();
+        let client: IpAddr = "192.0.2.9".parse().unwrap();
+        let target: IpAddr = "198.51.100.10".parse().unwrap();
+        let mut mbx = Interceptor::new(mbx_addr, upstream);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut effects = Vec::new();
+        let mut ctx = NodeCtx::new(SimTime::ZERO, 0, &mut rng, &mut effects);
+
+        // Client query addressed to the *target*, delivered to the middlebox.
+        let q = Message::query(0x7777, "x.dns-lab.org".parse::<Name>().unwrap(), RType::A);
+        mbx.on_packet(&mut ctx, Packet::udp(client, target, 40_000, 53, q.encode()));
+        assert_eq!(mbx.proxied, 1);
+        assert_eq!(effects.len(), 1);
+        let (fwd_txid, fwd);
+        match &effects[0] {
+            bcd_netsim::node::Effect::Send(p) => {
+                assert_eq!(p.src, mbx_addr);
+                assert_eq!(p.dst, upstream);
+                fwd = Message::decode(p.transport.payload()).unwrap();
+                assert!(fwd.header.rd);
+                fwd_txid = fwd.header.id;
+            }
+            _ => panic!("expected send"),
+        }
+
+        // Upstream answer comes back; middlebox must relay with the original
+        // destination spoofed as source and the client's txid restored.
+        effects.clear();
+        let mut ctx = NodeCtx::new(SimTime::ZERO, 0, &mut rng, &mut effects);
+        let mut resp = Message::response_to(&fwd, bcd_dnswire::RCode::NXDomain);
+        resp.header.id = fwd_txid;
+        mbx.on_packet(
+            &mut ctx,
+            Packet::udp(upstream, mbx_addr, 53, 53_000, resp.encode()),
+        );
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            bcd_netsim::node::Effect::Send(p) => {
+                assert_eq!(p.src, target, "source spoofed as original destination");
+                assert_eq!(p.dst, client);
+                let relayed = Message::decode(p.transport.payload()).unwrap();
+                assert_eq!(relayed.header.id, 0x7777);
+            }
+            _ => panic!("expected send"),
+        }
+    }
+
+    #[test]
+    fn ignores_unrelated_responses() {
+        let mbx_addr: IpAddr = "198.51.100.53".parse().unwrap();
+        let upstream: IpAddr = "203.0.113.1".parse().unwrap();
+        let mut mbx = Interceptor::new(mbx_addr, upstream);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut effects = Vec::new();
+        let mut ctx = NodeCtx::new(SimTime::ZERO, 0, &mut rng, &mut effects);
+        let q = Message::query(1, "x.org".parse::<Name>().unwrap(), RType::A);
+        let mut resp = Message::response_to(&q, bcd_dnswire::RCode::NoError);
+        resp.header.id = 0xBEEF;
+        mbx.on_packet(
+            &mut ctx,
+            Packet::udp(upstream, mbx_addr, 53, 53_000, resp.encode()),
+        );
+        assert!(effects.is_empty());
+    }
+}

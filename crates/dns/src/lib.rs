@@ -1,0 +1,33 @@
+//! # bcd-dns — DNS node behaviours for the simulator
+//!
+//! Everything that speaks DNS inside the simulated Internet:
+//!
+//! * [`AuthServer`] — authoritative servers with zones, referrals/glue,
+//!   NXDOMAIN or wildcard experiment zones (§3.3), a TC=1 zone that forces
+//!   DNS-over-TCP (§3.5), and a shared [`QueryLog`] capturing exactly what
+//!   the paper's authoritative servers logged (source address, source port,
+//!   transport, TCP SYN fingerprint material, observed TTL, timestamps),
+//! * [`RecursiveResolver`] — a full recursive resolver: iterative resolution
+//!   from root hints with zone-cut caching, positive/negative caching,
+//!   optional QNAME minimization with RFC 8020 NXDOMAIN halting (§3.6.4),
+//!   optional forwarding (§5.4), client ACLs (open vs. closed, §5.1),
+//!   retransmission with SERVFAIL fallback, TCP retry on truncation, and a
+//!   pluggable source-port allocator (§5.2),
+//! * [`Interceptor`] — a transparent DNS middlebox that grabs UDP/53 at the
+//!   AS border and proxies to an upstream resolver (§3.6.1),
+//! * [`StubClient`] — a lab client for the controlled experiments of §5.3.
+
+pub mod auth;
+pub mod cache;
+pub mod interceptor;
+pub mod log;
+pub mod resolver;
+pub mod stub;
+pub mod zone;
+
+pub use auth::{AuthServer, AuthServerConfig};
+pub use interceptor::Interceptor;
+pub use log::{LogProto, QueryLog, QueryLogEntry, SharedLog};
+pub use resolver::{Acl, RecursiveResolver, ResolverConfig};
+pub use stub::StubClient;
+pub use zone::{Delegation, Zone, ZoneMode};

@@ -1,0 +1,156 @@
+//! The authoritative-server query log — the experiment's primary instrument.
+//!
+//! Every query arriving at an authoritative server becomes a
+//! [`QueryLogEntry`]. The fields are exactly what the paper's analysis
+//! consumes: arrival time (for the §3.6.3 lifetime filter), source address
+//! (direct vs. forwarded, §5.4; middlebox attribution, §3.6.1), source port
+//! (the §5.2 randomization census), transport and TCP SYN metadata (p0f,
+//! §5.3.1), and the full query name (which encodes `ts.src.dst.asn.kw`,
+//! §3.3).
+//!
+//! The log is shared between nodes via [`SharedLog`] (`Rc<RefCell<…>>` — the
+//! engine is single-threaded). The scanner reads it with a cursor to trigger
+//! follow-up queries "in real time" (§3.5).
+
+use bcd_dnswire::Name;
+use bcd_netsim::SimTime;
+use std::cell::RefCell;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+/// Transport a logged query arrived over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogProto {
+    Udp,
+    Tcp,
+}
+
+/// TCP SYN metadata captured alongside DNS-over-TCP queries (the p0f
+/// observables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynInfo {
+    /// TTL of the SYN as observed at the server.
+    pub observed_ttl: u8,
+    pub window: u16,
+    pub mss: u16,
+    pub layout: &'static str,
+}
+
+/// One query observed at an authoritative server.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    /// Arrival time at the authoritative server.
+    pub time: SimTime,
+    /// Source address of the recursive-to-authoritative query.
+    pub src: IpAddr,
+    /// Address of the authoritative server that received it.
+    pub server: IpAddr,
+    /// UDP/TCP source port of the query — the §5.2 observable.
+    pub src_port: u16,
+    /// The full query name.
+    pub qname: Name,
+    /// Transport.
+    pub proto: LogProto,
+    /// IP TTL of the query packet as observed (initial minus path hops).
+    pub observed_ttl: u8,
+    /// SYN metadata if this query came over TCP.
+    pub syn: Option<SynInfo>,
+}
+
+/// An append-only query log.
+#[derive(Debug, Default)]
+pub struct QueryLog {
+    entries: Vec<QueryLogEntry>,
+}
+
+impl QueryLog {
+    /// An empty log.
+    pub fn new() -> QueryLog {
+        QueryLog::default()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, e: QueryLogEntry) {
+        self.entries.push(e);
+    }
+
+    /// All entries, in arrival order.
+    pub fn entries(&self) -> &[QueryLogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries from `cursor` onward (the scanner's real-time tail); returns
+    /// the new cursor.
+    pub fn tail_from(&self, cursor: usize) -> (&[QueryLogEntry], usize) {
+        (&self.entries[cursor.min(self.entries.len())..], self.entries.len())
+    }
+}
+
+/// Shared handle to a [`QueryLog`].
+pub type SharedLog = Rc<RefCell<QueryLog>>;
+
+/// Create a fresh shared log.
+pub fn shared_log() -> SharedLog {
+    Rc::new(RefCell::new(QueryLog::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64) -> QueryLogEntry {
+        QueryLogEntry {
+            time: SimTime::from_secs(t),
+            src: "192.0.2.1".parse().unwrap(),
+            server: "198.51.100.1".parse().unwrap(),
+            src_port: 4242,
+            qname: "x.dns-lab.org".parse().unwrap(),
+            proto: LogProto::Udp,
+            observed_ttl: 52,
+            syn: None,
+        }
+    }
+
+    #[test]
+    fn append_and_tail() {
+        let log = shared_log();
+        log.borrow_mut().push(entry(1));
+        log.borrow_mut().push(entry(2));
+        let (fresh, cursor) = {
+            let l = log.borrow();
+            let (t, c) = l.tail_from(0);
+            (t.len(), c)
+        };
+        assert_eq!(fresh, 2);
+        assert_eq!(cursor, 2);
+        log.borrow_mut().push(entry(3));
+        let l = log.borrow();
+        let (t, c) = l.tail_from(cursor);
+        assert_eq!(t.len(), 1);
+        assert_eq!(c, 3);
+        // Cursor beyond end is safe.
+        assert_eq!(l.tail_from(99).0.len(), 0);
+    }
+
+    #[test]
+    fn entries_preserve_order() {
+        let mut log = QueryLog::new();
+        for t in 0..5 {
+            log.push(entry(t));
+        }
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+        let times: Vec<u64> = log.entries().iter().map(|e| e.time.as_secs()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,93 @@
+//! A stub DNS client for lab harnesses (§5.3's controlled experiments) and
+//! tests: sends a schedule of queries to a resolver and records responses.
+
+use bcd_dnswire::{Message, Name, RCode, RType};
+use bcd_netsim::{Node, NodeCtx, Packet, SimDuration, SimTime, Transport};
+use std::net::IpAddr;
+
+/// One scheduled stub query.
+#[derive(Debug, Clone)]
+pub struct StubQuery {
+    /// Delay after simulation start.
+    pub at: SimDuration,
+    /// Resolver to query.
+    pub resolver: IpAddr,
+    pub qname: Name,
+    pub qtype: RType,
+}
+
+/// A recorded response.
+#[derive(Debug, Clone)]
+pub struct StubResponse {
+    pub time: SimTime,
+    pub from: IpAddr,
+    pub txid: u16,
+    pub rcode: RCode,
+    pub answers: usize,
+}
+
+/// The stub client node.
+pub struct StubClient {
+    addr: IpAddr,
+    queries: Vec<StubQuery>,
+    /// Responses received, in arrival order.
+    pub responses: Vec<StubResponse>,
+}
+
+impl StubClient {
+    /// A stub bound to `addr` with a query schedule.
+    pub fn new(addr: IpAddr, queries: Vec<StubQuery>) -> StubClient {
+        StubClient {
+            addr,
+            queries,
+            responses: Vec::new(),
+        }
+    }
+
+    /// The response for a given transaction id, if received.
+    pub fn response_for(&self, txid: u16) -> Option<&StubResponse> {
+        self.responses.iter().find(|r| r.txid == txid)
+    }
+}
+
+impl Node for StubClient {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for (i, q) in self.queries.iter().enumerate() {
+            ctx.set_timer(q.at, i as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let Some(q) = self.queries.get(token as usize).cloned() else {
+            return;
+        };
+        // txid = schedule index, so tests can correlate.
+        let msg = Message::query(token as u16, q.qname, q.qtype);
+        ctx.send(Packet::udp(
+            self.addr,
+            q.resolver,
+            10_000 + (token as u16 % 50_000),
+            53,
+            msg.encode(),
+        ));
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+        let Transport::Udp(u) = &pkt.transport else {
+            return;
+        };
+        let Ok(msg) = Message::decode(&u.payload) else {
+            return;
+        };
+        if !msg.header.qr {
+            return;
+        }
+        self.responses.push(StubResponse {
+            time: ctx.now(),
+            from: pkt.src,
+            txid: msg.header.id,
+            rcode: msg.header.rcode,
+            answers: msg.answers.len(),
+        });
+    }
+}

@@ -1,0 +1,172 @@
+//! Zones served by authoritative servers.
+//!
+//! The experiment's DNS estate (§3.3, §3.5):
+//!
+//! * the root zone, delegating TLDs (its servers' logs are the DITL
+//!   collection of §3.1),
+//! * the `org` TLD, delegating `dns-lab.org`,
+//! * the experiment zone `dns-lab.org`, answering NXDOMAIN to everything
+//!   (with the SOA carrying the project's contact info, §3.7), and
+//!   delegating:
+//!   * `f4.dns-lab.org` — servers with IPv4-only glue,
+//!   * `f6.dns-lab.org` — servers with IPv6-only glue,
+//!   * `tcp.dns-lab.org` — a zone whose server always answers UDP with
+//!     TC=1, forcing the resolver onto TCP.
+
+use bcd_dnswire::{Name, RData, Record, Soa};
+use std::net::IpAddr;
+
+/// A delegation: a zone cut with its nameserver names and glue addresses.
+#[derive(Debug, Clone)]
+pub struct Delegation {
+    /// The child zone apex.
+    pub cut: Name,
+    /// Nameservers: `(ns name, glue addresses)`.
+    pub ns: Vec<(Name, Vec<IpAddr>)>,
+}
+
+/// How a zone answers in-zone (non-delegated) queries.
+#[derive(Debug, Clone)]
+pub enum ZoneMode {
+    /// NXDOMAIN for every name below the apex (the experiment zone's
+    /// behaviour, §3.3 — with the QNAME-minimization side effect of §3.6.4).
+    Nxdomain,
+    /// Synthesize a TXT answer for every name (the "wildcard" fix §3.6.4
+    /// proposes for a future run).
+    Wildcard,
+    /// Respond to UDP with TC=1 and no answer; answer (NXDOMAIN) over TCP.
+    TruncateUdp,
+    /// A static record set (root/TLD infrastructure zones).
+    Static(Vec<Record>),
+}
+
+/// An authoritative zone.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    pub apex: Name,
+    pub soa: Soa,
+    pub delegations: Vec<Delegation>,
+    pub mode: ZoneMode,
+}
+
+impl Zone {
+    /// A zone with the standard experiment SOA (MNAME pointing at the
+    /// project web server, RNAME at the contact address — §3.7's opt-out
+    /// channel).
+    pub fn new(apex: Name, mode: ZoneMode) -> Zone {
+        let mname = apex.child("project").unwrap_or_else(|_| apex.clone());
+        let rname = apex.child("contact").unwrap_or_else(|_| apex.clone());
+        Zone {
+            apex,
+            soa: Soa {
+                mname,
+                rname,
+                serial: 20191106, // 2019-11-06, the campaign start date
+                refresh: 7_200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 60,
+            },
+            delegations: Vec::new(),
+            mode,
+        }
+    }
+
+    /// Add a delegation.
+    pub fn delegate(mut self, cut: Name, ns: Vec<(Name, Vec<IpAddr>)>) -> Zone {
+        assert!(cut.is_subdomain_of(&self.apex), "delegation outside zone");
+        self.delegations.push(Delegation { cut, ns });
+        self
+    }
+
+    /// The most specific delegation covering `qname`, if any (and it must be
+    /// a *proper* subdomain relationship: the apex itself is never
+    /// delegated).
+    pub fn delegation_for(&self, qname: &Name) -> Option<&Delegation> {
+        self.delegations
+            .iter()
+            .filter(|d| qname.is_subdomain_of(&d.cut))
+            .max_by_key(|d| d.cut.label_count())
+    }
+
+    /// The SOA record for negative responses.
+    pub fn soa_record(&self) -> Record {
+        Record::new(self.apex.clone(), self.soa.minimum, RData::Soa(self.soa.clone()))
+    }
+}
+
+/// Pick the zone (from a server's zone list) that should answer `qname`:
+/// the one with the longest apex that is a suffix of `qname`.
+pub fn zone_for<'a>(zones: &'a [Zone], qname: &Name) -> Option<&'a Zone> {
+    zones
+        .iter()
+        .filter(|z| qname.is_subdomain_of(&z.apex))
+        .max_by_key(|z| z.apex.label_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zone_selection_longest_apex() {
+        let zones = vec![
+            Zone::new(Name::root(), ZoneMode::Static(vec![])),
+            Zone::new(n("org"), ZoneMode::Static(vec![])),
+            Zone::new(n("dns-lab.org"), ZoneMode::Nxdomain),
+        ];
+        assert_eq!(
+            zone_for(&zones, &n("a.b.dns-lab.org")).unwrap().apex,
+            n("dns-lab.org")
+        );
+        assert_eq!(zone_for(&zones, &n("example.org")).unwrap().apex, n("org"));
+        assert_eq!(zone_for(&zones, &n("example.com")).unwrap().apex, Name::root());
+        let no_root = &zones[1..];
+        assert!(zone_for(no_root, &n("example.com")).is_none());
+    }
+
+    #[test]
+    fn delegation_matching() {
+        let zone = Zone::new(n("dns-lab.org"), ZoneMode::Nxdomain)
+            .delegate(
+                n("f4.dns-lab.org"),
+                vec![(n("ns.f4.dns-lab.org"), vec!["192.0.2.10".parse().unwrap()])],
+            )
+            .delegate(
+                n("f6.dns-lab.org"),
+                vec![(n("ns.f6.dns-lab.org"), vec!["2001:db8::10".parse().unwrap()])],
+            );
+        assert_eq!(
+            zone.delegation_for(&n("x.f4.dns-lab.org")).unwrap().cut,
+            n("f4.dns-lab.org")
+        );
+        assert_eq!(
+            zone.delegation_for(&n("a.b.f6.dns-lab.org")).unwrap().cut,
+            n("f6.dns-lab.org")
+        );
+        assert!(zone.delegation_for(&n("x.dns-lab.org")).is_none());
+        // The cut name itself matches its delegation.
+        assert!(zone.delegation_for(&n("f4.dns-lab.org")).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "delegation outside zone")]
+    fn delegation_must_nest() {
+        let _ = Zone::new(n("dns-lab.org"), ZoneMode::Nxdomain)
+            .delegate(n("example.com"), vec![]);
+    }
+
+    #[test]
+    fn soa_carries_contact_info() {
+        let zone = Zone::new(n("dns-lab.org"), ZoneMode::Nxdomain);
+        assert_eq!(zone.soa.mname, n("project.dns-lab.org"));
+        assert_eq!(zone.soa.rname, n("contact.dns-lab.org"));
+        let rec = zone.soa_record();
+        assert_eq!(rec.name, n("dns-lab.org"));
+        assert_eq!(rec.ttl, 60);
+    }
+}

@@ -1,0 +1,30 @@
+//! # bcd-dnswire — DNS wire format
+//!
+//! A self-contained implementation of the DNS message format (RFC 1035 plus
+//! the bits of RFC 2181/6891/7766 the experiment touches):
+//!
+//! * [`Name`] — domain names with label semantics, case-insensitive
+//!   comparison, parent/child navigation (needed for QNAME minimization and
+//!   RFC 8020 NXDOMAIN cut semantics),
+//! * [`Message`] / [`Header`] / [`Question`] / [`Record`] — full messages
+//!   with encode/decode, including name-compression pointers on decode and
+//!   compression on encode,
+//! * [`RData`] — A, AAAA, NS, CNAME, SOA, PTR, TXT, OPT,
+//! * hardened decoding: pointer loops, truncated buffers, over-long names
+//!   and labels all return typed errors rather than panicking (property
+//!   tests fuzz this),
+//! * the header bits the paper's methodology depends on: `TC` (elicits
+//!   DNS-over-TCP retry, §3.5), `RD`/`RA`, and rcodes `NXDOMAIN` (§3.3) and
+//!   `REFUSED` (closed resolvers, §3.8).
+
+pub mod message;
+pub mod name;
+pub mod rdata;
+pub mod types;
+pub mod wire;
+
+pub use message::{Header, Message, Question};
+pub use name::{Name, NameError};
+pub use rdata::{RData, Record, Soa};
+pub use types::{Opcode, RClass, RCode, RType};
+pub use wire::{WireError, WireReader, WireWriter};

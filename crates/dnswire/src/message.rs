@@ -1,0 +1,349 @@
+//! DNS messages: header, question, and the four record sections.
+
+use crate::name::Name;
+use crate::rdata::Record;
+use crate::types::{Opcode, RClass, RCode, RType};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// The 12-byte message header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction ID — one of the two secrets cache-poisoning must guess
+    /// (§5.2.1: with a fixed source port only these 16 bits remain).
+    pub id: u16,
+    /// True for responses.
+    pub qr: bool,
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated — set by our authoritative server to force a TCP retry
+    /// (§3.5 follow-up queries).
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    pub rcode: RCode,
+}
+
+impl Header {
+    /// A recursive query header with the given transaction ID.
+    pub fn query(id: u16) -> Header {
+        Header {
+            id,
+            qr: false,
+            opcode: Opcode::Query,
+            aa: false,
+            tc: false,
+            rd: true,
+            ra: false,
+            rcode: RCode::NoError,
+        }
+    }
+
+    /// A response header mirroring a query.
+    pub fn response_to(query: &Header, rcode: RCode) -> Header {
+        Header {
+            id: query.id,
+            qr: true,
+            opcode: query.opcode,
+            aa: false,
+            tc: false,
+            rd: query.rd,
+            ra: false,
+            rcode,
+        }
+    }
+
+    fn flags(&self) -> u16 {
+        let mut f = 0u16;
+        if self.qr {
+            f |= 1 << 15;
+        }
+        f |= (self.opcode.to_u8() as u16 & 0x0F) << 11;
+        if self.aa {
+            f |= 1 << 10;
+        }
+        if self.tc {
+            f |= 1 << 9;
+        }
+        if self.rd {
+            f |= 1 << 8;
+        }
+        if self.ra {
+            f |= 1 << 7;
+        }
+        f |= self.rcode.to_u8() as u16 & 0x0F;
+        f
+    }
+
+    fn from_flags(id: u16, f: u16) -> Header {
+        Header {
+            id,
+            qr: f & (1 << 15) != 0,
+            opcode: Opcode::from_u8(((f >> 11) & 0x0F) as u8),
+            aa: f & (1 << 10) != 0,
+            tc: f & (1 << 9) != 0,
+            rd: f & (1 << 8) != 0,
+            ra: f & (1 << 7) != 0,
+            rcode: RCode::from_u8((f & 0x0F) as u8),
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    pub name: Name,
+    pub rtype: RType,
+    pub class: RClass,
+}
+
+impl Question {
+    /// An IN-class question.
+    pub fn new(name: Name, rtype: RType) -> Question {
+        Question {
+            name,
+            rtype,
+            class: RClass::In,
+        }
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub header: Header,
+    pub questions: Vec<Question>,
+    pub answers: Vec<Record>,
+    pub authorities: Vec<Record>,
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A single-question recursive query.
+    pub fn query(id: u16, name: Name, rtype: RType) -> Message {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question::new(name, rtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// A response skeleton echoing the query's ID, question, and RD bit.
+    pub fn response_to(query: &Message, rcode: RCode) -> Message {
+        Message {
+            header: Header::response_to(&query.header, rcode),
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The first question, if present (all our traffic is single-question).
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Serialize to wire bytes with name compression.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u16(self.header.id);
+        w.u16(self.header.flags());
+        w.u16(self.questions.len() as u16);
+        w.u16(self.answers.len() as u16);
+        w.u16(self.authorities.len() as u16);
+        w.u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            q.name.encode(&mut w);
+            w.u16(q.rtype.to_u16());
+            w.u16(q.class.to_u16());
+        }
+        for section in [&self.answers, &self.authorities, &self.additionals] {
+            for rec in section {
+                rec.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from wire bytes; rejects trailing garbage.
+    pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+        let mut r = WireReader::new(buf);
+        let id = r.u16()?;
+        let flags = r.u16()?;
+        let qd = r.u16()? as usize;
+        let an = r.u16()? as usize;
+        let ns = r.u16()? as usize;
+        let ar = r.u16()? as usize;
+        // Cap section counts defensively: a 12-byte header can't honestly
+        // promise more records than remaining bytes.
+        let remaining = r.remaining();
+        if qd.saturating_mul(5) > remaining
+            || an.saturating_mul(11) > remaining
+            || ns.saturating_mul(11) > remaining
+            || ar.saturating_mul(11) > remaining
+        {
+            return Err(WireError::Truncated);
+        }
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let name = Name::decode(&mut r)?;
+            let rtype = RType::from_u16(r.u16()?);
+            let class = RClass::from_u16(r.u16()?);
+            questions.push(Question { name, rtype, class });
+        }
+        let mut sections: [Vec<Record>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, count) in [an, ns, ar].into_iter().enumerate() {
+            for _ in 0..count {
+                sections[i].push(Record::decode(&mut r)?);
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message {
+            header: Header::from_flags(id, flags),
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::{RData, Soa};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0x4242, n("ts.src.dst.asn.kw.dns-lab.org"), RType::A);
+        let bytes = q.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, q);
+        assert!(back.header.rd);
+        assert!(!back.header.qr);
+    }
+
+    #[test]
+    fn nxdomain_response_with_soa_round_trips() {
+        let q = Message::query(7, n("nope.dns-lab.org"), RType::A);
+        let mut resp = Message::response_to(&q, RCode::NXDomain);
+        resp.header.aa = true;
+        resp.authorities.push(Record::new(
+            n("dns-lab.org"),
+            60,
+            RData::Soa(Soa {
+                mname: n("project.dns-lab.org"),
+                rname: n("contact.dns-lab.org"),
+                serial: 1,
+                refresh: 2,
+                retry: 3,
+                expire: 4,
+                minimum: 60,
+            }),
+        ));
+        let bytes = resp.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.header.rcode, RCode::NXDomain);
+        assert_eq!(back.header.id, 7);
+        assert!(back.header.qr);
+    }
+
+    #[test]
+    fn tc_bit_round_trips() {
+        let q = Message::query(9, n("x.org"), RType::A);
+        let mut resp = Message::response_to(&q, RCode::NoError);
+        resp.header.tc = true;
+        let back = Message::decode(&resp.encode()).unwrap();
+        assert!(back.header.tc);
+    }
+
+    #[test]
+    fn all_flag_combinations_round_trip() {
+        for bits in 0..32u8 {
+            let h = Header {
+                id: 0x1000 + bits as u16,
+                qr: bits & 1 != 0,
+                opcode: Opcode::Query,
+                aa: bits & 2 != 0,
+                tc: bits & 4 != 0,
+                rd: bits & 8 != 0,
+                ra: bits & 16 != 0,
+                rcode: RCode::Refused,
+            };
+            let m = Message {
+                header: h.clone(),
+                questions: vec![],
+                answers: vec![],
+                authorities: vec![],
+                additionals: vec![],
+            };
+            let back = Message::decode(&m.encode()).unwrap();
+            assert_eq!(back.header, h);
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(1, n("a.example.org"), RType::A);
+        let mut resp = Message::response_to(&q, RCode::NoError);
+        resp.answers.push(Record::new(
+            n("a.example.org"),
+            60,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ));
+        resp.answers.push(Record::new(
+            n("a.example.org"),
+            60,
+            RData::A("192.0.2.2".parse().unwrap()),
+        ));
+        let bytes = resp.encode();
+        // Owner name repeats twice; compressed encoding must be well under
+        // the uncompressed size (3 copies * 15 bytes).
+        assert!(bytes.len() < 12 + 19 + 15 + 2 * (2 + 10 + 4) + 10);
+        assert_eq!(Message::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejects_truncated_and_trailing() {
+        let q = Message::query(1, n("x.org"), RType::A);
+        let bytes = q.encode();
+        assert_eq!(Message::decode(&bytes[..8]), Err(WireError::Truncated));
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(Message::decode(&extra), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_absurd_section_counts() {
+        // Header claiming 65535 questions with no body.
+        let mut bytes = vec![0u8; 12];
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert_eq!(Message::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn empty_message_decodes() {
+        let m = Message {
+            header: Header::query(0),
+            questions: vec![],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+}

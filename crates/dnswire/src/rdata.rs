@@ -1,0 +1,291 @@
+//! Resource records and RDATA.
+
+use crate::name::Name;
+use crate::types::{RClass, RType};
+use crate::wire::{WireError, WireReader, WireWriter};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// SOA RDATA. The experiment publishes contact/opt-out details through
+/// `mname` (project web server) and `rname` (contact email), §3.7.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soa {
+    pub mname: Name,
+    pub rname: Name,
+    pub serial: u32,
+    pub refresh: u32,
+    pub retry: u32,
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308).
+    pub minimum: u32,
+}
+
+/// Typed RDATA for the record types the experiment uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    A(Ipv4Addr),
+    Aaaa(Ipv6Addr),
+    Ns(Name),
+    Cname(Name),
+    Ptr(Name),
+    Txt(Vec<u8>),
+    Soa(Soa),
+    /// EDNS pseudo-record payload (opaque; size negotiated via class).
+    Opt(Vec<u8>),
+    /// Unknown type carried opaquely.
+    Unknown(u16, Vec<u8>),
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RType {
+        match self {
+            RData::A(_) => RType::A,
+            RData::Aaaa(_) => RType::Aaaa,
+            RData::Ns(_) => RType::Ns,
+            RData::Cname(_) => RType::Cname,
+            RData::Ptr(_) => RType::Ptr,
+            RData::Txt(_) => RType::Txt,
+            RData::Soa(_) => RType::Soa,
+            RData::Opt(_) => RType::Opt,
+            RData::Unknown(t, _) => RType::from_u16(*t),
+        }
+    }
+
+    /// Encode the RDATA body (caller writes the RDLENGTH around it).
+    /// Names inside RDATA are encoded without compression — safe for all
+    /// decoders and required for unknown-type transparency.
+    pub fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RData::A(a) => w.bytes(&a.octets()),
+            RData::Aaaa(a) => w.bytes(&a.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.encode_uncompressed(w),
+            RData::Txt(t) => {
+                // Single character-string, chunked at 255.
+                for chunk in t.chunks(255) {
+                    w.u8(chunk.len() as u8);
+                    w.bytes(chunk);
+                }
+                if t.is_empty() {
+                    w.u8(0);
+                }
+            }
+            RData::Soa(soa) => {
+                soa.mname.encode_uncompressed(w);
+                soa.rname.encode_uncompressed(w);
+                w.u32(soa.serial);
+                w.u32(soa.refresh);
+                w.u32(soa.retry);
+                w.u32(soa.expire);
+                w.u32(soa.minimum);
+            }
+            RData::Opt(b) | RData::Unknown(_, b) => w.bytes(b),
+        }
+    }
+
+    /// Decode RDATA of the given type from exactly `rdlen` bytes.
+    pub fn decode(rtype: RType, r: &mut WireReader<'_>, rdlen: usize) -> Result<RData, WireError> {
+        let end = r.pos() + rdlen;
+        let data = match rtype {
+            RType::A => {
+                let b = r.bytes(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RType::Aaaa => {
+                let b = r.bytes(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            RType::Ns => RData::Ns(Name::decode(r)?),
+            RType::Cname => RData::Cname(Name::decode(r)?),
+            RType::Ptr => RData::Ptr(Name::decode(r)?),
+            RType::Txt => {
+                let mut out = Vec::new();
+                while r.pos() < end {
+                    let l = r.u8()? as usize;
+                    out.extend_from_slice(r.bytes(l)?);
+                }
+                RData::Txt(out)
+            }
+            RType::Soa => RData::Soa(Soa {
+                mname: Name::decode(r)?,
+                rname: Name::decode(r)?,
+                serial: r.u32()?,
+                refresh: r.u32()?,
+                retry: r.u32()?,
+                expire: r.u32()?,
+                minimum: r.u32()?,
+            }),
+            RType::Opt => RData::Opt(r.bytes(rdlen)?.to_vec()),
+            other => RData::Unknown(other.to_u16(), r.bytes(rdlen)?.to_vec()),
+        };
+        if r.pos() != end {
+            return Err(WireError::BadRdataLength);
+        }
+        Ok(data)
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub name: Name,
+    pub class: RClass,
+    pub ttl: u32,
+    pub rdata: RData,
+}
+
+impl Record {
+    /// A record in class IN.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Record {
+        Record {
+            name,
+            class: RClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// Encode the full record (owner, type, class, TTL, RDLENGTH, RDATA),
+    /// compressing the owner name.
+    pub fn encode(&self, w: &mut WireWriter) {
+        self.name.encode(w);
+        w.u16(self.rdata.rtype().to_u16());
+        w.u16(self.class.to_u16());
+        w.u32(self.ttl);
+        let len_at = w.len();
+        w.u16(0);
+        let start = w.len();
+        self.rdata.encode(w);
+        let rdlen = w.len() - start;
+        w.patch_u16(len_at, rdlen as u16);
+    }
+
+    /// Decode a full record.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Record, WireError> {
+        let name = Name::decode(r)?;
+        let rtype = RType::from_u16(r.u16()?);
+        let class = RClass::from_u16(r.u16()?);
+        let ttl = r.u32()?;
+        let rdlen = r.u16()? as usize;
+        let rdata = RData::decode(rtype, r, rdlen)?;
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} ", self.name, self.ttl, self.rdata.rtype())?;
+        match &self.rdata {
+            RData::A(a) => write!(f, "{a}"),
+            RData::Aaaa(a) => write!(f, "{a}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, "{n}"),
+            RData::Txt(t) => write!(f, "{:?}", String::from_utf8_lossy(t)),
+            RData::Soa(s) => write!(f, "{} {} {}", s.mname, s.rname, s.serial),
+            RData::Opt(_) => write!(f, "<opt>"),
+            RData::Unknown(t, b) => write!(f, "\\# {t} len {}", b.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn round_trip(rec: Record) -> Record {
+        let mut w = WireWriter::new();
+        rec.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        let back = Record::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        back
+    }
+
+    #[test]
+    fn a_and_aaaa_round_trip() {
+        let rec = Record::new(n("h.example.org"), 300, RData::A("192.0.2.7".parse().unwrap()));
+        assert_eq!(round_trip(rec.clone()), rec);
+        let rec6 = Record::new(
+            n("h.example.org"),
+            300,
+            RData::Aaaa("2001:db8::7".parse().unwrap()),
+        );
+        assert_eq!(round_trip(rec6.clone()), rec6);
+    }
+
+    #[test]
+    fn soa_round_trip() {
+        let rec = Record::new(
+            n("dns-lab.org"),
+            3600,
+            RData::Soa(Soa {
+                mname: n("project.dns-lab.org"),
+                rname: n("contact.dns-lab.org"),
+                serial: 2019110601,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 60,
+            }),
+        );
+        assert_eq!(round_trip(rec.clone()), rec);
+    }
+
+    #[test]
+    fn txt_round_trip_including_long_and_empty() {
+        let rec = Record::new(n("t.example.org"), 60, RData::Txt(vec![b'x'; 600]));
+        assert_eq!(round_trip(rec.clone()), rec);
+        let empty = Record::new(n("t.example.org"), 60, RData::Txt(vec![]));
+        assert_eq!(round_trip(empty.clone()), empty);
+    }
+
+    #[test]
+    fn ns_cname_ptr_round_trip() {
+        for rd in [
+            RData::Ns(n("ns1.example.org")),
+            RData::Cname(n("alias.example.org")),
+            RData::Ptr(n("7.2.0.192.in-addr.arpa")),
+        ] {
+            let rec = Record::new(n("x.example.org"), 120, rd);
+            assert_eq!(round_trip(rec.clone()), rec);
+        }
+    }
+
+    #[test]
+    fn unknown_type_round_trip() {
+        let rec = Record::new(n("x.example.org"), 0, RData::Unknown(999, vec![1, 2, 3]));
+        assert_eq!(round_trip(rec.clone()), rec);
+    }
+
+    #[test]
+    fn rdata_length_mismatch_is_rejected() {
+        // A record claiming 5 RDATA bytes for an A (which consumes 4).
+        let mut w = WireWriter::new();
+        n("x.org").encode(&mut w);
+        w.u16(RType::A.to_u16());
+        w.u16(1);
+        w.u32(60);
+        w.u16(5);
+        w.bytes(&[1, 2, 3, 4, 9]);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(Record::decode(&mut r), Err(WireError::BadRdataLength));
+    }
+
+    #[test]
+    fn display_formats() {
+        let rec = Record::new(n("h.org"), 60, RData::A("192.0.2.1".parse().unwrap()));
+        assert_eq!(rec.to_string(), "h.org 60 A 192.0.2.1");
+    }
+}

@@ -1,0 +1,207 @@
+//! Enumerated protocol constants: record types, classes, rcodes, opcodes.
+
+use std::fmt;
+
+/// Resource-record types used by the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Txt,
+    Aaaa,
+    Opt,
+    /// Anything else, preserved numerically.
+    Other(u16),
+}
+
+impl RType {
+    /// Numeric wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RType::A => 1,
+            RType::Ns => 2,
+            RType::Cname => 5,
+            RType::Soa => 6,
+            RType::Ptr => 12,
+            RType::Txt => 16,
+            RType::Aaaa => 28,
+            RType::Opt => 41,
+            RType::Other(v) => v,
+        }
+    }
+
+    /// From the numeric wire value.
+    pub fn from_u16(v: u16) -> RType {
+        match v {
+            1 => RType::A,
+            2 => RType::Ns,
+            5 => RType::Cname,
+            6 => RType::Soa,
+            12 => RType::Ptr,
+            16 => RType::Txt,
+            28 => RType::Aaaa,
+            41 => RType::Opt,
+            other => RType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RType::A => write!(f, "A"),
+            RType::Ns => write!(f, "NS"),
+            RType::Cname => write!(f, "CNAME"),
+            RType::Soa => write!(f, "SOA"),
+            RType::Ptr => write!(f, "PTR"),
+            RType::Txt => write!(f, "TXT"),
+            RType::Aaaa => write!(f, "AAAA"),
+            RType::Opt => write!(f, "OPT"),
+            RType::Other(v) => write!(f, "TYPE{v}"),
+        }
+    }
+}
+
+/// Record classes (IN covers everything the experiment does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RClass {
+    In,
+    Ch,
+    Other(u16),
+}
+
+impl RClass {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RClass::In => 1,
+            RClass::Ch => 3,
+            RClass::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> RClass {
+        match v {
+            1 => RClass::In,
+            3 => RClass::Ch,
+            other => RClass::Other(other),
+        }
+    }
+}
+
+/// Response codes. `NXDomain` is what the experiment's authoritative servers
+/// return for every query (§3.3); `Refused` is what closed resolvers return
+/// to unauthorized clients (§3.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RCode {
+    NoError,
+    FormErr,
+    ServFail,
+    NXDomain,
+    NotImp,
+    Refused,
+    Other(u8),
+}
+
+impl RCode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            RCode::NoError => 0,
+            RCode::FormErr => 1,
+            RCode::ServFail => 2,
+            RCode::NXDomain => 3,
+            RCode::NotImp => 4,
+            RCode::Refused => 5,
+            RCode::Other(v) => v,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> RCode {
+        match v & 0x0F {
+            0 => RCode::NoError,
+            1 => RCode::FormErr,
+            2 => RCode::ServFail,
+            3 => RCode::NXDomain,
+            4 => RCode::NotImp,
+            5 => RCode::Refused,
+            other => RCode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RCode::NoError => write!(f, "NOERROR"),
+            RCode::FormErr => write!(f, "FORMERR"),
+            RCode::ServFail => write!(f, "SERVFAIL"),
+            RCode::NXDomain => write!(f, "NXDOMAIN"),
+            RCode::NotImp => write!(f, "NOTIMP"),
+            RCode::Refused => write!(f, "REFUSED"),
+            RCode::Other(v) => write!(f, "RCODE{v}"),
+        }
+    }
+}
+
+/// Opcodes (only QUERY is exercised).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    Query,
+    Other(u8),
+}
+
+impl Opcode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Other(v) => v,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Opcode {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtype_round_trip() {
+        for v in 0..300u16 {
+            assert_eq!(RType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RType::from_u16(28), RType::Aaaa);
+        assert_eq!(RType::A.to_string(), "A");
+        assert_eq!(RType::Other(99).to_string(), "TYPE99");
+    }
+
+    #[test]
+    fn rclass_round_trip() {
+        for v in 0..10u16 {
+            assert_eq!(RClass::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn rcode_round_trip_and_masking() {
+        for v in 0..16u8 {
+            assert_eq!(RCode::from_u8(v).to_u8(), v);
+        }
+        // High bits are masked off (rcode is a 4-bit field).
+        assert_eq!(RCode::from_u8(0xF3), RCode::NXDomain);
+        assert_eq!(RCode::Refused.to_string(), "REFUSED");
+    }
+
+    #[test]
+    fn opcode_round_trip() {
+        assert_eq!(Opcode::from_u8(0), Opcode::Query);
+        assert_eq!(Opcode::from_u8(2).to_u8(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Low-level wire primitives: a bounds-checked reader and a writer with
+//! name-compression bookkeeping.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while decoding (or, rarely, encoding) wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Read past the end of the buffer.
+    Truncated,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A label exceeded 63 bytes or used reserved type bits.
+    BadLabel,
+    /// A name exceeded 255 wire bytes.
+    NameTooLong,
+    /// RDATA length did not match its declared size.
+    BadRdataLength,
+    /// A field held a value outside its domain (e.g. unknown class).
+    BadValue(&'static str),
+    /// Trailing garbage after the message.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::BadLabel => write!(f, "bad label"),
+            WireError::NameTooLong => write!(f, "name exceeds 255 bytes"),
+            WireError::BadRdataLength => write!(f, "rdata length mismatch"),
+            WireError::BadValue(what) => write!(f, "bad value for {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over an immutable byte buffer with bounds-checked reads.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading at offset 0.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Jump to an absolute offset (used to follow compression pointers).
+    /// The target must be inside the buffer.
+    pub fn seek(&mut self, pos: usize) -> Result<(), WireError> {
+        if pos > self.buf.len() {
+            return Err(WireError::BadPointer);
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The whole underlying buffer (for pointer resolution).
+    pub fn buffer(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let hi = self.u8()? as u16;
+        let lo = self.u8()? as u16;
+        Ok(hi << 8 | lo)
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let hi = self.u16()? as u32;
+        let lo = self.u16()? as u32;
+        Ok(hi << 16 | lo)
+    }
+
+    /// Read exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// An append-only buffer with a compression dictionary mapping already-
+/// written names (as canonical byte strings) to their offsets.
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// canonical name bytes → offset of its first occurrence
+    name_offsets: HashMap<Vec<u8>, usize>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter {
+            buf: Vec::with_capacity(512),
+            name_offsets: HashMap::new(),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrite a previously written big-endian u16 (e.g. RDLENGTH
+    /// back-patching).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Look up a compression target for a (canonical, lowercased) name
+    /// suffix.
+    pub fn compression_offset(&self, canonical: &[u8]) -> Option<usize> {
+        self.name_offsets.get(canonical).copied()
+    }
+
+    /// Remember that a canonical name suffix starts at `offset`. Offsets
+    /// beyond the 14-bit pointer range are not recorded.
+    pub fn remember_name(&mut self, canonical: Vec<u8>, offset: usize) {
+        if offset < 0x3FFF {
+            self.name_offsets.entry(canonical).or_insert(offset);
+        }
+    }
+
+    /// Finish and take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        WireWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_round_trip() {
+        let mut w = WireWriter::new();
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u32(0xDEADBEEF);
+        w.bytes(b"xyz");
+        let buf = w.into_bytes();
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn seek_bounds() {
+        let buf = [0u8; 4];
+        let mut r = WireReader::new(&buf);
+        assert!(r.seek(4).is_ok());
+        assert_eq!(r.seek(5), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn patch_u16_overwrites() {
+        let mut w = WireWriter::new();
+        w.u16(0);
+        w.u8(9);
+        w.patch_u16(0, 0xBEEF);
+        assert_eq!(w.into_bytes(), vec![0xBE, 0xEF, 9]);
+    }
+
+    #[test]
+    fn compression_dictionary() {
+        let mut w = WireWriter::new();
+        w.remember_name(b"example.".to_vec(), 12);
+        assert_eq!(w.compression_offset(b"example."), Some(12));
+        assert_eq!(w.compression_offset(b"other."), None);
+        // First offset wins.
+        w.remember_name(b"example.".to_vec(), 99);
+        assert_eq!(w.compression_offset(b"example."), Some(12));
+        // Out-of-range offsets ignored.
+        w.remember_name(b"far.".to_vec(), 0x4000);
+        assert_eq!(w.compression_offset(b"far."), None);
+    }
+}

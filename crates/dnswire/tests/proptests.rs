@@ -1,0 +1,165 @@
+//! Property-based tests for the DNS wire codec.
+//!
+//! Two classes of property:
+//! 1. round-trip — any structurally valid message encodes and decodes back
+//!    to itself,
+//! 2. robustness — the decoder never panics on arbitrary bytes (it may
+//!    error, it may accept; it must not crash or loop).
+
+use bcd_dnswire::{Header, Message, Name, Opcode, Question, RCode, RData, RType, Record, Soa};
+use proptest::prelude::*;
+
+fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Letters/digits/hyphen, 1..=20 bytes: what the experiment generates.
+    proptest::collection::vec(
+        prop_oneof![
+            (b'a'..=b'z').prop_map(|b| b),
+            (b'0'..=b'9').prop_map(|b| b),
+            Just(b'-'),
+        ],
+        1..=20,
+    )
+}
+
+fn name_strategy() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label_strategy(), 0..=6)
+        .prop_map(|labels| Name::from_labels(labels).unwrap())
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        name_strategy().prop_map(RData::Ns),
+        name_strategy().prop_map(RData::Cname),
+        name_strategy().prop_map(RData::Ptr),
+        proptest::collection::vec(any::<u8>(), 0..300).prop_map(RData::Txt),
+        (
+            name_strategy(),
+            name_strategy(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            }),
+        (200u16..60000, proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(t, b)| RData::Unknown(t, b)),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (name_strategy(), any::<u32>(), rdata_strategy())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn header_strategy() -> impl Strategy<Value = Header> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+    )
+        .prop_map(|(id, qr, aa, tc, rd, ra, rcode)| Header {
+            id,
+            qr,
+            opcode: Opcode::Query,
+            aa,
+            tc,
+            rd,
+            ra,
+            rcode: RCode::from_u8(rcode),
+        })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    (
+        header_strategy(),
+        proptest::collection::vec(
+            (name_strategy(), 0u16..300).prop_map(|(n, t)| Question::new(n, RType::from_u16(t))),
+            0..3,
+        ),
+        proptest::collection::vec(record_strategy(), 0..4),
+        proptest::collection::vec(record_strategy(), 0..3),
+        proptest::collection::vec(record_strategy(), 0..3),
+    )
+        .prop_map(|(header, questions, answers, authorities, additionals)| Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_encode_decode_round_trip(msg in message_strategy()) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).expect("self-encoded message must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any result is fine; panics and infinite loops are not.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_messages(
+        msg in message_strategy(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = msg.encode();
+        if !bytes.is_empty() {
+            for (idx, val) in flips {
+                let i = idx.index(bytes.len());
+                bytes[i] ^= val;
+            }
+        }
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn name_round_trip_via_text(labels in proptest::collection::vec(label_strategy(), 1..5)) {
+        let name = Name::from_labels(labels).unwrap();
+        let text = name.to_string();
+        let back: Name = text.parse().unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn subdomain_is_reflexive_and_parent_monotone(name in name_strategy()) {
+        prop_assert!(name.is_subdomain_of(&name));
+        prop_assert!(name.is_subdomain_of(&name.parent()));
+        prop_assert!(name.is_subdomain_of(&Name::root()));
+        if !name.is_root() {
+            prop_assert!(!name.parent().is_subdomain_of(&name));
+            prop_assert_eq!(name.parent().label_count(), name.label_count() - 1);
+        }
+    }
+
+    #[test]
+    fn suffixes_nest(name in name_strategy(), k in 0usize..7) {
+        let s = name.suffix(k);
+        prop_assert!(name.is_subdomain_of(&s));
+        prop_assert_eq!(s.label_count(), k.min(name.label_count()));
+    }
+}

@@ -1,0 +1,174 @@
+//! The country registry and per-country calibration profiles.
+//!
+//! Every number here is lifted from the paper's Tables 1 and 2 (IPv4 + IPv6
+//! combined):
+//!
+//! * `as_share` — the country's fraction of all ASes in the study
+//!   (e.g. the US had 16,782 of ~61,800 country-attributed ASes),
+//! * `no_dsav_rate` — the fraction of that country's ASes found reachable
+//!   (lacking DSAV): US 28%, Brazil 59%, Ukraine 63%, Eswatini 86%, …
+//! * `targets_per_as` — mean DITL-derived target addresses per AS
+//!   (US ≈ 174, Germany ≈ 404, Algeria ≈ 1,058, Kosovo ≈ 10, …),
+//! * `accept_rate` — the probability that a targeted address inside a
+//!   no-DSAV AS actually *handles* a spoofed query (captures resolver
+//!   churn, REFUSED responses, and middleboxes; back-derived from each
+//!   country's IP-reachability column),
+//! * `size_bias` — how strongly missing DSAV correlates with AS size in
+//!   that country (Algeria reaches 73% of IPs with only 40% of ASes
+//!   reachable, so its large ASes must be the unprotected ones).
+
+use rand::Rng;
+use std::fmt;
+
+/// A country, identified by ISO-3166-ish code. Copyable and cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Country(pub &'static str);
+
+impl Country {
+    /// The registry entry for this country, if it is a named one.
+    pub fn profile(self) -> Option<&'static CountryProfile> {
+        COUNTRIES.iter().find(|p| p.code == self.0)
+    }
+
+    /// Full display name (falls back to the code).
+    pub fn name(self) -> &'static str {
+        self.profile().map(|p| p.name).unwrap_or(self.0)
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Calibration profile for one country (see module docs for semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountryProfile {
+    pub code: &'static str,
+    pub name: &'static str,
+    pub as_share: f64,
+    pub no_dsav_rate: f64,
+    pub targets_per_as: f64,
+    pub accept_rate: f64,
+    pub size_bias: f64,
+}
+
+impl CountryProfile {
+    /// The [`Country`] key for this profile.
+    pub fn country(&self) -> Country {
+        Country(self.code)
+    }
+}
+
+/// The registry: the paper's Table 1 countries (largest AS counts), its
+/// Table 2 countries (highest IP reachability), and a long-tail aggregate.
+///
+/// `as_share` values are the paper's AS counts normalized by the 61,826
+/// country-attributed ASes; the long tail absorbs the remainder.
+pub const COUNTRIES: &[CountryProfile] = &[
+    // ----- Table 1: most ASes -----
+    CountryProfile { code: "US", name: "United States", as_share: 0.2715, no_dsav_rate: 0.28, targets_per_as: 174.0, accept_rate: 0.114, size_bias: 0.0 },
+    CountryProfile { code: "BR", name: "Brazil", as_share: 0.1046, no_dsav_rate: 0.59, targets_per_as: 61.0, accept_rate: 0.081, size_bias: 0.0 },
+    CountryProfile { code: "RU", name: "Russia", as_share: 0.0799, no_dsav_rate: 0.59, targets_per_as: 73.0, accept_rate: 0.197, size_bias: 0.0 },
+    CountryProfile { code: "DE", name: "Germany", as_share: 0.0400, no_dsav_rate: 0.36, targets_per_as: 404.0, accept_rate: 0.106, size_bias: 0.0 },
+    CountryProfile { code: "GB", name: "United Kingdom", as_share: 0.0363, no_dsav_rate: 0.33, targets_per_as: 181.0, accept_rate: 0.136, size_bias: 0.0 },
+    CountryProfile { code: "PL", name: "Poland", as_share: 0.0330, no_dsav_rate: 0.52, targets_per_as: 58.0, accept_rate: 0.115, size_bias: 0.0 },
+    CountryProfile { code: "UA", name: "Ukraine", as_share: 0.0276, no_dsav_rate: 0.63, targets_per_as: 40.0, accept_rate: 0.244, size_bias: 0.0 },
+    CountryProfile { code: "IN", name: "India", as_share: 0.0258, no_dsav_rate: 0.41, targets_per_as: 212.0, accept_rate: 0.283, size_bias: 0.0 },
+    CountryProfile { code: "AU", name: "Australia", as_share: 0.0253, no_dsav_rate: 0.32, targets_per_as: 114.0, accept_rate: 0.144, size_bias: 0.0 },
+    CountryProfile { code: "CA", name: "Canada", as_share: 0.0246, no_dsav_rate: 0.36, targets_per_as: 196.0, accept_rate: 0.078, size_bias: 0.0 },
+    // ----- Table 2: highest IP reachability -----
+    CountryProfile { code: "DZ", name: "Algeria", as_share: 0.00024, no_dsav_rate: 0.40, targets_per_as: 1058.0, accept_rate: 0.90, size_bias: 3.0 },
+    CountryProfile { code: "MA", name: "Morocco", as_share: 0.00036, no_dsav_rate: 0.45, targets_per_as: 1132.0, accept_rate: 0.85, size_bias: 3.0 },
+    CountryProfile { code: "SZ", name: "Eswatini", as_share: 0.00011, no_dsav_rate: 0.86, targets_per_as: 91.0, accept_rate: 0.50, size_bias: 1.0 },
+    CountryProfile { code: "BZ", name: "Belize", as_share: 0.00049, no_dsav_rate: 0.40, targets_per_as: 44.0, accept_rate: 0.80, size_bias: 2.0 },
+    CountryProfile { code: "BF", name: "Burkina Faso", as_share: 0.00023, no_dsav_rate: 0.43, targets_per_as: 91.0, accept_rate: 0.70, size_bias: 2.0 },
+    CountryProfile { code: "XK", name: "Kosovo", as_share: 0.00008, no_dsav_rate: 0.60, targets_per_as: 10.0, accept_rate: 0.60, size_bias: 1.0 },
+    CountryProfile { code: "BA", name: "Bosnia & Herzegovina", as_share: 0.00078, no_dsav_rate: 0.54, targets_per_as: 104.0, accept_rate: 0.55, size_bias: 1.0 },
+    CountryProfile { code: "SC", name: "Seychelles", as_share: 0.00040, no_dsav_rate: 0.44, targets_per_as: 32.0, accept_rate: 0.60, size_bias: 1.0 },
+    CountryProfile { code: "WF", name: "Wallis & Futuna", as_share: 0.00002, no_dsav_rate: 1.00, targets_per_as: 11.0, accept_rate: 0.27, size_bias: 0.0 },
+    CountryProfile { code: "CI", name: "Ivory Coast", as_share: 0.00024, no_dsav_rate: 0.53, targets_per_as: 441.0, accept_rate: 0.45, size_bias: 1.0 },
+    // ----- Long tail: everything else, at the global averages -----
+    CountryProfile { code: "ZZ", name: "(other)", as_share: 0.3270, no_dsav_rate: 0.55, targets_per_as: 150.0, accept_rate: 0.105, size_bias: 0.0 },
+];
+
+/// Draw a country weighted by `as_share` (the long-tail entry included).
+pub fn sample_country<R: Rng + ?Sized>(rng: &mut R) -> Country {
+    let total: f64 = COUNTRIES.iter().map(|p| p.as_share).sum();
+    let mut roll = rng.gen_range(0.0..total);
+    for p in COUNTRIES {
+        if roll < p.as_share {
+            return p.country();
+        }
+        roll -= p.as_share;
+    }
+    COUNTRIES.last().unwrap().country()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn registry_covers_tables_one_and_two() {
+        for code in [
+            "US", "BR", "RU", "DE", "GB", "PL", "UA", "IN", "AU", "CA", // Table 1
+            "DZ", "MA", "SZ", "BZ", "BF", "XK", "BA", "SC", "WF", "CI", // Table 2
+        ] {
+            assert!(
+                Country(code).profile().is_some(),
+                "missing profile for {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = COUNTRIES.iter().map(|p| p.as_share).sum();
+        assert!((total - 1.0).abs() < 0.01, "shares sum to {total}");
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        for p in COUNTRIES {
+            assert!((0.0..=1.0).contains(&p.no_dsav_rate), "{}", p.code);
+            assert!((0.0..=1.0).contains(&p.accept_rate), "{}", p.code);
+            assert!(p.targets_per_as > 0.0);
+            assert!(p.as_share > 0.0);
+        }
+    }
+
+    #[test]
+    fn us_has_most_ases_and_low_reachability() {
+        // The paper's headline contrast: the US is over-represented in ASes
+        // yet *below* average in missing DSAV; Ukraine/Brazil/Russia are
+        // well above half.
+        let us = Country("US").profile().unwrap();
+        assert!(COUNTRIES.iter().all(|p| p.as_share <= us.as_share || p.code == "ZZ"));
+        assert!(us.no_dsav_rate < 0.30);
+        for code in ["BR", "RU", "UA"] {
+            assert!(Country(code).profile().unwrap().no_dsav_rate > 0.5, "{code}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_shares() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 100_000;
+        let us = (0..n)
+            .filter(|_| sample_country(&mut rng) == Country("US"))
+            .count();
+        let frac = us as f64 / n as f64;
+        assert!((frac - 0.2715).abs() < 0.01, "US share sampled at {frac}");
+    }
+
+    #[test]
+    fn display_and_fallback() {
+        assert_eq!(Country("US").to_string(), "United States");
+        assert_eq!(Country("QQ").name(), "QQ");
+        assert_eq!(Country("WF").to_string(), "Wallis & Futuna");
+    }
+}

@@ -1,0 +1,98 @@
+//! The prefix → country database and AS → countries aggregation.
+
+use crate::country::Country;
+use bcd_netsim::{Asn, Prefix, PrefixMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+
+/// A GeoLite2-style database: longest-prefix-match from address to country,
+/// plus the paper's per-AS country set ("an AS might be counted multiple
+/// times in different countries", §4).
+#[derive(Default)]
+pub struct GeoDb {
+    map: PrefixMap<Country>,
+    by_asn: BTreeMap<Asn, BTreeSet<Country>>,
+}
+
+impl GeoDb {
+    /// An empty database.
+    pub fn new() -> GeoDb {
+        GeoDb::default()
+    }
+
+    /// Register a prefix as located in `country`, announced by `asn`.
+    pub fn insert(&mut self, prefix: Prefix, asn: Asn, country: Country) {
+        self.map.insert(prefix, country);
+        self.by_asn.entry(asn).or_default().insert(country);
+    }
+
+    /// The country of the most specific registered prefix covering `ip`.
+    pub fn country_of(&self, ip: IpAddr) -> Option<Country> {
+        self.map.get(ip)
+    }
+
+    /// All countries associated with an AS (usually one; multi-homed or
+    /// multi-national ASes may have several).
+    pub fn countries_of(&self, asn: Asn) -> impl Iterator<Item = Country> + '_ {
+        self.by_asn.get(&asn).into_iter().flatten().copied()
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All ASNs with at least one registered prefix.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.by_asn.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_longest_prefix() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.0.0.0/8"), Asn(1), Country("US"));
+        db.insert(p("10.5.0.0/16"), Asn(1), Country("CA"));
+        assert_eq!(db.country_of("10.1.1.1".parse().unwrap()), Some(Country("US")));
+        assert_eq!(db.country_of("10.5.9.9".parse().unwrap()), Some(Country("CA")));
+        assert_eq!(db.country_of("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn multi_country_as() {
+        let mut db = GeoDb::new();
+        db.insert(p("192.0.2.0/24"), Asn(7), Country("US"));
+        db.insert(p("198.51.100.0/24"), Asn(7), Country("CA"));
+        db.insert(p("203.0.113.0/24"), Asn(7), Country("US"));
+        let countries: Vec<Country> = db.countries_of(Asn(7)).collect();
+        assert_eq!(countries.len(), 2);
+        assert!(countries.contains(&Country("US")));
+        assert!(countries.contains(&Country("CA")));
+        assert_eq!(db.countries_of(Asn(9)).count(), 0);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.asns().count(), 1);
+    }
+
+    #[test]
+    fn v6_prefixes_supported() {
+        let mut db = GeoDb::new();
+        db.insert(p("2001:db8::/32"), Asn(3), Country("DE"));
+        assert_eq!(
+            db.country_of("2001:db8::1".parse().unwrap()),
+            Some(Country("DE"))
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # bcd-netsim — deterministic discrete-event Internet simulator
+//!
+//! This crate is the substrate on which the *Behind Closed Doors* (IMC 2020)
+//! measurement methodology runs. It models exactly the pieces of the Internet
+//! the paper's experiment observes:
+//!
+//! * **virtual time** with nanosecond resolution ([`SimTime`], [`SimDuration`]),
+//! * an **event engine** ([`Network`]) driving host nodes ([`Node`]) with
+//!   packet deliveries and timers, fully deterministic for a given seed,
+//! * **IPv4/IPv6 packets** carrying UDP datagrams or a simplified-but-
+//!   fingerprintable TCP ([`Packet`], [`TcpSegment`]),
+//! * **autonomous systems** announcing prefixes, with per-AS border policies:
+//!   origin-side and destination-side source address validation (OSAV/DSAV)
+//!   and bogon (private / loopback source) ingress filtering
+//!   ([`AsInfo`], [`BorderPolicy`]),
+//! * **longest-prefix-match routing** ([`PrefixTable`]),
+//! * **links with fault injection** — delay, jitter, loss, duplication
+//!   ([`LinkProfile`]),
+//! * **host network stacks** that accept or drop packets whose source equals
+//!   the destination address ("destination-as-source") or the loopback
+//!   address, per OS ([`StackPolicy`]; the per-OS tables live in
+//!   `bcd-osmodel`),
+//! * a **packet trace** facility for debugging and tests ([`Trace`]).
+//!
+//! Determinism: all simulation randomness flows from one `u64` seed through a
+//! `ChaCha8Rng`; event ties are broken by a monotone sequence number, so a run
+//! is bit-for-bit reproducible across platforms.
+//!
+//! The design follows the smoltcp idiom from the session's networking guides:
+//! event-driven, no async runtime (the workload is CPU-bound with virtual
+//! time), typed packet layers, explicit state machines, and first-class fault
+//! injection.
+
+pub mod counters;
+pub mod engine;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod pcap;
+pub mod prefix;
+pub mod routing;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use counters::{DropReason, NetCounters};
+pub use engine::{HostConfig, Network, NetworkConfig};
+pub use link::LinkProfile;
+pub use node::{Node, NodeCtx};
+pub use packet::{Packet, TcpFlags, TcpOptions, TcpSegment, Transport, UdpDatagram};
+pub use prefix::Prefix;
+pub use routing::{PrefixMap, PrefixTable};
+pub use time::{SimDuration, SimTime};
+pub use topology::{AsInfo, Asn, BorderPolicy, StackPolicy};
+pub use trace::{Trace, TraceEntry, TracePoint};

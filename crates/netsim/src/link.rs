@@ -1,0 +1,160 @@
+//! Link models with fault injection.
+//!
+//! Every packet traversal samples one [`LinkProfile`]: a base propagation
+//! delay, uniform jitter, a loss probability and a duplication probability.
+//! Fault injection is first-class (per the smoltcp idiom) so tests can
+//! exercise retransmission, reordering, and measurement robustness under
+//! packet loss — the paper's methodology must (and does) tolerate all three.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// Stochastic link behaviour. All probabilities are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Fixed one-way propagation + queueing delay.
+    pub base_delay: SimDuration,
+    /// Additional delay sampled uniformly from `[0, jitter]`.
+    pub jitter: SimDuration,
+    /// Probability the packet is silently dropped.
+    pub loss: f64,
+    /// Probability the packet is delivered twice (the duplicate gets an
+    /// independent delay sample).
+    pub duplicate: f64,
+}
+
+impl LinkProfile {
+    /// An ideal link: no delay variance, no faults. 10 ms one-way.
+    pub fn ideal() -> LinkProfile {
+        LinkProfile {
+            base_delay: SimDuration::from_millis(10),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            duplicate: 0.0,
+        }
+    }
+
+    /// A typical wide-area path: 40 ms ± 20 ms, 0.2% loss.
+    pub fn internet() -> LinkProfile {
+        LinkProfile {
+            base_delay: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(20),
+            loss: 0.002,
+            duplicate: 0.0001,
+        }
+    }
+
+    /// A lossy path for failure-injection tests.
+    pub fn lossy(loss: f64) -> LinkProfile {
+        LinkProfile {
+            loss,
+            ..LinkProfile::internet()
+        }
+    }
+
+    /// Zero-latency loopback-style link, used by lab harnesses where latency
+    /// is irrelevant (queries still get strictly ordered by event sequence).
+    pub fn instant() -> LinkProfile {
+        LinkProfile {
+            base_delay: SimDuration::from_micros(50),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            duplicate: 0.0,
+        }
+    }
+
+    /// Sample the fate of one traversal: `None` = lost; `Some((d, dup))` =
+    /// delivered after `d`, plus an optional duplicate delivered after `dup`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(SimDuration, Option<SimDuration>)> {
+        if self.loss > 0.0 && rng.gen_bool(self.loss.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let d = self.base_delay + self.sample_jitter(rng);
+        let dup = if self.duplicate > 0.0 && rng.gen_bool(self.duplicate.clamp(0.0, 1.0)) {
+            Some(self.base_delay + self.sample_jitter(rng))
+        } else {
+            None
+        };
+        Some((d, dup))
+    }
+
+    fn sample_jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let j = self.jitter.as_nanos();
+        if j == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(rng.gen_range(0..=j))
+        }
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> LinkProfile {
+        LinkProfile::internet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ideal_link_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let l = LinkProfile::ideal();
+        for _ in 0..100 {
+            let (d, dup) = l.sample(&mut rng).unwrap();
+            assert_eq!(d, SimDuration::from_millis(10));
+            assert!(dup.is_none());
+        }
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let l = LinkProfile::lossy(1.0);
+        for _ in 0..50 {
+            assert!(l.sample(&mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let l = LinkProfile::lossy(0.3);
+        let delivered = (0..10_000).filter(|_| l.sample(&mut rng).is_some()).count();
+        // 70% ± 2.5% delivery over 10k samples.
+        assert!((6_750..=7_250).contains(&delivered), "delivered = {delivered}");
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let l = LinkProfile {
+            base_delay: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(20),
+            loss: 0.0,
+            duplicate: 0.0,
+        };
+        for _ in 0..1_000 {
+            let (d, _) = l.sample(&mut rng).unwrap();
+            assert!(d >= SimDuration::from_millis(40));
+            assert!(d <= SimDuration::from_millis(60));
+        }
+    }
+
+    #[test]
+    fn duplication_produces_second_copy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let l = LinkProfile {
+            base_delay: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            duplicate: 1.0,
+        };
+        let (_, dup) = l.sample(&mut rng).unwrap();
+        assert_eq!(dup, Some(SimDuration::from_millis(1)));
+    }
+}

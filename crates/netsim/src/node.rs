@@ -1,0 +1,175 @@
+//! The node programming model.
+//!
+//! A [`Node`] is the behaviour attached to a host: a recursive resolver, an
+//! authoritative server, the scanner client, a middlebox... Nodes are driven
+//! by two callbacks — packet delivery and timer expiry — and interact with
+//! the world exclusively through [`NodeCtx`], which *stages* effects (sends,
+//! timers) that the engine applies after the callback returns. This is the
+//! classic discrete-event pattern: it keeps the engine borrow-safe and makes
+//! node logic trivially unit-testable with a synthetic context.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use rand_chacha::ChaCha8Rng;
+
+/// Identifier of a host within a [`crate::Network`].
+pub type HostId = usize;
+
+/// An effect staged by a node during a callback.
+#[derive(Debug)]
+pub enum Effect {
+    /// Transmit a packet (subject to routing, border policy, link faults).
+    Send(Packet),
+    /// Request a timer callback `after` from now with an opaque token.
+    Timer { after: SimDuration, token: u64 },
+}
+
+/// Execution context passed to node callbacks.
+pub struct NodeCtx<'a> {
+    now: SimTime,
+    host: HostId,
+    rng: &'a mut ChaCha8Rng,
+    effects: &'a mut Vec<Effect>,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Construct a context. Public so tests and alternative engines can
+    /// drive nodes directly.
+    pub fn new(
+        now: SimTime,
+        host: HostId,
+        rng: &'a mut ChaCha8Rng,
+        effects: &'a mut Vec<Effect>,
+    ) -> NodeCtx<'a> {
+        NodeCtx {
+            now,
+            host,
+            rng,
+            effects,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The host this node is attached to.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Stage a packet for transmission.
+    pub fn send(&mut self, pkt: Packet) {
+        self.effects.push(Effect::Send(pkt));
+    }
+
+    /// Stage a timer that fires `after` from now, delivering `token` to
+    /// [`Node::on_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) {
+        self.effects.push(Effect::Timer { after, token });
+    }
+}
+
+/// Behaviour attached to a host.
+///
+/// The `Any` supertrait lets tests and analyses downcast a stored
+/// `Box<dyn Node>` back to its concrete type via
+/// [`crate::Network::node`] / [`crate::Network::node_mut`].
+pub trait Node: std::any::Any {
+    /// A packet addressed to (one of) this host's addresses was delivered.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet);
+
+    /// A timer set via [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+
+    /// Called once when the simulation starts (in host-id order).
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+}
+
+/// A node that silently absorbs all traffic. Useful as a placeholder for
+/// hosts that exist only to occupy an address.
+#[derive(Debug, Default)]
+pub struct SinkNode {
+    /// Packets received, for assertions in tests.
+    pub received: u64,
+}
+
+impl Node for SinkNode {
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _pkt: Packet) {
+        self.received += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::net::IpAddr;
+
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
+            // Reply by swapping addresses and ports.
+            if let crate::packet::Transport::Udp(u) = &pkt.transport {
+                ctx.send(Packet::udp(
+                    pkt.dst,
+                    pkt.src,
+                    u.dst_port,
+                    u.src_port,
+                    u.payload.clone(),
+                ));
+                ctx.set_timer(SimDuration::from_secs(1), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn context_stages_effects() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut effects = Vec::new();
+        let mut ctx = NodeCtx::new(SimTime::from_secs(5), 3, &mut rng, &mut effects);
+        assert_eq!(ctx.now(), SimTime::from_secs(5));
+        assert_eq!(ctx.host(), 3);
+
+        let a: IpAddr = "192.0.2.1".parse().unwrap();
+        let b: IpAddr = "198.51.100.1".parse().unwrap();
+        let mut echo = Echo;
+        echo.on_packet(&mut ctx, Packet::udp(a, b, 1000, 53, vec![9]));
+
+        assert_eq!(effects.len(), 2);
+        match &effects[0] {
+            Effect::Send(p) => {
+                assert_eq!(p.src, b);
+                assert_eq!(p.dst, a);
+                assert_eq!(p.transport.src_port(), 53);
+            }
+            other => panic!("expected send, got {other:?}"),
+        }
+        match &effects[1] {
+            Effect::Timer { after, token } => {
+                assert_eq!(*after, SimDuration::from_secs(1));
+                assert_eq!(*token, 7);
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sink_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut effects = Vec::new();
+        let mut ctx = NodeCtx::new(SimTime::ZERO, 0, &mut rng, &mut effects);
+        let mut sink = SinkNode::default();
+        let a: IpAddr = "192.0.2.1".parse().unwrap();
+        sink.on_packet(&mut ctx, Packet::udp(a, a, 1, 2, vec![]));
+        sink.on_packet(&mut ctx, Packet::udp(a, a, 1, 2, vec![]));
+        assert_eq!(sink.received, 2);
+        assert!(effects.is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! The simulated packet model.
+//!
+//! A [`Packet`] carries the layer-3 fields the experiment's analysis can
+//! observe (source/destination address, TTL / hop limit) plus one of two
+//! transports:
+//!
+//! * [`UdpDatagram`] — the workhorse: all DNS queries and responses,
+//! * [`TcpSegment`] — a simplified TCP carrying the header metadata that the
+//!   p0f fingerprinting of §5.3.1 keys on (initial TTL, window size, MSS and
+//!   option layout). We model the SYN / SYN-ACK handshake plus a single
+//!   request/response exchange, which is all DNS-over-TCP (RFC 7766) needs
+//!   for one query.
+//!
+//! Layer-3/layer-4 payloads are opaque byte vectors; `bcd-dnswire` provides
+//! the DNS wire codec that fills them.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// TCP header flags (only those the handshake model uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub fin: bool,
+    pub rst: bool,
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A bare SYN (connection open).
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// SYN-ACK (connection accept).
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// Plain ACK.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// Data push with ACK.
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: true,
+    };
+    /// RST (refuse / abort).
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
+}
+
+/// TCP options relevant to passive OS fingerprinting (p0f-style). The
+/// `layout` string mirrors p0f's option-order signature component, e.g.
+/// `"mss,sok,ts,nop,ws"` for a modern Linux SYN.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct TcpOptions {
+    /// Maximum segment size advertised in the SYN.
+    pub mss: Option<u16>,
+    /// Window-scale shift count.
+    pub window_scale: Option<u8>,
+    /// SACK-permitted option present.
+    pub sack_permitted: bool,
+    /// Timestamp option present.
+    pub timestamps: bool,
+    /// Option ordering signature, comma-separated p0f-style mnemonics.
+    pub layout: &'static str,
+}
+
+/// A simplified TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub flags: TcpFlags,
+    pub seq: u32,
+    pub ack: u32,
+    /// Receive window as sent on the wire (unscaled).
+    pub window: u16,
+    pub options: TcpOptions,
+    pub payload: Vec<u8>,
+}
+
+/// A UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub payload: Vec<u8>,
+}
+
+/// The transport layer of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    Udp(UdpDatagram),
+    Tcp(TcpSegment),
+}
+
+impl Transport {
+    /// Source port of either transport.
+    pub fn src_port(&self) -> u16 {
+        match self {
+            Transport::Udp(u) => u.src_port,
+            Transport::Tcp(t) => t.src_port,
+        }
+    }
+
+    /// Destination port of either transport.
+    pub fn dst_port(&self) -> u16 {
+        match self {
+            Transport::Udp(u) => u.dst_port,
+            Transport::Tcp(t) => t.dst_port,
+        }
+    }
+
+    /// The application payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            Transport::Udp(u) => &u.payload,
+            Transport::Tcp(t) => &t.payload,
+        }
+    }
+}
+
+/// A simulated IP packet (either family).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub src: IpAddr,
+    pub dst: IpAddr,
+    /// IPv4 TTL or IPv6 hop limit *as observed at the receiver* — the engine
+    /// decrements it per simulated hop, so p0f can infer the initial TTL.
+    pub ttl: u8,
+    pub transport: Transport,
+}
+
+impl Packet {
+    /// Construct a UDP packet. Panics if the address families differ: a
+    /// packet with a v4 source and v6 destination cannot exist on the wire.
+    pub fn udp(src: IpAddr, dst: IpAddr, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Packet {
+        assert_eq!(
+            src.is_ipv6(),
+            dst.is_ipv6(),
+            "mixed address families in packet: {src} -> {dst}"
+        );
+        Packet {
+            src,
+            dst,
+            ttl: 64,
+            transport: Transport::Udp(UdpDatagram {
+                src_port,
+                dst_port,
+                payload,
+            }),
+        }
+    }
+
+    /// Construct a TCP packet. Same family invariant as [`Packet::udp`].
+    pub fn tcp(src: IpAddr, dst: IpAddr, seg: TcpSegment) -> Packet {
+        assert_eq!(
+            src.is_ipv6(),
+            dst.is_ipv6(),
+            "mixed address families in packet: {src} -> {dst}"
+        );
+        Packet {
+            src,
+            dst,
+            ttl: 64,
+            transport: Transport::Tcp(seg),
+        }
+    }
+
+    /// Override the initial TTL (for OS models with non-default TTLs).
+    pub fn with_ttl(mut self, ttl: u8) -> Packet {
+        self.ttl = ttl;
+        self
+    }
+
+    /// True if this packet is IPv6.
+    pub fn is_v6(&self) -> bool {
+        self.src.is_ipv6()
+    }
+
+    /// True if source address equals destination address
+    /// ("destination-as-source" in the paper's terminology, §5.5).
+    pub fn is_dst_as_src(&self) -> bool {
+        self.src == self.dst
+    }
+
+    /// True if the source is a loopback address.
+    pub fn has_loopback_src(&self) -> bool {
+        crate::prefix::special::is_loopback(self.src)
+    }
+
+    /// The canonical v4 loopback / v6 loopback source used by the scanner.
+    pub fn loopback_addr(v6: bool) -> IpAddr {
+        if v6 {
+            IpAddr::V6(Ipv6Addr::LOCALHOST)
+        } else {
+            IpAddr::V4(Ipv4Addr::LOCALHOST)
+        }
+    }
+
+    /// Approximate on-wire size in bytes (IP header + transport header +
+    /// payload); used by rate accounting and benchmarks.
+    pub fn wire_len(&self) -> usize {
+        let l3 = if self.is_v6() { 40 } else { 20 };
+        let (l4, payload) = match &self.transport {
+            Transport::Udp(u) => (8, u.payload.len()),
+            Transport::Tcp(t) => (20 + if t.options.mss.is_some() { 12 } else { 0 }, t.payload.len()),
+        };
+        l3 + l4 + payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn udp_constructor_sets_defaults() {
+        let p = Packet::udp(v4("192.0.2.1"), v4("198.51.100.2"), 5353, 53, vec![1, 2, 3]);
+        assert_eq!(p.ttl, 64);
+        assert_eq!(p.transport.src_port(), 5353);
+        assert_eq!(p.transport.dst_port(), 53);
+        assert_eq!(p.transport.payload(), &[1, 2, 3]);
+        assert!(!p.is_v6());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed address families")]
+    fn mixed_family_panics() {
+        let _ = Packet::udp(v4("192.0.2.1"), "2001:db8::1".parse().unwrap(), 1, 2, vec![]);
+    }
+
+    #[test]
+    fn spoof_category_predicates() {
+        let ds = Packet::udp(v4("192.0.2.1"), v4("192.0.2.1"), 1, 53, vec![]);
+        assert!(ds.is_dst_as_src());
+        let lb = Packet::udp(v4("127.0.0.1"), v4("192.0.2.1"), 1, 53, vec![]);
+        assert!(lb.has_loopback_src());
+        let lb6 = Packet::udp(
+            Packet::loopback_addr(true),
+            "2001:db8::1".parse().unwrap(),
+            1,
+            53,
+            vec![],
+        );
+        assert!(lb6.has_loopback_src());
+        let normal = Packet::udp(v4("203.0.113.9"), v4("192.0.2.1"), 1, 53, vec![]);
+        assert!(!normal.is_dst_as_src() && !normal.has_loopback_src());
+    }
+
+    #[test]
+    fn wire_len_counts_headers() {
+        let p = Packet::udp(v4("192.0.2.1"), v4("198.51.100.2"), 1, 2, vec![0; 100]);
+        assert_eq!(p.wire_len(), 20 + 8 + 100);
+        let t = Packet::tcp(
+            v4("192.0.2.1"),
+            v4("198.51.100.2"),
+            TcpSegment {
+                src_port: 1,
+                dst_port: 2,
+                flags: TcpFlags::SYN,
+                seq: 0,
+                ack: 0,
+                window: 65535,
+                options: TcpOptions {
+                    mss: Some(1460),
+                    ..Default::default()
+                },
+                payload: vec![],
+            },
+        );
+        assert_eq!(t.wire_len(), 20 + 32);
+    }
+
+    #[test]
+    fn ttl_override() {
+        let p = Packet::udp(v4("192.0.2.1"), v4("198.51.100.2"), 1, 2, vec![]).with_ttl(128);
+        assert_eq!(p.ttl, 128);
+    }
+}

@@ -1,0 +1,443 @@
+//! IP prefixes (CIDR blocks) for both address families.
+//!
+//! The experiment's spoofed-source selection (paper §3.2) works in units of
+//! /24 (IPv4) and /64 (IPv6) prefixes, and routing/border policy decisions are
+//! all longest-prefix-match over announced prefixes, so this type is used
+//! pervasively.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// A canonicalized CIDR prefix: the address with all host bits zeroed plus a
+/// prefix length. Works for IPv4 (`len <= 32`) and IPv6 (`len <= 128`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network bits, left-aligned in a u128 (IPv4 addresses occupy the high
+    /// 32 bits of the low 32-bit space — i.e. stored as `u32 as u128 << 96`
+    /// would waste comparisons; instead we store v4 in the low 32 bits and
+    /// tag with `v6`).
+    bits: u128,
+    len: u8,
+    v6: bool,
+}
+
+/// Error returned when parsing a prefix from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+fn ip_to_bits(ip: IpAddr) -> (u128, bool) {
+    match ip {
+        IpAddr::V4(a) => (u32::from(a) as u128, false),
+        IpAddr::V6(a) => (u128::from(a), true),
+    }
+}
+
+fn bits_to_ip(bits: u128, v6: bool) -> IpAddr {
+    if v6 {
+        IpAddr::V6(Ipv6Addr::from(bits))
+    } else {
+        IpAddr::V4(Ipv4Addr::from(bits as u32))
+    }
+}
+
+fn mask(len: u8, v6: bool) -> u128 {
+    let width: u32 = if v6 { 128 } else { 32 };
+    if len == 0 {
+        0
+    } else {
+        // All-ones over the top `len` bits of a `width`-bit address.
+        (!0u128 >> (128 - width)) & !((1u128 << (width - len as u32)) - 1)
+    }
+}
+
+impl Prefix {
+    /// Build a prefix from any address inside it and a length. Host bits are
+    /// zeroed (canonical form). Panics if `len` exceeds the family width.
+    pub fn new(ip: IpAddr, len: u8) -> Prefix {
+        let (bits, v6) = ip_to_bits(ip);
+        let width = if v6 { 128 } else { 32 };
+        assert!(len <= width, "prefix length {len} exceeds family width {width}");
+        Prefix {
+            bits: bits & mask(len, v6),
+            len,
+            v6,
+        }
+    }
+
+    /// The IPv4 default route `0.0.0.0/0`.
+    pub fn v4_default() -> Prefix {
+        Prefix::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0)
+    }
+
+    /// The IPv6 default route `::/0`.
+    pub fn v6_default() -> Prefix {
+        Prefix::new(IpAddr::V6(Ipv6Addr::UNSPECIFIED), 0)
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // "len" is the CIDR length, not a container size
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True if this is an IPv6 prefix.
+    pub fn is_v6(&self) -> bool {
+        self.v6
+    }
+
+    /// Address-family bit width (32 or 128).
+    pub fn width(&self) -> u8 {
+        if self.v6 {
+            128
+        } else {
+            32
+        }
+    }
+
+    /// The network (first) address of the prefix.
+    pub fn network(&self) -> IpAddr {
+        bits_to_ip(self.bits, self.v6)
+    }
+
+    /// The last address of the prefix (broadcast address for IPv4 subnets).
+    pub fn last(&self) -> IpAddr {
+        let host_bits = (self.width() - self.len) as u32;
+        let hi = if host_bits == 0 {
+            self.bits
+        } else {
+            self.bits | ((1u128 << host_bits) - 1)
+        };
+        bits_to_ip(hi, self.v6)
+    }
+
+    /// Number of addresses in the prefix, saturating at `u128::MAX` for `::/0`.
+    pub fn size(&self) -> u128 {
+        let host_bits = (self.width() - self.len) as u32;
+        if host_bits >= 128 {
+            u128::MAX
+        } else {
+            1u128 << host_bits
+        }
+    }
+
+    /// True if `ip` (same family) is inside this prefix.
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        let (bits, v6) = ip_to_bits(ip);
+        v6 == self.v6 && bits & mask(self.len, self.v6) == self.bits
+    }
+
+    /// True if `other` is fully contained in `self`.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.v6 == other.v6
+            && self.len <= other.len
+            && other.bits & mask(self.len, self.v6) == self.bits
+    }
+
+    /// The `i`-th address inside the prefix (0 = network address).
+    /// Returns `None` if `i` is out of range.
+    pub fn nth(&self, i: u128) -> Option<IpAddr> {
+        if i >= self.size() {
+            return None;
+        }
+        Some(bits_to_ip(self.bits + i, self.v6))
+    }
+
+    /// Index of `ip` within this prefix (inverse of [`Prefix::nth`]).
+    pub fn index_of(&self, ip: IpAddr) -> Option<u128> {
+        if !self.contains(ip) {
+            return None;
+        }
+        let (bits, _) = ip_to_bits(ip);
+        Some(bits - self.bits)
+    }
+
+    /// The sub-prefix of length `sublen` that contains `ip` — e.g. the /24
+    /// containing a target IPv4 address. Panics if `sublen < self.len`.
+    pub fn subprefix_of(ip: IpAddr, sublen: u8) -> Prefix {
+        Prefix::new(ip, sublen)
+    }
+
+    /// Enumerate all sub-prefixes of length `sublen` within `self`, in address
+    /// order. Returns an empty iterator if `sublen < self.len`. Capped by the
+    /// caller via `.take(..)` for very large prefixes.
+    pub fn subprefixes(&self, sublen: u8) -> SubPrefixIter {
+        let valid = sublen >= self.len && sublen <= self.width();
+        let count = if valid {
+            let extra = (sublen - self.len) as u32;
+            if extra >= 128 {
+                u128::MAX
+            } else {
+                1u128 << extra
+            }
+        } else {
+            0
+        };
+        SubPrefixIter {
+            base: *self,
+            sublen,
+            next: 0,
+            count,
+        }
+    }
+
+    /// The prefix bits as a left-aligned `u128` key plus length; used by the
+    /// routing trie. For IPv4 the 32 address bits are shifted to the top of
+    /// the key so the trie walks the same most-significant-bit-first order
+    /// for both families.
+    pub(crate) fn key(&self) -> (u128, u8) {
+        if self.v6 {
+            (self.bits, self.len)
+        } else {
+            (self.bits << 96, self.len)
+        }
+    }
+}
+
+/// Iterator over equal-length sub-prefixes of a covering prefix.
+pub struct SubPrefixIter {
+    base: Prefix,
+    sublen: u8,
+    next: u128,
+    count: u128,
+}
+
+impl Iterator for SubPrefixIter {
+    type Item = Prefix;
+
+    fn next(&mut self) -> Option<Prefix> {
+        if self.next >= self.count {
+            return None;
+        }
+        let host_bits = (self.base.width() - self.sublen) as u32;
+        let bits = self.base.bits + (self.next << host_bits);
+        self.next += 1;
+        Some(Prefix {
+            bits,
+            len: self.sublen,
+            v6: self.base.v6,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.count - self.next).min(usize::MAX as u128) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Prefix, PrefixParseError> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError(format!("missing '/': {s}")))?;
+        let ip: IpAddr = addr
+            .parse()
+            .map_err(|e| PrefixParseError(format!("{s}: {e}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|e| PrefixParseError(format!("{s}: {e}")))?;
+        let width = if ip.is_ipv6() { 128 } else { 32 };
+        if len > width {
+            return Err(PrefixParseError(format!("{s}: length {len} > {width}")));
+        }
+        Ok(Prefix::new(ip, len))
+    }
+}
+
+/// Address-classification helpers mirroring the IANA special-purpose
+/// registries (RFC 6890) that the paper uses to exclude ~4M DITL source
+/// addresses (§3.1).
+pub mod special {
+    use super::*;
+
+    /// True if `ip` is a loopback address (`127.0.0.0/8` or `::1`).
+    pub fn is_loopback(ip: IpAddr) -> bool {
+        match ip {
+            IpAddr::V4(a) => a.is_loopback(),
+            IpAddr::V6(a) => a.is_loopback(),
+        }
+    }
+
+    /// True if `ip` is in private (RFC 1918) or unique-local (RFC 4193) space.
+    pub fn is_private_or_ula(ip: IpAddr) -> bool {
+        match ip {
+            IpAddr::V4(a) => a.is_private(),
+            IpAddr::V6(a) => (a.segments()[0] & 0xfe00) == 0xfc00,
+        }
+    }
+
+    /// True if `ip` falls in any IANA special-purpose registry entry and thus
+    /// can have no legitimate entry in the public routing table. This is the
+    /// exclusion test the paper applies to DITL-derived targets (§3.1).
+    pub fn is_special_purpose(ip: IpAddr) -> bool {
+        match ip {
+            IpAddr::V4(a) => {
+                let o = a.octets();
+                a.is_unspecified()
+                    || a.is_loopback()
+                    || a.is_private()
+                    || a.is_link_local()
+                    || a.is_broadcast()
+                    || a.is_documentation()
+                    || o[0] == 100 && (o[1] & 0xc0) == 64 // 100.64/10 CGN
+                    || o[0] == 192 && o[1] == 0 && o[2] == 0 // 192.0.0/24
+                    || o[0] == 198 && (o[1] & 0xfe) == 18 // 198.18/15 benchmarking
+                    || o[0] >= 224 // multicast + class E
+            }
+            IpAddr::V6(a) => {
+                let s = a.segments();
+                a.is_unspecified()
+                    || a.is_loopback()
+                    || (s[0] & 0xfe00) == 0xfc00 // ULA
+                    || (s[0] & 0xffc0) == 0xfe80 // link-local
+                    || (s[0] & 0xff00) == 0xff00 // multicast
+                    || s[0] == 0x2001 && s[1] == 0xdb8 // documentation
+                    || s[0] == 0x2001 && s[1] == 0 // TEREDO
+                    || s[0] == 0x0064 && s[1] == 0xff9b // NAT64
+                    || s[0] == 0x2002 // 6to4
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let pre = Prefix::new("192.0.2.77".parse().unwrap(), 24);
+        assert_eq!(pre.to_string(), "192.0.2.0/24");
+        assert_eq!(pre, p("192.0.2.0/24"));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let pre = p("10.0.0.0/8");
+        assert!(pre.contains("10.255.3.4".parse().unwrap()));
+        assert!(!pre.contains("11.0.0.0".parse().unwrap()));
+        assert!(pre.covers(&p("10.1.0.0/16")));
+        assert!(!pre.covers(&p("11.1.0.0/16")));
+        assert!(!pre.covers(&p("0.0.0.0/0")));
+        // Cross-family never matches.
+        assert!(!pre.contains("::1".parse().unwrap()));
+        assert!(!p("2001:db8::/32").covers(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn v6_prefixes_work() {
+        let pre = p("2001:db8:abcd::/48");
+        assert!(pre.contains("2001:db8:abcd:1::5".parse().unwrap()));
+        assert!(!pre.contains("2001:db8:abce::5".parse().unwrap()));
+        assert_eq!(pre.len(), 48);
+        assert!(pre.is_v6());
+    }
+
+    #[test]
+    fn nth_and_index_round_trip() {
+        let pre = p("198.51.100.0/24");
+        assert_eq!(pre.nth(0).unwrap().to_string(), "198.51.100.0");
+        assert_eq!(pre.nth(255).unwrap().to_string(), "198.51.100.255");
+        assert!(pre.nth(256).is_none());
+        let ip = pre.nth(42).unwrap();
+        assert_eq!(pre.index_of(ip), Some(42));
+        assert_eq!(pre.index_of("10.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn size_last_and_defaults() {
+        assert_eq!(p("192.0.2.0/24").size(), 256);
+        assert_eq!(p("192.0.2.0/24").last().to_string(), "192.0.2.255");
+        assert_eq!(Prefix::v4_default().size(), 1u128 << 32);
+        assert_eq!(Prefix::v6_default().size(), u128::MAX);
+        assert_eq!(p("2001:db8::/64").size(), 1u128 << 64);
+    }
+
+    #[test]
+    fn subprefix_enumeration() {
+        let pre = p("10.20.0.0/22");
+        let subs: Vec<Prefix> = pre.subprefixes(24).collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0], p("10.20.0.0/24"));
+        assert_eq!(subs[3], p("10.20.3.0/24"));
+        // Degenerate: sublen shorter than prefix yields nothing.
+        assert_eq!(pre.subprefixes(20).count(), 0);
+        // Identity: same length yields self.
+        assert_eq!(pre.subprefixes(22).collect::<Vec<_>>(), vec![pre]);
+    }
+
+    #[test]
+    fn subprefix_of_finds_containing_block() {
+        let ip: IpAddr = "203.0.113.200".parse().unwrap();
+        assert_eq!(Prefix::subprefix_of(ip, 24), p("203.0.113.0/24"));
+        let ip6: IpAddr = "2001:db8:1:2::99".parse().unwrap();
+        assert_eq!(Prefix::subprefix_of(ip6, 64), p("2001:db8:1:2::/64"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("192.0.2.0".parse::<Prefix>().is_err());
+        assert!("192.0.2.0/33".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+        assert!("banana/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn special_purpose_classification() {
+        use special::*;
+        let yes = [
+            "0.0.0.0",
+            "127.0.0.1",
+            "10.1.2.3",
+            "172.16.9.9",
+            "192.168.0.10",
+            "169.254.1.1",
+            "100.64.0.1",
+            "192.0.0.5",
+            "192.0.2.1",
+            "198.18.0.1",
+            "224.0.0.1",
+            "240.0.0.1",
+            "255.255.255.255",
+            "::",
+            "::1",
+            "fc00::10",
+            "fe80::1",
+            "ff02::1",
+            "2001:db8::1",
+            "2002::1",
+        ];
+        for s in yes {
+            assert!(is_special_purpose(s.parse().unwrap()), "{s} should be special");
+        }
+        let no = ["8.8.8.8", "203.0.112.1", "2600::1", "2a00:1450::1"];
+        for s in no {
+            assert!(!is_special_purpose(s.parse().unwrap()), "{s} should be routable");
+        }
+        assert!(is_loopback("127.0.0.1".parse().unwrap()));
+        assert!(is_loopback("::1".parse().unwrap()));
+        assert!(is_private_or_ula("192.168.0.10".parse().unwrap()));
+        assert!(is_private_or_ula("fc00::10".parse().unwrap()));
+        assert!(!is_private_or_ula("8.8.8.8".parse().unwrap()));
+    }
+}

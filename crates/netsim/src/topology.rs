@@ -1,0 +1,234 @@
+//! Autonomous systems, border policies, and host stack policies.
+//!
+//! The paper's core object of study is the **border policy** of an AS:
+//! whether spoofed-source packets are filtered on the way out (OSAV, BCP 38)
+//! or on the way in (DSAV). [`BorderPolicy`] captures both, plus the two
+//! bogon-ingress dimensions the experiment's *private* and *loopback* source
+//! categories probe (§3.2, Table 3).
+//!
+//! [`StackPolicy`] captures the *host*-level acceptance behaviour of §5.5 /
+//! Table 6: whether an OS kernel delivers destination-as-source or
+//! loopback-source packets to user space. `bcd-osmodel` derives concrete
+//! policies from OS identities.
+
+use std::fmt;
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Border filtering policy of an AS.
+///
+/// * `osav` — origin-side SAV (BCP 38 egress filtering): outbound packets
+///   whose source is *not* in the AS's announced prefixes are dropped.
+/// * `dsav` — destination-side SAV: inbound packets whose source *is* in the
+///   AS's announced prefixes are dropped (they claim to come from inside).
+///   Destination-as-source packets are a special case and are also caught.
+/// * `filter_private_ingress` — inbound packets with RFC 1918 / ULA sources
+///   are dropped (common "bogon" ACL, independent of DSAV in practice —
+///   the paper found private sources reaching 3.4% of reachable targets).
+/// * `filter_loopback_ingress` — inbound packets with loopback sources are
+///   dropped. Almost universal, which is why the paper saw only 1 IPv4 and
+///   106 IPv6 loopback hits.
+/// * `subnet_savi` — finer-grained ingress validation: inbound packets whose
+///   source lies in the *same /24 (IPv4) or /64 (IPv6) as the destination*
+///   are dropped even when AS-wide DSAV is absent (internal segmentation /
+///   SAVI at the access layer). This is what makes the *other-prefix*
+///   category the only one to reach some targets (paper Table 3's
+///   "Category-Exclusive" other-prefix rows).
+/// * `internal_pass_permille` — partial internal SAV: even without AS-wide
+///   DSAV, many networks filter spoofs of *some* internal prefixes (uRPF on
+///   some internal boundaries, scattered ACLs). Each source /24 (IPv4) or
+///   /64 (IPv6) deterministically passes or fails based on a per-(AS,
+///   subnet) hash compared against this permille threshold; `1000` admits
+///   everything. The destination's own subnet always passes (a feasible-
+///   path filter cannot drop its own subnet's addresses) — which is why the
+///   paper's median reachable target worked with only ~3 spoofed sources
+///   while same-prefix spoofs succeeded broadly (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BorderPolicy {
+    pub osav: bool,
+    pub dsav: bool,
+    pub filter_private_ingress: bool,
+    /// Drop inbound IPv4 packets with loopback sources. (IPv6 has its own
+    /// flag: the paper's loopback asymmetry — 1 IPv4 hit vs 106 IPv6 —
+    /// shows v6 bogon filtering lags far behind v4.)
+    pub filter_loopback_ingress: bool,
+    /// Drop inbound IPv6 packets with loopback sources.
+    pub filter_loopback_ingress_v6: bool,
+    /// Drop inbound IPv4 packets whose source equals their destination —
+    /// a "martian" ACL common in v4 edge configs even without full DSAV
+    /// (why the paper's v4 dst-as-src rate, 17%, trails the v6 one, 70%).
+    pub filter_ds_ingress_v4: bool,
+    pub subnet_savi: bool,
+    pub internal_pass_permille: u16,
+}
+
+impl BorderPolicy {
+    /// A fully open border: no filtering at all.
+    pub fn open() -> BorderPolicy {
+        BorderPolicy {
+            osav: false,
+            dsav: false,
+            filter_private_ingress: false,
+            filter_loopback_ingress: false,
+            filter_loopback_ingress_v6: false,
+            filter_ds_ingress_v4: false,
+            subnet_savi: false,
+            internal_pass_permille: 1000,
+        }
+    }
+
+    /// A fully filtered border: OSAV + DSAV + bogon ACLs.
+    pub fn strict() -> BorderPolicy {
+        BorderPolicy {
+            osav: true,
+            dsav: true,
+            filter_private_ingress: true,
+            filter_loopback_ingress: true,
+            filter_loopback_ingress_v6: true,
+            filter_ds_ingress_v4: true,
+            subnet_savi: true,
+            internal_pass_permille: 0,
+        }
+    }
+
+    /// The paper's measurement vantage requirement (§3.4): a network lacking
+    /// OSAV so spoofed probes can leave, with everything else open.
+    pub fn no_osav_vantage() -> BorderPolicy {
+        BorderPolicy::open()
+    }
+}
+
+/// An AS with its border policy. The announced prefixes live in the routing
+/// table ([`crate::PrefixTable`]); this struct holds per-AS behaviour.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    pub asn: Asn,
+    pub policy: BorderPolicy,
+    /// If set, UDP/53 packets entering this AS are transparently redirected
+    /// to this host — a DNS-intercepting middlebox (§3.6.1).
+    pub dns_interceptor: Option<usize>,
+}
+
+impl AsInfo {
+    /// A new AS with the given policy and no middlebox.
+    pub fn new(asn: Asn, policy: BorderPolicy) -> AsInfo {
+        AsInfo {
+            asn,
+            policy,
+            dns_interceptor: None,
+        }
+    }
+}
+
+/// Host network-stack acceptance policy for anomalous-source packets,
+/// split by spoof class and IP version (paper Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackPolicy {
+    /// Deliver IPv4 packets whose source equals the host address.
+    pub accept_dst_as_src_v4: bool,
+    /// Deliver IPv6 packets whose source equals the host address.
+    pub accept_dst_as_src_v6: bool,
+    /// Deliver IPv4 packets with loopback source arriving on the wire.
+    pub accept_loopback_v4: bool,
+    /// Deliver IPv6 packets with loopback source arriving on the wire.
+    pub accept_loopback_v6: bool,
+}
+
+impl StackPolicy {
+    /// Accept everything (the most permissive stack the paper found:
+    /// Windows Server 2003 accepted IPv4 loopback; old Linux accepted IPv6
+    /// loopback; no stack accepted both, but tests use this).
+    pub fn permissive() -> StackPolicy {
+        StackPolicy {
+            accept_dst_as_src_v4: true,
+            accept_dst_as_src_v6: true,
+            accept_loopback_v4: true,
+            accept_loopback_v6: true,
+        }
+    }
+
+    /// Drop all anomalous-source packets (the paper argues this should be
+    /// every kernel's default; none of the tested OSes actually did).
+    pub fn strict() -> StackPolicy {
+        StackPolicy {
+            accept_dst_as_src_v4: false,
+            accept_dst_as_src_v6: false,
+            accept_loopback_v4: false,
+            accept_loopback_v6: false,
+        }
+    }
+
+    /// Whether a packet with the given anomaly is delivered to user space.
+    pub fn accepts(&self, dst_as_src: bool, loopback_src: bool, v6: bool) -> bool {
+        if loopback_src {
+            if v6 {
+                self.accept_loopback_v6
+            } else {
+                self.accept_loopback_v4
+            }
+        } else if dst_as_src {
+            if v6 {
+                self.accept_dst_as_src_v6
+            } else {
+                self.accept_dst_as_src_v4
+            }
+        } else {
+            true
+        }
+    }
+}
+
+impl Default for StackPolicy {
+    /// The common modern profile: destination-as-source accepted on IPv6
+    /// only, loopback never (modern Linux, paper Table 6).
+    fn default() -> StackPolicy {
+        StackPolicy {
+            accept_dst_as_src_v4: false,
+            accept_dst_as_src_v6: true,
+            accept_loopback_v4: false,
+            accept_loopback_v6: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn border_presets() {
+        assert!(!BorderPolicy::open().dsav);
+        assert!(BorderPolicy::strict().osav);
+        assert!(!BorderPolicy::no_osav_vantage().osav);
+    }
+
+    #[test]
+    fn stack_policy_dispatch() {
+        let linux = StackPolicy::default();
+        // Normal packets always accepted.
+        assert!(linux.accepts(false, false, false));
+        assert!(linux.accepts(false, false, true));
+        // Modern Linux: v6 DS accepted, v4 DS dropped, loopback dropped.
+        assert!(linux.accepts(true, false, true));
+        assert!(!linux.accepts(true, false, false));
+        assert!(!linux.accepts(false, true, true));
+        assert!(!linux.accepts(false, true, false));
+        // Loopback takes precedence over dst-as-src when both hold.
+        let strict = StackPolicy::strict();
+        assert!(!strict.accepts(true, true, false));
+        assert!(StackPolicy::permissive().accepts(true, true, true));
+    }
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(64500).to_string(), "AS64500");
+    }
+}

@@ -1,0 +1,170 @@
+//! Packet tracing — a tcpdump-like capture of simulated traffic.
+//!
+//! Disabled by default (the full survey moves tens of millions of packets);
+//! tests and examples enable it to assert on exact packet flows or to dump a
+//! human-readable trace.
+
+use crate::counters::DropReason;
+use crate::packet::{Packet, Transport};
+use crate::time::SimTime;
+use std::fmt;
+
+/// Where in the pipeline a packet was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePoint {
+    /// Handed to the network by the sending node.
+    Sent,
+    /// Delivered to the destination node.
+    Delivered,
+    /// Redirected to a middlebox.
+    Intercepted,
+    /// Dropped, with the reason.
+    Dropped(DropReason),
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    pub time: SimTime,
+    pub point: TracePoint,
+    pub packet: Packet,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let proto = match &self.packet.transport {
+            Transport::Udp(_) => "UDP",
+            Transport::Tcp(t) => {
+                if t.flags.syn && !t.flags.ack {
+                    "TCP SYN"
+                } else if t.flags.syn {
+                    "TCP SYN-ACK"
+                } else if t.flags.rst {
+                    "TCP RST"
+                } else {
+                    "TCP"
+                }
+            }
+        };
+        let point = match self.point {
+            TracePoint::Sent => "TX ".to_string(),
+            TracePoint::Delivered => "RX ".to_string(),
+            TracePoint::Intercepted => "MBX".to_string(),
+            TracePoint::Dropped(r) => format!("DROP[{r}]"),
+        };
+        write!(
+            f,
+            "{} {point} {proto} {}:{} > {}:{} len {}",
+            self.time,
+            self.packet.src,
+            self.packet.transport.src_port(),
+            self.packet.dst,
+            self.packet.transport.dst_port(),
+            self.packet.transport.payload().len(),
+        )
+    }
+}
+
+/// A bounded in-memory capture buffer.
+#[derive(Debug)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    /// Number of entries discarded after the buffer filled.
+    pub overflowed: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` entries (oldest kept).
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            overflowed: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, time: SimTime, point: TracePoint, packet: &Packet) {
+        if self.entries.len() >= self.capacity {
+            self.overflowed += 1;
+            return;
+        }
+        self.entries.push(TraceEntry {
+            time,
+            point,
+            packet: packet.clone(),
+        });
+    }
+
+    /// All captured entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries matching a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&TraceEntry) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| pred(e))
+    }
+
+    /// Render the whole capture as text, one line per record.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        if self.overflowed > 0 {
+            s.push_str(&format!("... {} entries not captured (buffer full)\n", self.overflowed));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::IpAddr;
+
+    fn pkt() -> Packet {
+        let a: IpAddr = "192.0.2.1".parse().unwrap();
+        let b: IpAddr = "198.51.100.9".parse().unwrap();
+        Packet::udp(a, b, 40000, 53, vec![0; 12])
+    }
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::with_capacity(2);
+        t.record(SimTime::ZERO, TracePoint::Sent, &pkt());
+        t.record(SimTime::from_secs(1), TracePoint::Delivered, &pkt());
+        t.record(SimTime::from_secs(2), TracePoint::Delivered, &pkt());
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.overflowed, 1);
+        assert!(t.dump().contains("not captured"));
+    }
+
+    #[test]
+    fn display_format() {
+        let mut t = Trace::with_capacity(10);
+        t.record(
+            SimTime::from_secs(1),
+            TracePoint::Dropped(DropReason::Dsav),
+            &pkt(),
+        );
+        let line = t.dump();
+        assert!(line.contains("DROP[dsav-ingress]"), "{line}");
+        assert!(line.contains("192.0.2.1:40000 > 198.51.100.9:53"), "{line}");
+        assert!(line.contains("len 12"), "{line}");
+    }
+
+    #[test]
+    fn filter_selects() {
+        let mut t = Trace::with_capacity(10);
+        t.record(SimTime::ZERO, TracePoint::Sent, &pkt());
+        t.record(SimTime::ZERO, TracePoint::Delivered, &pkt());
+        assert_eq!(t.filter(|e| e.point == TracePoint::Delivered).count(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # bcd-osmodel — operating-system network-stack models
+//!
+//! The paper characterizes OSes along three axes, all reproduced here from
+//! its own lab results:
+//!
+//! * **anomalous-source acceptance** (Table 6): which kernels deliver
+//!   destination-as-source and loopback-source packets to user space
+//!   ([`Os::stack_policy`]),
+//! * **ephemeral source-port allocation** (Table 5 + §5.3.2): the pool each
+//!   OS/DNS-software combination draws UDP source ports from
+//!   ([`PortAllocator`], [`DnsSoftware`]) — the observable that enables both
+//!   the cache-poisoning census (§5.2) and OS identification (§5.3.2),
+//! * **TCP SYN fingerprints** (§5.3.1): the p0f-visible header fields each
+//!   OS emits ([`TcpSignature`], [`P0fClassifier`]).
+
+pub mod os;
+pub mod p0f;
+pub mod ports;
+pub mod software;
+
+pub use os::Os;
+pub use p0f::{P0fClass, P0fClassifier, TcpSignature};
+pub use ports::PortAllocator;
+pub use software::DnsSoftware;

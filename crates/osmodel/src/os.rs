@@ -1,0 +1,208 @@
+//! Operating-system identities and their kernel-level behaviours.
+//!
+//! Variants mirror the OS matrix of the paper's lab experiments (§5.3.2 and
+//! Table 6). Each OS knows:
+//!
+//! * its [`bcd_netsim::StackPolicy`] — acceptance of destination-as-source
+//!   (DS) and loopback (LB) packets, per IP version (Table 6),
+//! * its default ephemeral port pool (§5.3.2 lab findings),
+//! * its initial IP TTL (used by the p0f model).
+
+use crate::ports::PortAllocator;
+use bcd_netsim::StackPolicy;
+use std::fmt;
+
+/// Operating systems the paper's lab characterized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Os {
+    /// Ubuntu 16.04 / 18.04 / 19.x — Linux kernels ≥ 4.15.
+    /// Accepts DS over IPv6 only; drops loopback.
+    LinuxModern,
+    /// Ubuntu 10.04 / 12.04 / 14.04 — Linux kernels 2.6–4.4.
+    /// Accepts DS over IPv6 *and* loopback over IPv6 (§5.5: the two
+    /// operators who confirmed kernels 3.10 / 2.6).
+    LinuxOld,
+    /// FreeBSD 11.3 / 12.x. Accepts DS over both versions; drops loopback.
+    FreeBsd,
+    /// Windows Server 2008 R2 / 2012 / 2012 R2 / 2016 / 2019.
+    /// Accepts DS over both versions; drops loopback.
+    WindowsModern,
+    /// Windows Server 2008 (pre-R2): same stack acceptance as modern, but
+    /// Windows DNS still used a single source port.
+    Windows2008,
+    /// Windows Server 2003 / 2003 R2. Accepts DS both versions and IPv4
+    /// loopback (the only OS in the study that did).
+    Windows2003,
+    /// Hosts whose TCP fingerprint matches BaiduSpider (§5.3.1 found 20% of
+    /// zero-range resolvers matching this crawler profile). Stack modelled
+    /// as a hardened Linux.
+    BaiduCrawler,
+}
+
+impl Os {
+    /// All variants, for exhaustive lab sweeps.
+    pub const ALL: [Os; 7] = [
+        Os::LinuxModern,
+        Os::LinuxOld,
+        Os::FreeBsd,
+        Os::WindowsModern,
+        Os::Windows2008,
+        Os::Windows2003,
+        Os::BaiduCrawler,
+    ];
+
+    /// Kernel acceptance of anomalous-source packets (paper Table 6).
+    pub fn stack_policy(self) -> StackPolicy {
+        match self {
+            Os::LinuxModern | Os::BaiduCrawler => StackPolicy {
+                accept_dst_as_src_v4: false,
+                accept_dst_as_src_v6: true,
+                accept_loopback_v4: false,
+                accept_loopback_v6: false,
+            },
+            Os::LinuxOld => StackPolicy {
+                accept_dst_as_src_v4: false,
+                accept_dst_as_src_v6: true,
+                accept_loopback_v4: false,
+                accept_loopback_v6: true,
+            },
+            Os::FreeBsd | Os::WindowsModern | Os::Windows2008 => StackPolicy {
+                accept_dst_as_src_v4: true,
+                accept_dst_as_src_v6: true,
+                accept_loopback_v4: false,
+                accept_loopback_v6: false,
+            },
+            Os::Windows2003 => StackPolicy {
+                accept_dst_as_src_v4: true,
+                accept_dst_as_src_v6: true,
+                accept_loopback_v4: true,
+                accept_loopback_v6: false,
+            },
+        }
+    }
+
+    /// The OS-designated ephemeral port pool, as measured in the paper's
+    /// lab (§5.3.2):
+    ///
+    /// * Linux: 32768–61000, "a pool of size 28,232",
+    /// * FreeBSD: the IANA range 49152–65535, "a pool of size 16,383",
+    /// * Windows: for software deferring to the OS (e.g. BIND ≥ 9.9), the
+    ///   full unprivileged range 1024–65535 ("64,511").
+    ///
+    /// Pool sizes follow the paper's reported counts exactly (the paper
+    /// counts range spans, so each pool's inclusive top is `lo + size - 1`).
+    pub fn default_port_allocator(self) -> PortAllocator {
+        match self {
+            Os::LinuxModern | Os::LinuxOld | Os::BaiduCrawler => {
+                PortAllocator::uniform(32_768, 28_232)
+            }
+            Os::FreeBsd => PortAllocator::uniform(49_152, 16_383),
+            Os::WindowsModern | Os::Windows2008 | Os::Windows2003 => {
+                PortAllocator::uniform(1_024, 64_511)
+            }
+        }
+    }
+
+    /// Initial IP TTL / hop limit of packets this OS sends.
+    pub fn initial_ttl(self) -> u8 {
+        match self {
+            Os::LinuxModern | Os::LinuxOld | Os::FreeBsd | Os::BaiduCrawler => 64,
+            Os::WindowsModern | Os::Windows2008 | Os::Windows2003 => 128,
+        }
+    }
+
+    /// True for any Windows Server variant.
+    pub fn is_windows(self) -> bool {
+        matches!(self, Os::WindowsModern | Os::Windows2008 | Os::Windows2003)
+    }
+
+    /// True for any Linux variant (including the Baidu crawler profile).
+    pub fn is_linux(self) -> bool {
+        matches!(self, Os::LinuxModern | Os::LinuxOld | Os::BaiduCrawler)
+    }
+}
+
+impl fmt::Display for Os {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Os::LinuxModern => "Linux (kernel >= 4.15)",
+            Os::LinuxOld => "Linux (kernel <= 4.4)",
+            Os::FreeBsd => "FreeBSD",
+            Os::WindowsModern => "Windows Server (2008 R2+)",
+            Os::Windows2008 => "Windows Server 2008",
+            Os::Windows2003 => "Windows Server 2003",
+            Os::BaiduCrawler => "BaiduSpider-profile host",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Re-states the paper's Table 6 row by row.
+    #[test]
+    fn table6_acceptance_matrix() {
+        // Ubuntu 16.04+: DS v6 only.
+        let p = Os::LinuxModern.stack_policy();
+        assert!(!p.accept_dst_as_src_v4 && p.accept_dst_as_src_v6);
+        assert!(!p.accept_loopback_v4 && !p.accept_loopback_v6);
+        // Ubuntu 10.04–14.04: DS v6 + LB v6.
+        let p = Os::LinuxOld.stack_policy();
+        assert!(!p.accept_dst_as_src_v4 && p.accept_dst_as_src_v6);
+        assert!(!p.accept_loopback_v4 && p.accept_loopback_v6);
+        // FreeBSD: DS v4+v6.
+        let p = Os::FreeBsd.stack_policy();
+        assert!(p.accept_dst_as_src_v4 && p.accept_dst_as_src_v6);
+        assert!(!p.accept_loopback_v4 && !p.accept_loopback_v6);
+        // Windows 2008..2019: DS v4+v6.
+        for os in [Os::WindowsModern, Os::Windows2008] {
+            let p = os.stack_policy();
+            assert!(p.accept_dst_as_src_v4 && p.accept_dst_as_src_v6);
+            assert!(!p.accept_loopback_v4 && !p.accept_loopback_v6);
+        }
+        // Windows 2003: DS v4+v6 plus LB v4.
+        let p = Os::Windows2003.stack_policy();
+        assert!(p.accept_dst_as_src_v4 && p.accept_dst_as_src_v6);
+        assert!(p.accept_loopback_v4 && !p.accept_loopback_v6);
+    }
+
+    /// The paper's §6 observation: *every* tested OS accepts IPv6
+    /// destination-as-source, and all but (modern) Linux accept IPv4 DS.
+    #[test]
+    fn universal_v6_ds_acceptance() {
+        for os in Os::ALL {
+            assert!(
+                os.stack_policy().accept_dst_as_src_v6,
+                "{os} should accept IPv6 dst-as-src"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_sizes_match_paper() {
+        assert_eq!(Os::LinuxModern.default_port_allocator().pool_size(), 28_232);
+        assert_eq!(Os::FreeBsd.default_port_allocator().pool_size(), 16_383);
+        assert_eq!(
+            Os::WindowsModern.default_port_allocator().pool_size(),
+            64_511
+        );
+    }
+
+    #[test]
+    fn ttl_by_family() {
+        assert_eq!(Os::LinuxModern.initial_ttl(), 64);
+        assert_eq!(Os::FreeBsd.initial_ttl(), 64);
+        assert_eq!(Os::WindowsModern.initial_ttl(), 128);
+    }
+
+    #[test]
+    fn family_predicates() {
+        assert!(Os::Windows2003.is_windows());
+        assert!(!Os::FreeBsd.is_windows());
+        assert!(Os::LinuxOld.is_linux());
+        assert!(Os::BaiduCrawler.is_linux());
+        assert!(!Os::WindowsModern.is_linux());
+    }
+}

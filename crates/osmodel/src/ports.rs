@@ -1,0 +1,303 @@
+//! Ephemeral source-port allocation strategies.
+//!
+//! Every behaviour the paper observed in the wild or in its lab (Table 5,
+//! §5.2.1, §5.2.3) is a [`PortAllocator`] variant:
+//!
+//! * a **fixed** single port (BIND < 8.1: port 53; BIND 8 / old Windows DNS:
+//!   a random unprivileged port picked at startup; or an explicit
+//!   `query-source port` configuration),
+//! * a **small random set** (BIND 9.5.0: 8 ports selected at startup),
+//! * a **sequential** counter in a small window that wraps (the §5.2.3
+//!   "strictly increasing" resolvers with ranges 1–200),
+//! * a **uniform pool** (Linux 32768–61000, FreeBSD IANA, full unprivileged
+//!   range),
+//! * the **Windows DNS pool**: 2,500 contiguous ports chosen at server
+//!   startup inside the IANA range, wrapping from 65535 back to 49152.
+
+use rand::Rng;
+
+/// Bottom of the IANA dynamic/ephemeral range.
+pub const IANA_LO: u16 = 49_152;
+/// Top of the IANA dynamic/ephemeral range.
+pub const IANA_HI: u16 = 65_535;
+/// Size of the IANA range.
+pub const IANA_SIZE: u32 = (IANA_HI - IANA_LO) as u32 + 1; // 16,384
+/// Size of the Windows DNS (2008 R2+) startup-selected pool.
+pub const WINDOWS_POOL_SIZE: u32 = 2_500;
+
+/// A source-port allocation strategy with whatever per-instance state it
+/// needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortAllocator {
+    /// Always the same port.
+    Fixed(u16),
+    /// Uniform choice among a small fixed set (BIND 9.5.0's 8 ports).
+    SmallSet(Vec<u16>),
+    /// Strictly increasing within `[base, base + span - 1]`, wrapping to
+    /// `base` (an "ineffective" allocator, §5.2.3).
+    Sequential { base: u16, span: u16, next: u16 },
+    /// Uniform over `size` contiguous ports starting at `lo`.
+    Uniform { lo: u16, size: u32 },
+    /// Windows DNS 2008 R2+: uniform over 2,500 contiguous ports starting
+    /// at `start` within the IANA range, wrapping past 65535 to 49152.
+    WindowsPool { start: u16 },
+}
+
+impl PortAllocator {
+    /// A fixed-port allocator.
+    pub fn fixed(port: u16) -> PortAllocator {
+        PortAllocator::Fixed(port)
+    }
+
+    /// The classic BIND-on-port-53 configuration.
+    pub fn port53() -> PortAllocator {
+        PortAllocator::Fixed(53)
+    }
+
+    /// A random unprivileged fixed port, "selected at startup".
+    pub fn fixed_unprivileged<R: Rng + ?Sized>(rng: &mut R) -> PortAllocator {
+        PortAllocator::Fixed(rng.gen_range(1_024..=65_535))
+    }
+
+    /// BIND 9.5.0's startup-selected set of 8 unprivileged ports.
+    pub fn small_set<R: Rng + ?Sized>(rng: &mut R, count: usize) -> PortAllocator {
+        let mut ports = Vec::with_capacity(count);
+        while ports.len() < count {
+            let p = rng.gen_range(1_024..=65_535);
+            if !ports.contains(&p) {
+                ports.push(p);
+            }
+        }
+        PortAllocator::SmallSet(ports)
+    }
+
+    /// A strictly increasing allocator over a window of `span` ports.
+    pub fn sequential<R: Rng + ?Sized>(rng: &mut R, span: u16) -> PortAllocator {
+        assert!(span >= 1);
+        let base = rng.gen_range(1_024..=(65_535 - span));
+        PortAllocator::Sequential {
+            base,
+            span,
+            next: 0,
+        }
+    }
+
+    /// Uniform over `size` ports starting at `lo` (inclusive).
+    pub fn uniform(lo: u16, size: u32) -> PortAllocator {
+        assert!(size >= 1);
+        assert!(lo as u32 + size - 1 <= 65_535, "pool exceeds port space");
+        PortAllocator::Uniform { lo, size }
+    }
+
+    /// A fresh Windows DNS pool with a startup-random starting port.
+    pub fn windows_pool<R: Rng + ?Sized>(rng: &mut R) -> PortAllocator {
+        PortAllocator::WindowsPool {
+            start: rng.gen_range(IANA_LO..=IANA_HI),
+        }
+    }
+
+    /// Number of distinct ports this allocator can produce.
+    pub fn pool_size(&self) -> u32 {
+        match self {
+            PortAllocator::Fixed(_) => 1,
+            PortAllocator::SmallSet(ports) => ports.len() as u32,
+            PortAllocator::Sequential { span, .. } => *span as u32,
+            PortAllocator::Uniform { size, .. } => *size,
+            PortAllocator::WindowsPool { .. } => WINDOWS_POOL_SIZE,
+        }
+    }
+
+    /// Draw the next source port.
+    pub fn next_port<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u16 {
+        match self {
+            PortAllocator::Fixed(p) => *p,
+            PortAllocator::SmallSet(ports) => ports[rng.gen_range(0..ports.len())],
+            PortAllocator::Sequential { base, span, next } => {
+                let port = *base + *next;
+                *next = (*next + 1) % *span;
+                port
+            }
+            PortAllocator::Uniform { lo, size } => {
+                (*lo as u32 + rng.gen_range(0..*size)) as u16
+            }
+            PortAllocator::WindowsPool { start } => {
+                let start_off = (*start - IANA_LO) as u32;
+                let off = (start_off + rng.gen_range(0..WINDOWS_POOL_SIZE)) % IANA_SIZE;
+                (IANA_LO as u32 + off) as u16
+            }
+        }
+    }
+
+    /// True if the Windows pool wraps past the top of the IANA range
+    /// (relevant to the paper's range-adjustment algorithm, §5.3.2).
+    pub fn windows_pool_wraps(&self) -> bool {
+        match self {
+            PortAllocator::WindowsPool { start } => {
+                (*start as u32 - IANA_LO as u32) + WINDOWS_POOL_SIZE > IANA_SIZE
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn fixed_never_varies() {
+        let mut r = rng();
+        let mut a = PortAllocator::port53();
+        for _ in 0..100 {
+            assert_eq!(a.next_port(&mut r), 53);
+        }
+        assert_eq!(a.pool_size(), 1);
+    }
+
+    #[test]
+    fn fixed_unprivileged_is_above_1023() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = PortAllocator::fixed_unprivileged(&mut r);
+            if let PortAllocator::Fixed(p) = a {
+                assert!(p > 1_023);
+            } else {
+                unreachable!()
+            }
+        }
+    }
+
+    #[test]
+    fn small_set_uses_only_its_ports() {
+        let mut r = rng();
+        let mut a = PortAllocator::small_set(&mut r, 8);
+        let allowed: HashSet<u16> = match &a {
+            PortAllocator::SmallSet(p) => p.iter().copied().collect(),
+            _ => unreachable!(),
+        };
+        assert_eq!(allowed.len(), 8);
+        let mut seen = HashSet::new();
+        for _ in 0..1_000 {
+            let p = a.next_port(&mut r);
+            assert!(allowed.contains(&p));
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), 8, "all 8 ports should appear in 1000 draws");
+    }
+
+    #[test]
+    fn sequential_increases_then_wraps() {
+        let mut r = rng();
+        let mut a = PortAllocator::sequential(&mut r, 5);
+        let first: Vec<u16> = (0..5).map(|_| a.next_port(&mut r)).collect();
+        for w in first.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "strictly increasing");
+        }
+        // Sixth draw wraps to the base.
+        assert_eq!(a.next_port(&mut r), first[0]);
+        assert_eq!(a.pool_size(), 5);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_covers() {
+        let mut r = rng();
+        let mut a = PortAllocator::uniform(32_768, 28_232);
+        let mut min = u16::MAX;
+        let mut max = 0;
+        for _ in 0..50_000 {
+            let p = a.next_port(&mut r);
+            assert!((32_768..=32_768 + 28_231).contains(&(p as u32)));
+            min = min.min(p);
+            max = max.max(p);
+        }
+        // With 50k draws from 28k ports, extremes are essentially reached.
+        assert!(min <= 32_770, "min = {min}");
+        assert!(max as u32 >= 32_768 + 28_229, "max = {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pool exceeds port space")]
+    fn uniform_rejects_overflow() {
+        let _ = PortAllocator::uniform(60_000, 10_000);
+    }
+
+    #[test]
+    fn windows_pool_is_contiguous_modulo_wrap() {
+        let mut r = rng();
+        // Force a wrapping pool: start within 2,499 of the top.
+        let mut a = PortAllocator::WindowsPool { start: 65_000 };
+        assert!(a.windows_pool_wraps());
+        let mut low_part = false;
+        let mut high_part = false;
+        for _ in 0..10_000 {
+            let p = a.next_port(&mut r);
+            assert!((IANA_LO..=IANA_HI).contains(&p));
+            if p >= 65_000 {
+                high_part = true;
+            } else {
+                // Wrapped region: 49152..49152+(2500-(65535-65000+1))
+                assert!(p < IANA_LO + (WINDOWS_POOL_SIZE - 536) as u16);
+                low_part = true;
+            }
+        }
+        assert!(low_part && high_part, "both wrap regions must be used");
+    }
+
+    #[test]
+    fn windows_pool_no_wrap_case() {
+        let mut r = rng();
+        let mut a = PortAllocator::WindowsPool { start: 50_000 };
+        assert!(!a.windows_pool_wraps());
+        for _ in 0..5_000 {
+            let p = a.next_port(&mut r) as u32;
+            assert!((50_000..50_000 + WINDOWS_POOL_SIZE).contains(&p));
+        }
+    }
+
+    #[test]
+    fn windows_pool_has_2500_distinct_ports() {
+        let mut r = rng();
+        let mut a = PortAllocator::windows_pool(&mut r);
+        let mut seen = HashSet::new();
+        for _ in 0..100_000 {
+            seen.insert(a.next_port(&mut r));
+        }
+        // Coupon collector: 100k draws from 2500 ports covers all of them
+        // with overwhelming probability.
+        assert_eq!(seen.len(), WINDOWS_POOL_SIZE as usize);
+    }
+
+    #[test]
+    fn observed_range_tracks_pool_size() {
+        // 10-draw ranges from each pool should land near (n-1)/(n+1)·s —
+        // the paper's Beta(9,2) mode/mean neighbourhood.
+        let mut r = rng();
+        for (alloc, size) in [
+            (PortAllocator::uniform(32_768, 28_232), 28_232u32),
+            (PortAllocator::uniform(49_152, 16_383), 16_383),
+            (PortAllocator::uniform(1_024, 64_511), 64_511),
+        ] {
+            let mut a = alloc;
+            let mut ranges = Vec::new();
+            for _ in 0..500 {
+                let ports: Vec<u16> = (0..10).map(|_| a.next_port(&mut r)).collect();
+                let mn = *ports.iter().min().unwrap() as i64;
+                let mx = *ports.iter().max().unwrap() as i64;
+                ranges.push((mx - mn) as f64);
+            }
+            let mean = ranges.iter().sum::<f64>() / ranges.len() as f64;
+            let expect = 9.0 / 11.0 * size as f64;
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "pool {size}: mean {mean}, expect {expect}"
+            );
+        }
+    }
+}

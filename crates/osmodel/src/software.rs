@@ -1,0 +1,254 @@
+//! DNS resolver software profiles and their default source-port behaviour —
+//! the paper's Table 5, reproduced exactly.
+//!
+//! | Software                          | Source port pool (default)         |
+//! |-----------------------------------|------------------------------------|
+//! | BIND 9.5.0                        | 8 ports, selected at startup       |
+//! | BIND 9.5.2–9.8.8                  | 1024–65535                         |
+//! | BIND 9.9.13–9.16.0                | OS defaults                        |
+//! | Knot Resolver 3.2.1               | OS defaults                        |
+//! | Unbound 1.9.0                     | 1024–65535                         |
+//! | PowerDNS Recursor 4.2.0           | 1024–65535                         |
+//! | Windows DNS 2003/2003 R2/2008     | 1 port, > 1023, selected at startup|
+//! | Windows DNS 2008 R2–2019          | 2,500 contiguous ports (wrapping)  |
+//!
+//! Plus the misconfiguration/antique profiles §5.2.1 found in the wild:
+//! a fixed `query-source port 53` (34% of zero-range resolvers), other fixed
+//! ports (32768 was 12%), and sequential small-window allocators (§5.2.3).
+
+use crate::os::Os;
+use crate::ports::PortAllocator;
+use rand::Rng;
+use std::fmt;
+
+/// DNS software (and configuration) profiles relevant to source-port
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DnsSoftware {
+    /// BIND 9.5.0: 8 startup-selected ports.
+    Bind950,
+    /// BIND 9.5.2 through 9.8.8: full unprivileged range.
+    Bind952To988,
+    /// BIND 9.9.13 through 9.16.0: defers to the OS pool.
+    Bind99Plus,
+    /// Knot Resolver 3.2.1: defers to the OS pool.
+    Knot32,
+    /// Unbound 1.9.0: full unprivileged range.
+    Unbound19,
+    /// PowerDNS Recursor 4.2.0: full unprivileged range.
+    PowerDns42,
+    /// Windows DNS on 2003 / 2003 R2 / 2008: one unprivileged port chosen
+    /// at startup.
+    WindowsDnsOld,
+    /// Windows DNS on 2008 R2+: the 2,500-port wrapping pool.
+    WindowsDnsModern,
+    /// Any software explicitly configured with `query-source port 53`
+    /// (or BIND < 8.1 defaults).
+    FixedPort53,
+    /// Any software pinned to a non-53 port (BIND 8 default behaviour, or
+    /// explicit configuration; 32768/32769 were common in the wild).
+    FixedPortOther,
+    /// An "ineffective" allocator: strictly increasing over a small window
+    /// (§5.2.3's 1–200-range resolvers, 65% of which increased strictly).
+    SequentialSmall,
+}
+
+impl DnsSoftware {
+    /// All profiles, for lab sweeps (Table 5 regeneration).
+    pub const ALL: [DnsSoftware; 11] = [
+        DnsSoftware::Bind950,
+        DnsSoftware::Bind952To988,
+        DnsSoftware::Bind99Plus,
+        DnsSoftware::Knot32,
+        DnsSoftware::Unbound19,
+        DnsSoftware::PowerDns42,
+        DnsSoftware::WindowsDnsOld,
+        DnsSoftware::WindowsDnsModern,
+        DnsSoftware::FixedPort53,
+        DnsSoftware::FixedPortOther,
+        DnsSoftware::SequentialSmall,
+    ];
+
+    /// Instantiate the allocator this software uses on the given OS.
+    /// Startup randomness (fixed-port choice, pool start, the 8-port set)
+    /// comes from `rng`, exactly once per server instance — matching the
+    /// paper's "selected at startup" observations.
+    pub fn allocator<R: Rng + ?Sized>(self, os: Os, rng: &mut R) -> PortAllocator {
+        match self {
+            DnsSoftware::Bind950 => PortAllocator::small_set(rng, 8),
+            DnsSoftware::Bind952To988 | DnsSoftware::Unbound19 | DnsSoftware::PowerDns42 => {
+                PortAllocator::uniform(1_024, 64_511)
+            }
+            DnsSoftware::Bind99Plus | DnsSoftware::Knot32 => os.default_port_allocator(),
+            DnsSoftware::WindowsDnsOld => PortAllocator::fixed_unprivileged(rng),
+            DnsSoftware::WindowsDnsModern => PortAllocator::windows_pool(rng),
+            DnsSoftware::FixedPort53 => PortAllocator::port53(),
+            DnsSoftware::FixedPortOther => {
+                // The wild population clusters on 32768/32769 (paper: 12%
+                // and 3.8% of single-port resolvers) with a tail of other
+                // startup-selected ports.
+                let roll: f64 = rng.gen();
+                if roll < 0.4 {
+                    PortAllocator::fixed(32_768)
+                } else if roll < 0.55 {
+                    PortAllocator::fixed(32_769)
+                } else {
+                    PortAllocator::fixed_unprivileged(rng)
+                }
+            }
+            DnsSoftware::SequentialSmall => {
+                // Window widths 2..=200 per §5.2.3's observed 1–200 ranges.
+                let span = rng.gen_range(2..=200);
+                PortAllocator::sequential(rng, span)
+            }
+        }
+    }
+
+    /// The Table 5 "Source Port Pool (default)" cell, as text.
+    pub fn pool_description(self) -> &'static str {
+        match self {
+            DnsSoftware::Bind950 => "8 ports, selected at startup",
+            DnsSoftware::Bind952To988 => "1024-65535",
+            DnsSoftware::Bind99Plus => "OS defaults",
+            DnsSoftware::Knot32 => "OS defaults",
+            DnsSoftware::Unbound19 => "1024-65535",
+            DnsSoftware::PowerDns42 => "1024-65535",
+            DnsSoftware::WindowsDnsOld => "1 port, > 1023, selected at startup",
+            DnsSoftware::WindowsDnsModern => {
+                "2,500 contiguous ports (with wrapping), selected at startup"
+            }
+            DnsSoftware::FixedPort53 => "port 53 (query-source configuration)",
+            DnsSoftware::FixedPortOther => "1 fixed unprivileged port (configuration)",
+            DnsSoftware::SequentialSmall => "sequential small window (misconfiguration)",
+        }
+    }
+
+    /// True if this profile has *no* source-port randomization (range 0) —
+    /// the §5.2.1 vulnerable class.
+    pub fn is_single_port(self) -> bool {
+        matches!(
+            self,
+            DnsSoftware::WindowsDnsOld | DnsSoftware::FixedPort53 | DnsSoftware::FixedPortOther
+        )
+    }
+}
+
+impl fmt::Display for DnsSoftware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DnsSoftware::Bind950 => "BIND 9.5.0",
+            DnsSoftware::Bind952To988 => "BIND 9.5.2-9.8.8",
+            DnsSoftware::Bind99Plus => "BIND 9.9.13-9.16.0",
+            DnsSoftware::Knot32 => "Knot Resolver 3.2.1",
+            DnsSoftware::Unbound19 => "Unbound 1.9.0",
+            DnsSoftware::PowerDns42 => "PowerDNS Rec. 4.2.0",
+            DnsSoftware::WindowsDnsOld => "Windows DNS 2003, 2003 R2, 2008",
+            DnsSoftware::WindowsDnsModern => "Windows DNS 2008 R2, 2012, 2012 R2, 2016, 2019",
+            DnsSoftware::FixedPort53 => "fixed query-source port 53",
+            DnsSoftware::FixedPortOther => "fixed unprivileged query-source port",
+            DnsSoftware::SequentialSmall => "sequential small-pool allocator",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    /// Reproduce Table 5: instantiate each profile and check its pool size.
+    #[test]
+    fn table5_pool_sizes() {
+        let mut r = rng();
+        let cases: [(DnsSoftware, u32); 8] = [
+            (DnsSoftware::Bind950, 8),
+            (DnsSoftware::Bind952To988, 64_511),
+            (DnsSoftware::Knot32, 28_232), // on Linux
+            (DnsSoftware::Unbound19, 64_511),
+            (DnsSoftware::PowerDns42, 64_511),
+            (DnsSoftware::WindowsDnsOld, 1),
+            (DnsSoftware::WindowsDnsModern, 2_500),
+            (DnsSoftware::FixedPort53, 1),
+        ];
+        for (sw, size) in cases {
+            let os = if sw == DnsSoftware::WindowsDnsOld || sw == DnsSoftware::WindowsDnsModern {
+                Os::WindowsModern
+            } else {
+                Os::LinuxModern
+            };
+            assert_eq!(sw.allocator(os, &mut r).pool_size(), size, "{sw}");
+        }
+    }
+
+    #[test]
+    fn bind99_follows_the_os() {
+        let mut r = rng();
+        assert_eq!(
+            DnsSoftware::Bind99Plus
+                .allocator(Os::LinuxModern, &mut r)
+                .pool_size(),
+            28_232
+        );
+        assert_eq!(
+            DnsSoftware::Bind99Plus
+                .allocator(Os::FreeBsd, &mut r)
+                .pool_size(),
+            16_383
+        );
+        // The paper's §5.3.2 caveat: BIND on Windows uses the full
+        // unprivileged range, so Windows is only identifiable when running
+        // Windows DNS itself.
+        assert_eq!(
+            DnsSoftware::Bind99Plus
+                .allocator(Os::WindowsModern, &mut r)
+                .pool_size(),
+            64_511
+        );
+    }
+
+    #[test]
+    fn single_port_classification() {
+        assert!(DnsSoftware::FixedPort53.is_single_port());
+        assert!(DnsSoftware::WindowsDnsOld.is_single_port());
+        assert!(!DnsSoftware::WindowsDnsModern.is_single_port());
+        assert!(!DnsSoftware::Bind99Plus.is_single_port());
+    }
+
+    #[test]
+    fn fixed_port_other_clusters_on_32768() {
+        let mut r = rng();
+        let mut hits_32768 = 0;
+        for _ in 0..1_000 {
+            if let PortAllocator::Fixed(p) = DnsSoftware::FixedPortOther.allocator(Os::LinuxModern, &mut r)
+            {
+                if p == 32_768 {
+                    hits_32768 += 1;
+                }
+                assert!(p > 1_023);
+            } else {
+                unreachable!()
+            }
+        }
+        assert!((300..500).contains(&hits_32768), "{hits_32768}");
+    }
+
+    #[test]
+    fn sequential_small_stays_in_window() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let mut a = DnsSoftware::SequentialSmall.allocator(Os::LinuxModern, &mut r);
+            let span = a.pool_size();
+            assert!((2..=200).contains(&span));
+            let ports: Vec<u16> = (0..10).map(|_| a.next_port(&mut r)).collect();
+            let mn = *ports.iter().min().unwrap();
+            let mx = *ports.iter().max().unwrap();
+            assert!(((mx - mn) as u32) < span);
+        }
+    }
+}

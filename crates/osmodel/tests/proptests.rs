@@ -1,0 +1,78 @@
+//! Property tests for port allocators: every strategy stays inside its
+//! declared pool, for arbitrary seeds and draw counts.
+
+use bcd_osmodel::ports::{IANA_HI, IANA_LO, WINDOWS_POOL_SIZE};
+use bcd_osmodel::{DnsSoftware, Os, PortAllocator};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn all_software() -> impl Strategy<Value = DnsSoftware> {
+    prop::sample::select(DnsSoftware::ALL.to_vec())
+}
+
+fn all_os() -> impl Strategy<Value = Os> {
+    prop::sample::select(Os::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The number of distinct ports ever drawn never exceeds the declared
+    /// pool size, and no port is privileged unless explicitly configured.
+    #[test]
+    fn allocator_respects_declared_pool(
+        sw in all_software(),
+        os in all_os(),
+        seed in any::<u64>(),
+        draws in 1usize..300,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut alloc = sw.allocator(os, &mut rng);
+        let declared = alloc.pool_size();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..draws {
+            let p = alloc.next_port(&mut rng);
+            seen.insert(p);
+            // Only explicit fixed-53 configurations may use a privileged
+            // port.
+            if sw != DnsSoftware::FixedPort53 {
+                prop_assert!(p > 1_023, "{sw} on {os} drew privileged port {p}");
+            }
+        }
+        prop_assert!(seen.len() as u32 <= declared);
+        // Single-port profiles really are single-port.
+        if sw.is_single_port() {
+            prop_assert_eq!(seen.len(), 1);
+        }
+    }
+
+    /// The Windows pool is exactly 2,500 positions inside the IANA range,
+    /// contiguous modulo the wrap.
+    #[test]
+    fn windows_pool_geometry(start in IANA_LO..=IANA_HI, seed in any::<u64>(), draws in 10usize..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut alloc = PortAllocator::WindowsPool { start };
+        for _ in 0..draws {
+            let p = alloc.next_port(&mut rng);
+            prop_assert!((IANA_LO..=IANA_HI).contains(&p));
+            // Offset from the pool start, modulo the IANA ring, is < 2,500.
+            let ring = (p as u32 + 65_536 - start as u32) % 16_384;
+            prop_assert!(ring < WINDOWS_POOL_SIZE, "port {p} outside pool from {start}");
+        }
+    }
+
+    /// Sequential allocators emit a wrap-free increasing run of exactly the
+    /// span length.
+    #[test]
+    fn sequential_cycles(seed in any::<u64>(), span in 2u16..200) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut alloc = PortAllocator::sequential(&mut rng, span);
+        let first: Vec<u16> = (0..span).map(|_| alloc.next_port(&mut rng)).collect();
+        for w in first.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+        // The next draw wraps to the base.
+        prop_assert_eq!(alloc.next_port(&mut rng), first[0]);
+    }
+}

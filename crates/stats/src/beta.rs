@@ -1,0 +1,267 @@
+//! The Beta(α, β) distribution.
+//!
+//! The paper's model (§5.3.2): given `n` source ports drawn uniformly from a
+//! pool, the sample range divided by the pool size is approximately
+//! `Beta(n-1, 2)` distributed — for the 10 follow-up queries, `Beta(9, 2)`.
+//! The figures overlay this density on the empirical histograms; Table 4's
+//! cutoffs integrate its tails.
+
+use crate::gamma::ln_beta;
+
+/// A Beta(α, β) distribution over `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    pub alpha: f64,
+    pub beta: f64,
+    ln_b: f64,
+}
+
+impl Beta {
+    /// Construct; panics on non-positive parameters.
+    pub fn new(alpha: f64, beta: f64) -> Beta {
+        assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+        Beta {
+            alpha,
+            beta,
+            ln_b: ln_beta(alpha, beta),
+        }
+    }
+
+    /// The paper's range model for `n` uniform draws: `Beta(n-1, 2)`.
+    pub fn range_model(n: u32) -> Beta {
+        assert!(n >= 2, "range of fewer than 2 draws is degenerate");
+        Beta::new(n as f64 - 1.0, 2.0)
+    }
+
+    /// Probability density at `x ∈ [0, 1]`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.alpha < 1.0 {
+                f64::INFINITY
+            } else if self.alpha == 1.0 {
+                (-self.ln_b).exp()
+            } else {
+                0.0
+            };
+        }
+        if x == 1.0 {
+            return if self.beta < 1.0 {
+                f64::INFINITY
+            } else if self.beta == 1.0 {
+                (-self.ln_b).exp()
+            } else {
+                0.0
+            };
+        }
+        ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - self.ln_b).exp()
+    }
+
+    /// Cumulative distribution function: the regularized incomplete beta
+    /// `I_x(α, β)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= 1.0 {
+            return 1.0;
+        }
+        reg_inc_beta(self.alpha, self.beta, x)
+    }
+
+    /// Upper-tail probability `P(X > x)`.
+    pub fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Quantile (inverse CDF) by bisection — plenty for reporting.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile domain is [0,1]");
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return 1.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Mean α / (α + β).
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Mode (α-1)/(α+β-2) for α, β > 1.
+    pub fn mode(&self) -> f64 {
+        (self.alpha - 1.0) / (self.alpha + self.beta - 2.0)
+    }
+
+    /// Variance αβ / ((α+β)²(α+β+1)).
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+}
+
+/// Regularized incomplete beta via the Lentz continued fraction
+/// (Numerical Recipes `betai`/`betacf`).
+fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp();
+    // Use the symmetry transform for faster convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - (-ln_beta(a, b) + b * (1.0 - x).ln() + a * x.ln()).exp() * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0f64;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) is Uniform(0,1).
+        let u = Beta::new(1.0, 1.0);
+        assert!(close(u.pdf(0.3), 1.0, 1e-12));
+        assert!(close(u.cdf(0.3), 0.3, 1e-12));
+        assert!(close(u.quantile(0.77), 0.77, 1e-9));
+    }
+
+    #[test]
+    fn beta_2_2_closed_form() {
+        // Beta(2,2): pdf = 6x(1-x), cdf = 3x² - 2x³.
+        let b = Beta::new(2.0, 2.0);
+        for x in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert!(close(b.pdf(x), 6.0 * x * (1.0 - x), 1e-10), "pdf({x})");
+            assert!(
+                close(b.cdf(x), 3.0 * x * x - 2.0 * x * x * x, 1e-10),
+                "cdf({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn range_model_beta_9_2() {
+        // cdf of Beta(9,2) at x: P = x^9 (10 - 9x)  [since I_x(9,2) has a
+        // closed form: 10x^9 - 9x^10].
+        let b = Beta::range_model(10);
+        assert_eq!(b.alpha, 9.0);
+        assert_eq!(b.beta, 2.0);
+        for x in [0.2f64, 0.5, 0.8, 0.95, 0.99] {
+            let exact = 10.0 * x.powi(9) - 9.0 * x.powi(10);
+            assert!(close(b.cdf(x), exact, 1e-10), "cdf({x})");
+        }
+        // Mode at (9-1)/(9+2-2) = 8/9 ≈ 0.889: ranges cluster near pool size.
+        assert!(close(b.mode(), 8.0 / 9.0, 1e-12));
+        assert!(close(b.mean(), 9.0 / 11.0, 1e-12));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let b = Beta::new(9.0, 2.0);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            let c = b.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12, "cdf not monotone at {x}");
+            prev = c;
+        }
+        assert!(close(b.cdf(1.0), 1.0, 1e-12));
+        assert_eq!(b.cdf(-0.5), 0.0);
+        assert_eq!(b.cdf(1.5), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let b = Beta::new(9.0, 2.0);
+        for p in [0.01, 0.1, 0.5, 0.9, 0.999] {
+            let x = b.quantile(p);
+            assert!(close(b.cdf(x), p, 1e-9), "p={p}");
+        }
+    }
+
+    #[test]
+    fn variance_formula() {
+        let b = Beta::new(9.0, 2.0);
+        assert!(close(b.variance(), 9.0 * 2.0 / (11.0 * 11.0 * 12.0), 1e-12));
+    }
+
+    #[test]
+    fn pdf_edge_behaviour() {
+        let b = Beta::new(9.0, 2.0);
+        assert_eq!(b.pdf(0.0), 0.0);
+        assert_eq!(b.pdf(1.0), 0.0);
+        assert_eq!(b.pdf(-0.1), 0.0);
+        assert_eq!(b.pdf(1.1), 0.0);
+        let u = Beta::new(1.0, 1.0);
+        assert!(close(u.pdf(0.0), 1.0, 1e-12));
+        assert!(close(u.pdf(1.0), 1.0, 1e-12));
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimum-misclassification cutoffs between two range distributions.
+//!
+//! Table 4's OS bands are separated by integer cutoffs: a resolver whose
+//! observed 10-query port range falls below the cutoff is attributed to the
+//! smaller pool. The paper optimizes each cutoff to minimize the total
+//! misclassification probability (e.g. 0.05% of FreeBSD + 3.5% of Linux at
+//! cutoff 16,331) or to achieve a one-sided accuracy target (99.9%).
+
+use crate::range::RangeDistribution;
+
+/// Result of a cutoff optimization between a smaller pool `a` and a larger
+/// pool `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cutoff {
+    /// Ranges `≤ cutoff` are classified as pool `a`; ranges `> cutoff` as
+    /// pool `b`.
+    pub cutoff: u32,
+    /// Probability a true-`a` sample is misclassified (`P_a(R > cutoff)`).
+    pub miss_a: f64,
+    /// Probability a true-`b` sample is misclassified (`P_b(R ≤ cutoff)`).
+    pub miss_b: f64,
+}
+
+/// Find the integer cutoff minimizing `w_a · P_a(R > c) + w_b · P_b(R ≤ c)`
+/// between two pools sampled with the same number of draws. `a` must be the
+/// smaller pool. Weights default to 1 (the paper's symmetric optimization)
+/// via [`optimal_cutoff`].
+pub fn optimal_cutoff_weighted(
+    a: RangeDistribution,
+    b: RangeDistribution,
+    w_a: f64,
+    w_b: f64,
+) -> Cutoff {
+    assert!(a.pool <= b.pool, "a must be the smaller pool");
+    assert_eq!(a.draws, b.draws, "cutoffs compare equal-sized samples");
+    // The objective is unimodal in c (likelihood ratio is monotone), but a
+    // linear scan over the candidate region is cheap and simplest. The
+    // optimum must lie in [0, a.pool - 1]: above a's support the a-error is
+    // zero and the b-error only grows.
+    let mut best = Cutoff {
+        cutoff: 0,
+        miss_a: w_a * a.sf(0),
+        miss_b: w_b * b.cdf(0),
+    };
+    let mut best_obj = best.miss_a + best.miss_b;
+    for c in 1..a.pool {
+        let miss_a = a.sf(c);
+        let miss_b = b.cdf(c);
+        let obj = w_a * miss_a + w_b * miss_b;
+        if obj < best_obj {
+            best_obj = obj;
+            best = Cutoff {
+                cutoff: c,
+                miss_a,
+                miss_b,
+            };
+        }
+    }
+    best
+}
+
+/// Symmetric (equal-weight) minimum-misclassification cutoff.
+pub fn optimal_cutoff(a: RangeDistribution, b: RangeDistribution) -> Cutoff {
+    optimal_cutoff_weighted(a, b, 1.0, 1.0)
+}
+
+/// Smallest cutoff such that at least `accuracy` of pool `a` samples fall at
+/// or below it (one-sided band edge; the paper's "99.9% classification
+/// accuracy" cutoffs below the Windows band and above the full range band).
+pub fn accuracy_cutoff(a: RangeDistribution, accuracy: f64) -> u32 {
+    a.quantile(accuracy)
+}
+
+/// Largest cutoff such that at most `1 - accuracy` of pool `b` samples fall
+/// at or below it (lower band edge for the larger pool).
+pub fn lower_accuracy_cutoff(b: RangeDistribution, accuracy: f64) -> u32 {
+    let target = 1.0 - accuracy;
+    // Largest c with cdf(c) ≤ target.
+    let q = b.quantile(target);
+    // quantile returns smallest c with cdf ≥ target; step down if strict.
+    if b.cdf(q) > target && q > 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_separates_well_separated_pools() {
+        // Pools 100 vs 10_000: the optimum should sit just above pool a's
+        // bulk, with tiny misclassification both ways.
+        let a = RangeDistribution::new(100, 10);
+        let b = RangeDistribution::new(10_000, 10);
+        let c = optimal_cutoff(a, b);
+        assert!(c.cutoff >= 90 && c.cutoff < 100, "cutoff = {}", c.cutoff);
+        assert!(c.miss_a < 0.05);
+        assert!(c.miss_b < 0.01);
+    }
+
+    #[test]
+    fn paper_freebsd_linux_cutoff_region() {
+        // FreeBSD pool 16,383 vs Linux pool 28,232 with 10 draws. The paper
+        // reports cutoff 16,331 with 0.05% FreeBSD / 3.5% Linux
+        // misclassified. Our exact-optimal cutoff should land close and the
+        // error rates should be in the same regime.
+        let fbsd = RangeDistribution::new(16_383, 10);
+        let linux = RangeDistribution::new(28_232, 10);
+        let c = optimal_cutoff(fbsd, linux);
+        assert!(
+            (15_800..=16_383).contains(&c.cutoff),
+            "cutoff = {}",
+            c.cutoff
+        );
+        assert!(c.miss_a < 0.01, "miss_a = {}", c.miss_a);
+        assert!(c.miss_b < 0.06, "miss_b = {}", c.miss_b);
+        // Evaluating at the paper's exact cutoff reproduces its two numbers.
+        let miss_fbsd_paper = fbsd.sf(16_331);
+        let miss_linux_paper = linux.cdf(16_331);
+        assert!(miss_fbsd_paper < 0.002, "{miss_fbsd_paper}");
+        assert!((0.01..0.06).contains(&miss_linux_paper), "{miss_linux_paper}");
+    }
+
+    #[test]
+    fn paper_linux_fullrange_cutoff_region() {
+        // Linux 28,232 vs full unprivileged range 64,511; paper cutoff
+        // 28,222 with 0.35% collective misclassification.
+        let linux = RangeDistribution::new(28_232, 10);
+        let full = RangeDistribution::new(64_511, 10);
+        let c = optimal_cutoff(linux, full);
+        assert!(
+            (27_500..=28_232).contains(&c.cutoff),
+            "cutoff = {}",
+            c.cutoff
+        );
+        assert!(c.miss_a + c.miss_b < 0.02, "total = {}", c.miss_a + c.miss_b);
+    }
+
+    #[test]
+    fn weighted_cutoff_shifts_toward_protected_class() {
+        let a = RangeDistribution::new(1_000, 10);
+        let b = RangeDistribution::new(5_000, 10);
+        let sym = optimal_cutoff(a, b);
+        // Heavily penalizing a-misses pushes the cutoff up.
+        let protect_a = optimal_cutoff_weighted(a, b, 100.0, 1.0);
+        assert!(protect_a.cutoff >= sym.cutoff);
+        // Heavily penalizing b-misses pushes it down.
+        let protect_b = optimal_cutoff_weighted(a, b, 1.0, 100.0);
+        assert!(protect_b.cutoff <= sym.cutoff);
+    }
+
+    #[test]
+    fn accuracy_cutoffs_hit_target() {
+        let w = RangeDistribution::new(2_500, 10);
+        let hi = accuracy_cutoff(w, 0.999);
+        assert!(w.cdf(hi) >= 0.999);
+        assert!(hi < 2_500);
+        let lo = lower_accuracy_cutoff(w, 0.999);
+        assert!(w.cdf(lo) <= 0.001 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be the smaller pool")]
+    fn pool_order_enforced() {
+        let _ = optimal_cutoff(
+            RangeDistribution::new(200, 10),
+            RangeDistribution::new(100, 10),
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Histograms, plain and stacked — the shapes behind Figures 2, 3a, 3b.
+//!
+//! Figure 2 is a stacked histogram of port ranges broken down by open/closed
+//! resolver status; Figure 3b stacks by p0f classification. Both carry a
+//! zoomed companion plot (0–3,000), which is just the same histogram
+//! restricted — [`Histogram::slice`] provides that.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bin-width histogram over `u32` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u32,
+    /// Total count per bin index.
+    bins: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bin width (≥ 1).
+    pub fn new(bin_width: u32) -> Histogram {
+        assert!(bin_width >= 1);
+        Histogram {
+            bin_width,
+            bins: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> u32 {
+        self.bin_width
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, value: u32) {
+        *self.bins.entry(value / self.bin_width).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the bin containing `value`.
+    pub fn count_at(&self, value: u32) -> u64 {
+        self.bins.get(&(value / self.bin_width)).copied().unwrap_or(0)
+    }
+
+    /// `(bin_start, count)` pairs in ascending order, non-empty bins only.
+    pub fn bars(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.bins.iter().map(move |(&b, &c)| (b * self.bin_width, c))
+    }
+
+    /// Restrict to values in `[lo, hi)` — the "zoomed" companion plots.
+    pub fn slice(&self, lo: u32, hi: u32) -> Vec<(u32, u64)> {
+        self.bars()
+            .filter(|&(start, _)| start >= lo && start < hi)
+            .collect()
+    }
+
+    /// The bin start with the highest count (ties: lowest bin), if any.
+    pub fn mode_bin(&self) -> Option<(u32, u64)> {
+        self.bars().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// Render as fixed-width text bars — used by the figure binaries.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.bars().map(|(_, c)| c).max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (start, count) in self.bars() {
+            let w = ((count as f64 / peak as f64) * max_width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>8}..{:<8} {:>9} |{}\n",
+                start,
+                start + self.bin_width - 1,
+                count,
+                "#".repeat(w.max(if count > 0 { 1 } else { 0 }))
+            ));
+        }
+        out
+    }
+}
+
+/// A histogram whose bars are broken down by a category label (stacked bars).
+#[derive(Debug, Clone)]
+pub struct StackedHistogram {
+    bin_width: u32,
+    /// bin index → (category → count)
+    bins: BTreeMap<u32, BTreeMap<&'static str, u64>>,
+    total: u64,
+}
+
+impl StackedHistogram {
+    /// An empty stacked histogram.
+    pub fn new(bin_width: u32) -> StackedHistogram {
+        assert!(bin_width >= 1);
+        StackedHistogram {
+            bin_width,
+            bins: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Add one observation with its category.
+    pub fn add(&mut self, value: u32, category: &'static str) {
+        *self
+            .bins
+            .entry(value / self.bin_width)
+            .or_default()
+            .entry(category)
+            .or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All categories seen, sorted.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut set: Vec<&'static str> = self
+            .bins
+            .values()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// `(bin_start, total, per-category counts)` in ascending bin order.
+    pub fn bars(&self) -> Vec<(u32, u64, BTreeMap<&'static str, u64>)> {
+        self.bins
+            .iter()
+            .map(|(&b, m)| (b * self.bin_width, m.values().sum(), m.clone()))
+            .collect()
+    }
+
+    /// Count of one category in the bin containing `value`.
+    pub fn count_at(&self, value: u32, category: &str) -> u64 {
+        self.bins
+            .get(&(value / self.bin_width))
+            .and_then(|m| m.get(category))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Collapse to a plain histogram (dropping the breakdown).
+    pub fn flatten(&self) -> Histogram {
+        let mut h = Histogram::new(self.bin_width);
+        for (&bin, m) in &self.bins {
+            let c: u64 = m.values().sum();
+            for _ in 0..c {
+                h.add(bin * self.bin_width);
+            }
+        }
+        h
+    }
+
+    /// Render as text, one line per bin with the stacked breakdown.
+    pub fn render(&self, max_width: usize) -> String {
+        let cats = self.categories();
+        let peak = self
+            .bars()
+            .iter()
+            .map(|(_, t, _)| *t)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        for (start, tot, m) in self.bars() {
+            let w = ((tot as f64 / peak as f64) * max_width as f64).round() as usize;
+            let breakdown: Vec<String> = cats
+                .iter()
+                .filter_map(|c| m.get(c).map(|n| format!("{c}={n}")))
+                .collect();
+            out.push_str(&format!(
+                "{:>8}..{:<8} {:>9} |{} ({})\n",
+                start,
+                start + self.bin_width - 1,
+                tot,
+                "#".repeat(w.max(1)),
+                breakdown.join(" ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_correct() {
+        let mut h = Histogram::new(100);
+        for v in [0, 50, 99, 100, 199, 65_535] {
+            h.add(v);
+        }
+        assert_eq!(h.count_at(0), 3);
+        assert_eq!(h.count_at(150), 2);
+        assert_eq!(h.count_at(65_500), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn bars_are_sorted_and_sliced() {
+        let mut h = Histogram::new(10);
+        h.add(5);
+        h.add(95);
+        h.add(45);
+        let bars: Vec<_> = h.bars().collect();
+        assert_eq!(bars, vec![(0, 1), (40, 1), (90, 1)]);
+        assert_eq!(h.slice(0, 50), vec![(0, 1), (40, 1)]);
+    }
+
+    #[test]
+    fn mode_bin_ties_prefer_lowest() {
+        let mut h = Histogram::new(1);
+        h.add(3);
+        h.add(3);
+        h.add(7);
+        h.add(7);
+        assert_eq!(h.mode_bin(), Some((3, 2)));
+    }
+
+    #[test]
+    fn render_produces_a_line_per_bin() {
+        let mut h = Histogram::new(10);
+        h.add(1);
+        h.add(11);
+        let text = h.render(20);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn stacked_tracks_categories() {
+        let mut s = StackedHistogram::new(100);
+        s.add(0, "open");
+        s.add(0, "closed");
+        s.add(0, "closed");
+        s.add(500, "open");
+        assert_eq!(s.count_at(50, "closed"), 2);
+        assert_eq!(s.count_at(50, "open"), 1);
+        assert_eq!(s.count_at(500, "closed"), 0);
+        assert_eq!(s.categories(), vec!["closed", "open"]);
+        assert_eq!(s.total(), 4);
+        let bars = s.bars();
+        assert_eq!(bars[0].1, 3);
+        let flat = s.flatten();
+        assert_eq!(flat.count_at(0), 3);
+        assert!(s.render(10).contains("closed=2"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Occupancy probabilities: how many *distinct* values do `n` uniform draws
+//! from a pool of `s` produce?
+//!
+//! §5.2.3 flags resolvers whose 10 follow-up queries used ≤ 7 unique ports
+//! out of a claimed pool of ~200 — an event with probability 0.066% ("1 out
+//! of every 1,500") under honest uniform selection. We compute it exactly:
+//!
+//! ```text
+//! P(U = u) = C(s, u) · S(n, u) · u! / s^n
+//! ```
+//!
+//! with `S(n, u)` the Stirling numbers of the second kind.
+
+use crate::gamma::ln_choose;
+
+/// Stirling numbers of the second kind `S(n, k)` for `n ≤ 64` as exact
+/// f64-safe values computed by the triangular recurrence.
+fn stirling2_row(n: u32) -> Vec<f64> {
+    let n = n as usize;
+    let mut row = vec![0.0f64; n + 1];
+    row[0] = 1.0; // S(0,0) = 1
+    for i in 1..=n {
+        // Update in place right-to-left: S(i,k) = k·S(i-1,k) + S(i-1,k-1)
+        let mut next = vec![0.0f64; n + 1];
+        for k in 1..=i {
+            next[k] = k as f64 * row[k] + row[k - 1];
+        }
+        row = next;
+    }
+    row
+}
+
+/// `P(U = unique)` for `draws` uniform draws from a pool of `pool` values.
+pub fn exactly_unique(pool: u64, draws: u32, unique: u32) -> f64 {
+    if unique == 0 {
+        return if draws == 0 { 1.0 } else { 0.0 };
+    }
+    if unique as u64 > pool || unique > draws {
+        return 0.0;
+    }
+    let s2 = stirling2_row(draws)[unique as usize];
+    if s2 == 0.0 {
+        return 0.0;
+    }
+    // ln[C(s,u) · u!] = ln_choose + ln Γ(u+1)
+    let ln_term = ln_choose(pool, unique as u64)
+        + crate::gamma::ln_gamma(unique as f64 + 1.0)
+        + s2.ln()
+        - draws as f64 * (pool as f64).ln();
+    ln_term.exp()
+}
+
+/// `P(U ≤ unique)`.
+pub fn at_most_unique(pool: u64, draws: u32, unique: u32) -> f64 {
+    (0..=unique.min(draws))
+        .map(|u| exactly_unique(pool, draws, u))
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// The classic birthday-style collision probability: `P(U < draws)`, i.e. at
+/// least one repeated value.
+pub fn collision_probability(pool: u64, draws: u32) -> f64 {
+    if draws as u64 > pool {
+        return 1.0;
+    }
+    // 1 − s!/(s−n)!/s^n in log space.
+    let mut ln_all_distinct = 0.0;
+    for i in 0..draws as u64 {
+        ln_all_distinct += ((pool - i) as f64).ln() - (pool as f64).ln();
+    }
+    1.0 - ln_all_distinct.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for (pool, draws) in [(10u64, 5u32), (200, 10), (65_536, 10)] {
+            let total: f64 = (0..=draws).map(|u| exactly_unique(pool, draws, u)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "pool {pool} draws {draws}: {total}");
+        }
+    }
+
+    #[test]
+    fn tiny_case_matches_enumeration() {
+        // pool 3, draws 3: P(U=1) = 3/27, P(U=2) = 18/27, P(U=3) = 6/27.
+        assert!((exactly_unique(3, 3, 1) - 3.0 / 27.0).abs() < 1e-12);
+        assert!((exactly_unique(3, 3, 2) - 18.0 / 27.0).abs() < 1e-12);
+        assert!((exactly_unique(3, 3, 3) - 6.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_sevens_from_two_hundred() {
+        // §5.2.3: ≤7 unique out of 10 draws from a pool of 200 happens
+        // ~0.066% of the time ("1 out of every 1,500").
+        let p = at_most_unique(200, 10, 7);
+        assert!(
+            (0.0005..0.0008).contains(&p),
+            "P(U ≤ 7 | s=200, n=10) = {p}, expected ≈ 0.00066"
+        );
+        let one_in = 1.0 / p;
+        assert!((1_300.0..1_700.0).contains(&one_in), "1 in {one_in:.0}");
+    }
+
+    #[test]
+    fn birthday_paradox_checkpoint() {
+        // 23 people, 365 days: P(collision) ≈ 0.5073.
+        let p = collision_probability(365, 23);
+        assert!((p - 0.5073).abs() < 0.0005, "{p}");
+        assert_eq!(collision_probability(5, 6), 1.0);
+        assert!(collision_probability(1_000_000, 2) < 1e-5);
+    }
+
+    #[test]
+    fn collision_consistent_with_occupancy() {
+        for (pool, draws) in [(50u64, 8u32), (200, 10)] {
+            let via_occ = 1.0 - exactly_unique(pool, draws, draws);
+            let direct = collision_probability(pool, draws);
+            assert!((via_occ - direct).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        let (pool, draws) = (50u64, 10u32);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let trials = 40_000;
+        let mut counts = vec![0u32; draws as usize + 1];
+        for _ in 0..trials {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..draws {
+                seen.insert(rng.gen_range(0..pool));
+            }
+            counts[seen.len()] += 1;
+        }
+        for u in 5..=draws {
+            let mc = counts[u as usize] as f64 / trials as f64;
+            let exact = exactly_unique(pool, draws, u);
+            assert!(
+                (mc - exact).abs() < 0.01,
+                "u={u}: mc {mc} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(exactly_unique(10, 0, 0), 1.0);
+        assert_eq!(exactly_unique(10, 5, 0), 0.0);
+        assert_eq!(exactly_unique(10, 5, 6), 0.0); // more unique than draws
+        assert_eq!(exactly_unique(3, 5, 4), 0.0); // more unique than pool
+        assert!((at_most_unique(10, 10, 10) - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,246 @@
+//! Exact discrete distribution of the sample range.
+//!
+//! For `n` i.i.d. draws, uniform on the integers `{0, …, s-1}` (a port pool
+//! of size `s`), the range `R = max - min` has
+//!
+//! ```text
+//! P(R ≤ r) = [ (s - r) · ((r+1)^n − r^n) + r^n ] / s^n ,   0 ≤ r ≤ s−1
+//! ```
+//!
+//! derived by counting windows: for each possible minimum `m` with a full
+//! `r+1`-wide window, `(r+1)^n − r^n` tuples have min exactly `m`; the
+//! truncated windows at the top telescope to `r^n`.
+//!
+//! Computed in log space so pools up to the full 64k port range with n = 10
+//! stay accurate.
+
+/// Distribution of the range of `n` uniform draws from a pool of size `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeDistribution {
+    /// Pool size (number of distinct ports), ≥ 1.
+    pub pool: u32,
+    /// Number of draws, ≥ 1.
+    pub draws: u32,
+}
+
+impl RangeDistribution {
+    /// Construct; panics on degenerate parameters.
+    pub fn new(pool: u32, draws: u32) -> RangeDistribution {
+        assert!(pool >= 1 && draws >= 1, "pool and draws must be positive");
+        RangeDistribution { pool, draws }
+    }
+
+    /// `P(R ≤ r)`.
+    pub fn cdf(&self, r: u32) -> f64 {
+        let s = self.pool as f64;
+        let n = self.draws as f64;
+        if r >= self.pool - 1 || self.draws == 1 {
+            // A single draw always has range 0.
+            return 1.0;
+        }
+        let r = r as f64;
+        // All terms scaled by s^n in log space: x^n / s^n = exp(n (ln x - ln s)).
+        let pow = |x: f64| -> f64 {
+            if x <= 0.0 {
+                0.0
+            } else {
+                (n * (x.ln() - s.ln())).exp()
+            }
+        };
+        ((s - r) * (pow(r + 1.0) - pow(r)) + pow(r)).clamp(0.0, 1.0)
+    }
+
+    /// `P(R = r)`.
+    pub fn pmf(&self, r: u32) -> f64 {
+        if r == 0 {
+            self.cdf(0)
+        } else if r >= self.pool {
+            0.0
+        } else {
+            (self.cdf(r) - self.cdf(r - 1)).max(0.0)
+        }
+    }
+
+    /// Upper tail `P(R > r)`.
+    pub fn sf(&self, r: u32) -> f64 {
+        1.0 - self.cdf(r)
+    }
+
+    /// Smallest `r` with `cdf(r) ≥ p`.
+    pub fn quantile(&self, p: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&p));
+        let (mut lo, mut hi) = (0u32, self.pool - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= p {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Expected range (by summation of the survival function:
+    /// `E[R] = Σ_{r≥0} P(R > r)`).
+    pub fn mean(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.pool - 1 {
+            let sf = self.sf(r);
+            acc += sf;
+            if sf < 1e-15 && r as f64 > self.mean_beta_estimate() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The continuous Beta(n−1, 2) approximation of the mean, scaled by the
+    /// pool: `(n−1)/(n+1) · s`.
+    pub fn mean_beta_estimate(&self) -> f64 {
+        let n = self.draws as f64;
+        (n - 1.0) / (n + 1.0) * self.pool as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tiny_cases_match_enumeration() {
+        // Enumerate all tuples for small (s, n) and compare.
+        for s in 1..=6u32 {
+            for n in 1..=4u32 {
+                let dist = RangeDistribution::new(s, n);
+                let total = (s as u64).pow(n);
+                let mut counts = vec![0u64; s as usize];
+                for code in 0..total {
+                    let mut c = code;
+                    let mut mn = u32::MAX;
+                    let mut mx = 0u32;
+                    for _ in 0..n {
+                        let v = (c % s as u64) as u32;
+                        c /= s as u64;
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                    counts[(mx - mn) as usize] += 1;
+                }
+                let mut cum = 0u64;
+                for r in 0..s {
+                    cum += counts[r as usize];
+                    let exact = cum as f64 / total as f64;
+                    assert!(
+                        (dist.cdf(r) - exact).abs() < 1e-12,
+                        "cdf mismatch s={s} n={n} r={r}: {} vs {exact}",
+                        dist.cdf(r)
+                    );
+                    assert!(
+                        (dist.pmf(r) - counts[r as usize] as f64 / total as f64).abs() < 1e-12,
+                        "pmf mismatch s={s} n={n} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_draw_has_zero_range() {
+        let d = RangeDistribution::new(100, 1);
+        assert_eq!(d.cdf(0), 1.0);
+        assert_eq!(d.pmf(0), 1.0);
+    }
+
+    #[test]
+    fn pool_of_one_is_degenerate() {
+        let d = RangeDistribution::new(1, 10);
+        assert_eq!(d.cdf(0), 1.0);
+        assert_eq!(d.quantile(0.999), 0);
+    }
+
+    #[test]
+    fn cdf_monotone_for_realistic_pools() {
+        // The three OS pools from the paper (§5.3.2).
+        for pool in [2_500u32, 16_383, 28_232, 64_511] {
+            let d = RangeDistribution::new(pool, 10);
+            let mut prev = -1.0;
+            for r in (0..pool).step_by((pool / 97).max(1) as usize) {
+                let c = d.cdf(r);
+                assert!((0.0..=1.0).contains(&c));
+                assert!(c >= prev, "pool {pool} r {r}");
+                prev = c;
+            }
+            assert!((d.cdf(pool - 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_beta_approximation_in_the_bulk() {
+        // For pool 28,232 (Linux) and 10 draws, the exact CDF and the
+        // Beta(9,2) approximation should agree to a fraction of a percent.
+        let pool = 28_232u32;
+        let d = RangeDistribution::new(pool, 10);
+        let b = crate::beta::Beta::range_model(10);
+        for frac in [0.5, 0.7, 0.85, 0.95, 0.99] {
+            let r = (frac * pool as f64) as u32;
+            let exact = d.cdf(r);
+            let approx = b.cdf(frac);
+            assert!(
+                (exact - approx).abs() < 5e-3,
+                "pool {pool} frac {frac}: exact {exact} vs beta {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        let pool = 2_500u32;
+        let d = RangeDistribution::new(pool, 10);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 20_000;
+        let threshold = d.quantile(0.5);
+        let mut below = 0u32;
+        for _ in 0..trials {
+            let mut mn = u32::MAX;
+            let mut mx = 0;
+            for _ in 0..10 {
+                let v = rng.gen_range(0..pool);
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            if mx - mn <= threshold {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / trials as f64;
+        let expect = d.cdf(threshold);
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "MC {frac} vs exact {expect} at r={threshold}"
+        );
+    }
+
+    #[test]
+    fn quantile_is_inverse() {
+        let d = RangeDistribution::new(16_383, 10);
+        for p in [0.001, 0.05, 0.5, 0.95, 0.9995] {
+            let r = d.quantile(p);
+            assert!(d.cdf(r) >= p);
+            if r > 0 {
+                assert!(d.cdf(r - 1) < p);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_close_to_beta_estimate() {
+        let d = RangeDistribution::new(28_232, 10);
+        let exact = d.mean();
+        let est = d.mean_beta_estimate();
+        // (n-1)/(n+1)·s = 9/11 · 28232 ≈ 23099
+        assert!((exact - est).abs() / est < 0.01, "exact {exact} est {est}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Scalar summaries: mean, median, percentiles, extrema.
+
+/// Summary statistics over a sample of `u32` values (e.g. per-resolver port
+/// ranges, per-target hit counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub min: u32,
+    pub max: u32,
+    pub mean: f64,
+    pub median: f64,
+    pub p90: u32,
+    pub p99: u32,
+}
+
+impl Summary {
+    /// Compute from a sample. Returns `None` for empty input.
+    pub fn of(values: &[u32]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u64 = sorted.iter().map(|&v| v as u64).sum();
+        let median = if count % 2 == 1 {
+            sorted[count / 2] as f64
+        } else {
+            (sorted[count / 2 - 1] as f64 + sorted[count / 2] as f64) / 2.0
+        };
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sum as f64 / count as f64,
+            median,
+            p90: percentile_sorted(&sorted, 0.90),
+            p99: percentile_sorted(&sorted, 0.99),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+pub fn percentile_sorted(sorted: &[u32], p: f64) -> u32 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&p));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Fraction of values satisfying a predicate.
+pub fn fraction<T>(values: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| pred(v)).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[5, 1, 3, 2, 4]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        let s = Summary::of(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u32> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.90), 90);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 99);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1);
+        assert_eq!(percentile_sorted(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn fraction_counts() {
+        assert_eq!(fraction(&[1, 2, 3, 4], |&v| v % 2 == 0), 0.5);
+        assert_eq!(fraction::<u32>(&[], |_| true), 0.0);
+    }
+}

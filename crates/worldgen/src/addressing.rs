@@ -1,0 +1,181 @@
+//! Deterministic allocation of globally-unique address space to synthetic
+//! ASes, avoiding every special-purpose range (so the generated routing
+//! table contains only "legitimate" prefixes, as §3.1 requires of targets).
+
+use bcd_netsim::prefix::special;
+use bcd_netsim::Prefix;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Hands out fresh /16 (IPv4) and /32 (IPv6) blocks.
+#[derive(Debug)]
+pub struct AddressAllocator {
+    next_v4: u32,
+    next_v6: u32,
+}
+
+impl Default for AddressAllocator {
+    fn default() -> Self {
+        AddressAllocator {
+            // Start at 1.0.0.0 (0/8 is special).
+            next_v4: 256,
+            next_v6: 0,
+        }
+    }
+}
+
+impl AddressAllocator {
+    /// A fresh allocator.
+    pub fn new() -> AddressAllocator {
+        AddressAllocator::default()
+    }
+
+    /// The next unused, fully-routable IPv4 /16.
+    pub fn next_v4_16(&mut self) -> Prefix {
+        loop {
+            let idx = self.next_v4;
+            self.next_v4 += 1;
+            let a = (idx >> 8) as u8;
+            let b = (idx & 0xFF) as u8;
+            assert!(a < 224, "IPv4 allocation space exhausted");
+            let base = Ipv4Addr::new(a, b, 0, 0);
+            // Reject the /16 if its first address is special (covers every
+            // special-purpose /8 and the /16-scale registries); spot-check
+            // two more addresses for ranges narrower than /16.
+            let probes = [
+                IpAddr::V4(base),
+                IpAddr::V4(Ipv4Addr::new(a, b, 18, 1)),
+                IpAddr::V4(Ipv4Addr::new(a, b, 255, 1)),
+            ];
+            if probes.iter().any(|p| special::is_special_purpose(*p)) {
+                continue;
+            }
+            // Ranges narrower than /16 that sit *inside* an otherwise-fine
+            // /16 (192.0.0/24, 192.0.2/24, 198.51.100/24, 203.0.113/24):
+            // skip those /16s entirely.
+            if (a == 192 && b == 0) || (a == 198 && b == 51) || (a == 203 && b == 0) {
+                continue;
+            }
+            return Prefix::new(IpAddr::V4(base), 16);
+        }
+    }
+
+    /// The next unused IPv6 /32 under 2600::/12.
+    pub fn next_v6_32(&mut self) -> Prefix {
+        let idx = self.next_v6;
+        self.next_v6 += 1;
+        assert!(idx < 0x000F_FFFF, "IPv6 allocation space exhausted");
+        let seg0 = 0x2600 | ((idx >> 16) as u16 & 0x00FF);
+        let seg1 = (idx & 0xFFFF) as u16;
+        let base = Ipv6Addr::new(seg0, seg1, 0, 0, 0, 0, 0, 0);
+        Prefix::new(IpAddr::V6(base), 32)
+    }
+}
+
+/// Carve `count` /24s out of /16 blocks supplied by `alloc`, returning the
+/// /24 prefixes.
+pub fn carve_v4_24s(alloc: &mut AddressAllocator, count: usize) -> Vec<Prefix> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let block = alloc.next_v4_16();
+        let take = (count - out.len()).min(256);
+        out.extend(block.subprefixes(24).take(take));
+    }
+    out
+}
+
+/// Carve `count` /64s out of a fresh /32.
+pub fn carve_v6_64s(alloc: &mut AddressAllocator, count: usize) -> (Prefix, Vec<Prefix>) {
+    let block = alloc.next_v6_32();
+    let subs: Vec<Prefix> = block.subprefixes(64).take(count).collect();
+    (block, subs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn v4_blocks_are_unique_and_routable() {
+        let mut a = AddressAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..2_000 {
+            let p = a.next_v4_16();
+            assert!(seen.insert(p), "duplicate block {p}");
+            assert_eq!(p.len(), 16);
+            // Every /24 inside must be non-special.
+            for sub in p.subprefixes(24).take(8) {
+                assert!(
+                    !special::is_special_purpose(sub.nth(1).unwrap()),
+                    "special address inside {sub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v4_skips_documented_special_ranges() {
+        let mut a = AddressAllocator::new();
+        for _ in 0..3_000 {
+            let p = a.next_v4_16();
+            let net = match p.network() {
+                IpAddr::V4(v) => v.octets(),
+                _ => unreachable!(),
+            };
+            assert_ne!(net[0], 10);
+            assert_ne!(net[0], 127);
+            assert!(net[0] < 224);
+            assert!(!(net[0] == 100 && (net[1] & 0xC0) == 64));
+            assert!(!(net[0] == 192 && net[1] == 168));
+            assert!(!(net[0] == 192 && net[1] == 0));
+            assert!(!(net[0] == 198 && (net[1] == 18 || net[1] == 19 || net[1] == 51)));
+            assert!(!(net[0] == 203 && net[1] == 0));
+            assert!(!(net[0] == 172 && (16..32).contains(&net[1])));
+            assert!(!(net[0] == 169 && net[1] == 254));
+        }
+    }
+
+    #[test]
+    fn v6_blocks_are_unique_global_unicast() {
+        let mut a = AddressAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..1_000 {
+            let p = a.next_v6_32();
+            assert!(seen.insert(p));
+            assert!(!special::is_special_purpose(p.nth(1).unwrap()));
+        }
+    }
+
+    #[test]
+    fn carving_v4() {
+        let mut a = AddressAllocator::new();
+        let p24s = carve_v4_24s(&mut a, 300);
+        assert_eq!(p24s.len(), 300);
+        let set: HashSet<_> = p24s.iter().collect();
+        assert_eq!(set.len(), 300);
+        for p in &p24s {
+            assert_eq!(p.len(), 24);
+        }
+    }
+
+    #[test]
+    fn carving_v6() {
+        let mut a = AddressAllocator::new();
+        let (block, subs) = carve_v6_64s(&mut a, 40);
+        assert_eq!(block.len(), 32);
+        assert_eq!(subs.len(), 40);
+        for s in &subs {
+            assert_eq!(s.len(), 64);
+            assert!(block.covers(s));
+        }
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let seq = |n: usize| {
+            let mut a = AddressAllocator::new();
+            (0..n).map(|_| a.next_v4_16()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(100), seq(100));
+    }
+}

@@ -1,0 +1,893 @@
+//! World construction: turn a [`WorldConfig`] into a populated [`Network`]
+//! plus the ground-truth registry and DITL traces.
+
+use crate::addressing::{carve_v4_24s, carve_v6_64s, AddressAllocator};
+use crate::config::WorldConfig;
+use crate::ditl::{self, DitlRecord};
+use crate::profile::{
+    sample_identity_for_class, sample_port_2018, sample_port_identity, AclKind, Port2018,
+    PortClass, ResolverMeta,
+};
+use bcd_dns::log::shared_log;
+use bcd_dns::{
+    Acl, AuthServer, AuthServerConfig, Interceptor, RecursiveResolver, ResolverConfig, SharedLog,
+    Zone, ZoneMode,
+};
+use bcd_dnswire::Name;
+use bcd_geo::{sample_country, Country, CountryProfile, GeoDb, COUNTRIES};
+use bcd_netsim::{
+    Asn, BorderPolicy, HostConfig, LinkProfile, Network, NetworkConfig, Prefix, SimDuration,
+    StackPolicy,
+};
+use bcd_osmodel::{DnsSoftware, Os};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Where the experiment's own DNS estate lives.
+#[derive(Debug, Clone)]
+pub struct AuthEstate {
+    /// Experiment zone apex (`dns-lab.org`).
+    pub apex: Name,
+    /// IPv4-only follow-up zone apex (`f4.dns-lab.org`).
+    pub f4_apex: Name,
+    /// IPv6-only follow-up zone apex (`f6.dns-lab.org`).
+    pub f6_apex: Name,
+    /// TC=1 zone apex (`tcp.dns-lab.org`).
+    pub tcp_apex: Name,
+    /// Root server addresses (v4, v6) — every resolver's hints.
+    pub root_v4: IpAddr,
+    pub root_v6: IpAddr,
+    /// Main experiment-zone server addresses.
+    pub lab_v4: IpAddr,
+    pub lab_v6: IpAddr,
+}
+
+/// The reserved attachment point for the scanner (bcd-core adds the node).
+#[derive(Debug, Clone)]
+pub struct ScannerSlot {
+    pub asn: Asn,
+    pub v4: IpAddr,
+    pub v6: IpAddr,
+}
+
+/// A fully built world.
+pub struct World {
+    pub net: Network,
+    pub cfg: WorldConfig,
+    /// Query log of the experiment estate (`dns-lab.org` + follow-up zones).
+    pub log: SharedLog,
+    /// Query log of the root servers (the DITL instrument).
+    pub root_log: SharedLog,
+    pub geo: GeoDb,
+    /// Ground truth for every target address.
+    pub resolvers: Vec<ResolverMeta>,
+    /// Target address → index into `resolvers`.
+    pub by_addr: HashMap<IpAddr, usize>,
+    pub scanner: ScannerSlot,
+    pub auth: AuthEstate,
+    /// Public DNS service addresses (v4 then v6 per service).
+    pub public_dns_v4: Vec<IpAddr>,
+    pub public_dns_v6: Vec<IpAddr>,
+    /// The synthesized root traces (§3.1's target source; §5.2.2's 2018
+    /// comparison trace).
+    pub ditl2019: Vec<DitlRecord>,
+    pub ditl2018: Vec<DitlRecord>,
+    /// ASNs of measured ASes (excludes infrastructure/scanner/public DNS).
+    pub measured_asns: Vec<Asn>,
+    /// Host ids of the experiment-zone servers `(main, f4, f6)` — used by
+    /// the §3.6.4 wildcard ablation.
+    pub experiment_hosts: (usize, usize, usize),
+    /// The IPv6 hitlist: /64s with observed activity (every /64 hosting a
+    /// target, plus actives without targets), per §3.2's source heuristic.
+    pub v6_hitlist: Vec<Prefix>,
+}
+
+impl World {
+    /// Ground truth for a target address.
+    pub fn meta_of(&self, addr: IpAddr) -> Option<&ResolverMeta> {
+        self.by_addr.get(&addr).map(|&i| &self.resolvers[i])
+    }
+
+    /// True ground-truth answer: does this AS lack DSAV?
+    pub fn truly_lacks_dsav(&self, asn: Asn) -> bool {
+        self.net
+            .as_info(asn)
+            .map(|a| !a.policy.dsav)
+            .unwrap_or(false)
+    }
+}
+
+const INFRA_ASN: Asn = Asn(64_500);
+const PUBLIC_DNS_ASN: Asn = Asn(64_501);
+const SCANNER_ASN: Asn = Asn(64_502);
+const FIRST_MEASURED_ASN: u32 = 1_000;
+
+struct AsPlan {
+    asn: Asn,
+    country: Country,
+    profile: &'static CountryProfile,
+    v4_prefixes: Vec<Prefix>,
+    v6_prefixes: Vec<Prefix>,
+    n_targets_v4: usize,
+    n_targets_v6: usize,
+    no_dsav: bool,
+}
+
+/// Build the world.
+pub fn build(cfg: WorldConfig) -> World {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut alloc = AddressAllocator::new();
+    let mut net = Network::new(NetworkConfig {
+        seed: cfg.seed.wrapping_add(1),
+        core_link: LinkProfile {
+            loss: cfg.link_loss,
+            ..LinkProfile::ideal()
+        },
+        intra_link: LinkProfile::instant(),
+        trace_capacity: cfg.trace_capacity,
+        max_events: cfg.max_events,
+    });
+    let mut geo = GeoDb::new();
+    let log = shared_log();
+    let root_log = shared_log();
+
+    // ---------------- infrastructure ----------------
+    net.add_simple_as(INFRA_ASN, BorderPolicy::strict());
+    let infra_v4 = alloc.next_v4_16();
+    let (infra_v6, _) = carve_v6_64s(&mut alloc, 1);
+    net.announce(infra_v4, INFRA_ASN);
+    net.announce(infra_v6, INFRA_ASN);
+    let v4 = |i: u128| infra_v4.nth(i).unwrap();
+    let v6 = |i: u128| infra_v6.nth(i).unwrap();
+    let (root_v4, root_v6) = (v4(4), v6(4));
+    let (org_v4, org_v6) = (v4(5), v6(5));
+    let (lab_v4, lab_v6) = (v4(10), v6(10));
+    let f4_addr = v4(11);
+    let f6_addr = v6(11);
+    let (tcp_v4, tcp_v6) = (v4(12), v6(12));
+
+    let apex: Name = "dns-lab.org".parse().unwrap();
+    let f4_apex: Name = "f4.dns-lab.org".parse().unwrap();
+    let f6_apex: Name = "f6.dns-lab.org".parse().unwrap();
+    let tcp_apex: Name = "tcp.dns-lab.org".parse().unwrap();
+    let org: Name = "org".parse().unwrap();
+
+    // Root servers (logging = the DITL collection instrument).
+    let root_zone = Zone::new(Name::root(), ZoneMode::Static(vec![])).delegate(
+        org.clone(),
+        vec![("a0.org".parse().unwrap(), vec![org_v4, org_v6])],
+    );
+    net.add_host(
+        HostConfig {
+            addrs: vec![root_v4, root_v6],
+            asn: INFRA_ASN,
+            stack: StackPolicy::strict(),
+        },
+        Box::new(AuthServer::new(AuthServerConfig {
+            zones: vec![root_zone],
+            log: root_log.clone(),
+            log_queries: true,
+        })),
+    );
+
+    // org TLD.
+    let org_zone = Zone::new(org, ZoneMode::Static(vec![])).delegate(
+        apex.clone(),
+        vec![("ns1.dns-lab.org".parse().unwrap(), vec![lab_v4, lab_v6])],
+    );
+    net.add_host(
+        HostConfig {
+            addrs: vec![org_v4, org_v6],
+            asn: INFRA_ASN,
+            stack: StackPolicy::strict(),
+        },
+        Box::new(AuthServer::new(AuthServerConfig {
+            zones: vec![org_zone],
+            log: root_log.clone(),
+            log_queries: false,
+        })),
+    );
+
+    // Experiment zone with the three follow-up delegations.
+    let lab_zone = Zone::new(apex.clone(), ZoneMode::Nxdomain)
+        .delegate(
+            f4_apex.clone(),
+            vec![("ns.f4.dns-lab.org".parse().unwrap(), vec![f4_addr])],
+        )
+        .delegate(
+            f6_apex.clone(),
+            vec![("ns.f6.dns-lab.org".parse().unwrap(), vec![f6_addr])],
+        )
+        .delegate(
+            tcp_apex.clone(),
+            vec![("ns.tcp.dns-lab.org".parse().unwrap(), vec![tcp_v4, tcp_v6])],
+        );
+    let lab_host = net.add_host(
+        HostConfig {
+            addrs: vec![lab_v4, lab_v6],
+            asn: INFRA_ASN,
+            stack: StackPolicy::strict(),
+        },
+        Box::new(AuthServer::new(AuthServerConfig {
+            zones: vec![lab_zone],
+            log: log.clone(),
+            log_queries: true,
+        })),
+    );
+    // f4: IPv4-only server; f6: IPv6-only; tcp: dual-stack TC zone.
+    let mut follow_hosts = Vec::new();
+    for (addrs, zone) in [
+        (vec![f4_addr], Zone::new(f4_apex.clone(), ZoneMode::Nxdomain)),
+        (vec![f6_addr], Zone::new(f6_apex.clone(), ZoneMode::Nxdomain)),
+        (
+            vec![tcp_v4, tcp_v6],
+            Zone::new(tcp_apex.clone(), ZoneMode::TruncateUdp),
+        ),
+    ] {
+        follow_hosts.push(net.add_host(
+            HostConfig {
+                addrs,
+                asn: INFRA_ASN,
+                stack: StackPolicy::strict(),
+            },
+            Box::new(AuthServer::new(AuthServerConfig {
+                zones: vec![zone],
+                log: log.clone(),
+                log_queries: true,
+            })),
+        ));
+    }
+    let experiment_hosts = (lab_host, follow_hosts[0], follow_hosts[1]);
+
+    let root_hints = vec![root_v4, root_v6];
+
+    // ---------------- public DNS services ----------------
+    net.add_simple_as(PUBLIC_DNS_ASN, BorderPolicy::strict());
+    let pub_v4_block = alloc.next_v4_16();
+    let (pub_v6_block, _) = carve_v6_64s(&mut alloc, 1);
+    net.announce(pub_v4_block, PUBLIC_DNS_ASN);
+    net.announce(pub_v6_block, PUBLIC_DNS_ASN);
+    let mut public_dns_v4 = Vec::new();
+    let mut public_dns_v6 = Vec::new();
+    for i in 0..5u128 {
+        let a4 = pub_v4_block.nth(10 + i).unwrap();
+        let a6 = pub_v6_block.nth(10 + i).unwrap();
+        public_dns_v4.push(a4);
+        public_dns_v6.push(a6);
+        net.add_host(
+            HostConfig {
+                addrs: vec![a4, a6],
+                asn: PUBLIC_DNS_ASN,
+                stack: Os::LinuxModern.stack_policy(),
+            },
+            Box::new(RecursiveResolver::new(ResolverConfig {
+                addrs: vec![a4, a6],
+                acl: Acl::Open,
+                forward_to: None,
+                qmin: false,
+                qmin_halts_on_nxdomain: true,
+                allocator: Os::LinuxModern.default_port_allocator(),
+                os: Os::LinuxModern,
+                p0f_visible: false,
+                root_hints: root_hints.clone(),
+                timeout: SimDuration::from_secs(2),
+                max_attempts: 3,
+                warmup: Vec::new(),
+            })),
+        );
+    }
+
+    // ---------------- the scanner's vantage ----------------
+    net.add_simple_as(SCANNER_ASN, BorderPolicy::no_osav_vantage());
+    let scan_v4_block = alloc.next_v4_16();
+    let (scan_v6_block, _) = carve_v6_64s(&mut alloc, 1);
+    net.announce(scan_v4_block, SCANNER_ASN);
+    net.announce(scan_v6_block, SCANNER_ASN);
+    let scanner = ScannerSlot {
+        asn: SCANNER_ASN,
+        v4: scan_v4_block.nth(10).unwrap(),
+        v6: scan_v6_block.nth(10).unwrap(),
+    };
+
+    // ---------------- measured ASes ----------------
+    let mut plans: Vec<AsPlan> = Vec::with_capacity(cfg.n_as);
+    for i in 0..cfg.n_as {
+        let asn = Asn(FIRST_MEASURED_ASN + i as u32);
+        let country = sample_country(&mut rng);
+        let profile = country
+            .profile()
+            .unwrap_or(&COUNTRIES[COUNTRIES.len() - 1]);
+        // Heavy-tailed target count around the country mean.
+        let mean = (profile.targets_per_as * cfg.target_scale).max(1.0);
+        let shape: f64 = rng.gen_range(0.25..2.5);
+        let n_targets_v4 = ((mean * shape * shape) as usize).clamp(1, 4_000);
+        // DSAV absence, with the country's size bias.
+        let size_factor = (n_targets_v4 as f64 / mean).max(0.1);
+        let p_no_dsav =
+            (profile.no_dsav_rate * size_factor.powf(profile.size_bias * 0.4)).clamp(0.0, 1.0);
+        let no_dsav = rng.gen_bool(p_no_dsav);
+
+        // Address space: at least 2 /24s so other-prefix sources exist.
+        let n_24s = ((n_targets_v4 as f64 * rng.gen_range(0.6..2.0)) as usize).clamp(2, 300);
+        let v4_prefixes = carve_v4_24s(&mut alloc, n_24s);
+
+        let has_v6 = rng.gen_bool(cfg.v6_as_fraction);
+        let (v6_prefixes, n_targets_v6) = if has_v6 {
+            let n64 = (n_24s / 2).clamp(2, 120);
+            let (_, subs) = carve_v6_64s(&mut alloc, n64);
+            // The paper's v6 target density is roughly half the v4 one
+            // (785k/7.9k vs 11.2M/54k targets per AS).
+            let nt6 = (n_targets_v4 / 2).max(1);
+            (subs, nt6)
+        } else {
+            (Vec::new(), 0)
+        };
+
+        plans.push(AsPlan {
+            asn,
+            country,
+            profile,
+            v4_prefixes,
+            v6_prefixes,
+            n_targets_v4,
+            n_targets_v6,
+            no_dsav,
+        });
+    }
+
+    let mut resolvers: Vec<ResolverMeta> = Vec::new();
+    let mut by_addr: HashMap<IpAddr, usize> = HashMap::new();
+    let mut measured_asns = Vec::with_capacity(plans.len());
+
+    for plan in &plans {
+        measured_asns.push(plan.asn);
+        // An AS that deploys DSAV also filters bogon (private/loopback)
+        // sources — SAV hygiene comes as a package; without this, a
+        // "protected" network would still admit our private-source spoofs
+        // and the paper's reachability ⇒ no-DSAV implication would break.
+        let internal_pass_permille = if !plan.no_dsav {
+            0
+        } else if rng.gen_bool(cfg.fully_spoofable_fraction) {
+            1000
+        } else {
+            rng.gen_range(cfg.partial_pass_permille.0..=cfg.partial_pass_permille.1)
+        };
+        let policy = BorderPolicy {
+            osav: rng.gen_bool(cfg.osav_fraction),
+            dsav: !plan.no_dsav,
+            filter_private_ingress: !plan.no_dsav || rng.gen_bool(cfg.private_filter_fraction),
+            filter_loopback_ingress: !plan.no_dsav || rng.gen_bool(cfg.loopback_filter_fraction),
+            filter_loopback_ingress_v6: !plan.no_dsav
+                || rng.gen_bool(cfg.loopback_filter_fraction_v6),
+            filter_ds_ingress_v4: plan.no_dsav && rng.gen_bool(cfg.ds_filter_fraction_v4),
+            subnet_savi: plan.no_dsav && rng.gen_bool(cfg.subnet_savi_fraction),
+            internal_pass_permille,
+        };
+        net.add_simple_as(plan.asn, policy);
+        for p in plan.v4_prefixes.iter().chain(&plan.v6_prefixes) {
+            net.announce(*p, plan.asn);
+            // Occasionally a prefix geolocates to a second country.
+            let c = if rng.gen_bool(0.02) {
+                sample_country(&mut rng)
+            } else {
+                plan.country
+            };
+            geo.insert(*p, plan.asn, c);
+        }
+
+        // A middlebox AS intercepts all inbound UDP/53.
+        let middlebox = plan.no_dsav && rng.gen_bool(cfg.middlebox_as_fraction);
+        if middlebox {
+            let mbx_addr = plan.v4_prefixes[0].nth(250).unwrap();
+            let upstream = public_dns_v4[rng.gen_range(0..public_dns_v4.len())];
+            let host = net.add_host(
+                HostConfig {
+                    addrs: vec![mbx_addr],
+                    asn: plan.asn,
+                    stack: StackPolicy::permissive(),
+                },
+                Box::new(Interceptor::new(mbx_addr, upstream)),
+            );
+            net.set_dns_interceptor(plan.asn, host);
+        }
+
+        // Lazily created in-AS upstream for forwarders.
+        let mut isp_upstream: Option<IpAddr> = None;
+        // Secondary (dual-stack) addresses already handed out in this AS.
+        let mut aux_used: std::collections::HashSet<IpAddr> = std::collections::HashSet::new();
+
+        // ---- v4 targets, then v6 targets ----
+        for (v6_family, count) in [(false, plan.n_targets_v4), (true, plan.n_targets_v6)] {
+            let prefixes = if v6_family {
+                &plan.v6_prefixes
+            } else {
+                &plan.v4_prefixes
+            };
+            if prefixes.is_empty() {
+                continue;
+            }
+            let mut any_responsive = false;
+            // One extra iteration slot for the promotion pass below.
+            for extra in 0..=count {
+                if extra < count {
+                    // normal target
+                } else {
+                    // Promotion pass: if a no-DSAV AS ended with zero
+                    // responsive targets (a down-scaling artifact), add one
+                    // guaranteed-responsive target.
+                    if any_responsive
+                        || count == 0
+                        || !plan.no_dsav
+                        || !rng.gen_bool(cfg.ensure_responsive_prob)
+                    {
+                        break;
+                    }
+                }
+                // Address: random prefix, low host offset (v6 "hitlist
+                // style": first 100 addresses of the /64, §3.2).
+                let p = prefixes[rng.gen_range(0..prefixes.len())];
+                let offset: u128 = if v6_family {
+                    rng.gen_range(2..100)
+                } else {
+                    rng.gen_range(1..240)
+                };
+                let addr = p.nth(offset).unwrap();
+                if by_addr.contains_key(&addr) {
+                    continue; // collision: skip (target counts are approximate)
+                }
+
+                let accept = if v6_family {
+                    (plan.profile.accept_rate * cfg.v6_accept_multiplier).min(0.95)
+                } else {
+                    (plan.profile.accept_rate * cfg.v4_accept_multiplier).min(0.95)
+                };
+                let roll: f64 = rng.gen();
+                let (live, responsive) = if extra == count || roll < accept {
+                    (true, true)
+                } else if rng.gen_bool(1.0 - cfg.refuse_all_fraction) {
+                    (false, false) // stale / never was a resolver
+                } else {
+                    (true, false) // live but refuses everything
+                };
+                any_responsive |= responsive;
+
+                let meta = if !live {
+                    ResolverMeta {
+                        addr,
+                        other_addr: None,
+                        asn: plan.asn,
+                        live: false,
+                        responsive: false,
+                        open: false,
+                        forwards: false,
+                        qmin: false,
+                        qmin_halts: false,
+                        os: Os::LinuxModern,
+                        software: DnsSoftware::Bind99Plus,
+                        port_class: PortClass::FullRange,
+                        p0f_visible: false,
+                        acl: AclKind::NoMatch,
+                        port_2018: Port2018::Absent,
+                    }
+                } else {
+                    build_resolver(
+                        &cfg,
+                        &mut rng,
+                        &mut net,
+                        plan,
+                        addr,
+                        v6_family,
+                        responsive,
+                        &root_hints,
+                        &public_dns_v4,
+                        &public_dns_v6,
+                        &mut isp_upstream,
+                        &mut aux_used,
+                    )
+                };
+                by_addr.insert(addr, resolvers.len());
+                resolvers.push(meta);
+            }
+        }
+    }
+
+    // The IPv6 hitlist: /64s that contain targets ("observed activity"),
+    // plus a sprinkling of active-but-untargeted prefixes.
+    let mut v6_hitlist: Vec<Prefix> = resolvers
+        .iter()
+        .filter(|r| r.addr.is_ipv6())
+        .map(|r| Prefix::subprefix_of(r.addr, 64))
+        .collect();
+    v6_hitlist.sort();
+    v6_hitlist.dedup();
+
+    // ---------------- DITL traces ----------------
+    let ditl2019 = ditl::generate_2019(&mut rng, &resolvers, &mut alloc);
+    let ditl2018 = ditl::generate_2018(&mut rng, &resolvers);
+
+    let auth = AuthEstate {
+        apex,
+        f4_apex,
+        f6_apex,
+        tcp_apex,
+        root_v4,
+        root_v6,
+        lab_v4,
+        lab_v6,
+    };
+
+    World {
+        net,
+        cfg,
+        log,
+        root_log,
+        geo,
+        resolvers,
+        by_addr,
+        scanner,
+        auth,
+        public_dns_v4,
+        public_dns_v6,
+        ditl2019,
+        ditl2018,
+        measured_asns,
+        experiment_hosts,
+        v6_hitlist,
+    }
+}
+
+/// Switch the experiment zones from NXDOMAIN to wildcard synthesis — the
+/// §3.6.4 fix the paper proposes for a future campaign: "a future version
+/// of our experiment would produce more inclusive results by returning
+/// answers synthesized from wildcard entries, rather than returning
+/// NXDOMAIN." With wildcards, QNAME-minimizing resolvers never hit the
+/// NXDOMAIN cut, so they complete the full QNAME and stay countable.
+pub fn set_experiment_zone_wildcard(world: &mut World) {
+    let (main, f4, f6) = world.experiment_hosts;
+    let apexes = [
+        world.auth.apex.clone(),
+        world.auth.f4_apex.clone(),
+        world.auth.f6_apex.clone(),
+    ];
+    for (host, apex) in [main, f4, f6].into_iter().zip(apexes) {
+        world
+            .net
+            .node_mut::<AuthServer>(host)
+            .expect("experiment host is an AuthServer")
+            .set_zone_mode(&apex, ZoneMode::Wildcard);
+    }
+}
+
+/// Create one live resolver host and return its truth record.
+#[allow(clippy::too_many_arguments)]
+fn build_resolver(
+    cfg: &WorldConfig,
+    rng: &mut ChaCha8Rng,
+    net: &mut Network,
+    plan: &AsPlan,
+    addr: IpAddr,
+    v6_family: bool,
+    responsive: bool,
+    root_hints: &[IpAddr],
+    public_dns_v4: &[IpAddr],
+    public_dns_v6: &[IpAddr],
+    isp_upstream: &mut Option<IpAddr>,
+    aux_used: &mut std::collections::HashSet<IpAddr>,
+) -> ResolverMeta {
+    // Refuse-all resolvers: a live host whose ACL matches nothing.
+    if !responsive {
+        let identity = sample_port_identity(rng);
+        let resolver_cfg = ResolverConfig {
+            addrs: vec![addr],
+            acl: Acl::Allow(vec![]),
+            forward_to: None,
+            qmin: false,
+            qmin_halts_on_nxdomain: true,
+            allocator: identity.allocator.clone(),
+            os: identity.os,
+            p0f_visible: identity.p0f_visible,
+            root_hints: root_hints.to_vec(),
+            timeout: SimDuration::from_secs(2),
+            max_attempts: 3,
+            warmup: Vec::new(),
+        };
+        net.add_host(
+            HostConfig {
+                addrs: vec![addr],
+                asn: plan.asn,
+                stack: identity.os.stack_policy(),
+            },
+            Box::new(RecursiveResolver::new(resolver_cfg)),
+        );
+        return ResolverMeta {
+            addr,
+            other_addr: None,
+            asn: plan.asn,
+            live: true,
+            responsive: false,
+            open: false,
+            forwards: false,
+            qmin: false,
+            qmin_halts: false,
+            os: identity.os,
+            software: identity.software,
+            port_class: identity.class,
+            p0f_visible: identity.p0f_visible,
+            acl: AclKind::NoMatch,
+            port_2018: sample_port_2018(rng, identity.class),
+        };
+    }
+
+    // Responsive: forwarder or direct.
+    let fwd_frac = if v6_family {
+        cfg.forward_fraction_v6
+    } else {
+        cfg.forward_fraction_v4
+    };
+    let forwards = rng.gen_bool(fwd_frac);
+    let qmin = rng.gen_bool(cfg.qmin_fraction);
+    let qmin_halts = qmin && rng.gen_bool(cfg.qmin_halts_fraction);
+
+    // Dual-stack: v6 targets are mostly dual-stack boxes. Secondary v4
+    // addresses come from the 240..250 offsets (targets use 1..240) and
+    // must be unique within the AS.
+    let other_addr: Option<IpAddr> = if v6_family && rng.gen_bool(0.6) {
+        (0..20)
+            .map(|_| {
+                let p = plan.v4_prefixes[rng.gen_range(0..plan.v4_prefixes.len())];
+                p.nth(rng.gen_range(240..250)).unwrap()
+            })
+            .find(|a| aux_used.insert(*a))
+    } else {
+        None
+    };
+    let mut addrs = vec![addr];
+    addrs.extend(other_addr);
+
+    let (identity, open) = if forwards {
+        // Forwarders' own port behaviour is invisible to the authoritative
+        // side; give them a common identity and the forwarder open-rate.
+        let identity = sample_identity_for_class(rng, PortClass::LinuxPool);
+        (identity, rng.gen_bool(cfg.forwarder_open_fraction))
+    } else {
+        let identity = sample_port_identity(rng);
+        let open = rng.gen_bool(identity.class.open_probability());
+        (identity, open)
+    };
+
+    let acl_kind = if open {
+        AclKind::Open
+    } else {
+        AclKind::sample_closed(rng)
+    };
+    let acl = materialize_acl(acl_kind, addr, plan);
+
+    let forward_to = if forwards {
+        Some(pick_upstream(
+            rng,
+            net,
+            plan,
+            v6_family,
+            root_hints,
+            public_dns_v4,
+            public_dns_v6,
+            isp_upstream,
+        ))
+    } else {
+        None
+    };
+
+    let resolver_cfg = ResolverConfig {
+        addrs: addrs.clone(),
+        acl,
+        forward_to,
+        qmin,
+        qmin_halts_on_nxdomain: qmin_halts,
+        allocator: identity.allocator.clone(),
+        os: identity.os,
+        p0f_visible: identity.p0f_visible,
+        root_hints: root_hints.to_vec(),
+        timeout: SimDuration::from_secs(2),
+        max_attempts: 3,
+        warmup: Vec::new(),
+    };
+    net.add_host(
+        HostConfig {
+            addrs,
+            asn: plan.asn,
+            stack: identity.os.stack_policy(),
+        },
+        Box::new(RecursiveResolver::new(resolver_cfg)),
+    );
+
+    ResolverMeta {
+        addr,
+        other_addr,
+        asn: plan.asn,
+        live: true,
+        responsive: true,
+        open,
+        forwards,
+        qmin,
+        qmin_halts,
+        os: identity.os,
+        software: identity.software,
+        port_class: identity.class,
+        p0f_visible: identity.p0f_visible,
+        acl: acl_kind,
+        port_2018: sample_port_2018(rng, identity.class),
+    }
+}
+
+/// Turn an [`AclKind`] into concrete prefixes for this resolver.
+fn materialize_acl(kind: AclKind, addr: IpAddr, plan: &AsPlan) -> Acl {
+    let private4: Prefix = "192.168.0.0/16".parse().unwrap();
+    let rfc1918a: Prefix = "10.0.0.0/8".parse().unwrap();
+    let ula: Prefix = "fc00::/7".parse().unwrap();
+    let lo4: Prefix = "127.0.0.0/8".parse().unwrap();
+    let lo6: Prefix = "::1/128".parse().unwrap();
+    let all_as = || {
+        plan.v4_prefixes
+            .iter()
+            .chain(&plan.v6_prefixes)
+            .copied()
+            .collect::<Vec<Prefix>>()
+    };
+    match kind {
+        AclKind::Open => Acl::Open,
+        AclKind::AsWide => Acl::Allow(all_as()),
+        AclKind::SameSubnet => Acl::Allow(vec![Prefix::subprefix_of(
+            addr,
+            if addr.is_ipv6() { 64 } else { 24 },
+        )]),
+        AclKind::SelfOnly => Acl::Allow(vec![Prefix::subprefix_of(
+            addr,
+            if addr.is_ipv6() { 128 } else { 32 },
+        )]),
+        AclKind::AsWidePlusPrivate => {
+            let mut v = all_as();
+            v.extend([private4, rfc1918a, ula]);
+            Acl::Allow(v)
+        }
+        AclKind::PrivateOnly => Acl::Allow(vec![private4, rfc1918a, ula]),
+        AclKind::LocalhostOnly => Acl::Allow(vec![lo4, lo6]),
+        AclKind::NoMatch => Acl::Allow(vec![]),
+    }
+}
+
+/// Choose a forwarder's upstream: an in-AS ISP resolver (created on first
+/// use) or a public DNS service.
+#[allow(clippy::too_many_arguments)]
+fn pick_upstream(
+    rng: &mut ChaCha8Rng,
+    net: &mut Network,
+    plan: &AsPlan,
+    v6_family: bool,
+    root_hints: &[IpAddr],
+    public_dns_v4: &[IpAddr],
+    public_dns_v6: &[IpAddr],
+    isp_upstream: &mut Option<IpAddr>,
+) -> IpAddr {
+    if v6_family {
+        // v6 forwarders ride public DNS over v6.
+        return public_dns_v6[rng.gen_range(0..public_dns_v6.len())];
+    }
+    if rng.gen_bool(0.5) {
+        return public_dns_v4[rng.gen_range(0..public_dns_v4.len())];
+    }
+    if let Some(up) = *isp_upstream {
+        return up;
+    }
+    // Create the AS's ISP resolver: closed to the outside, AS-wide ACL.
+    let addr = plan.v4_prefixes[0].nth(251).unwrap();
+    let cfg = ResolverConfig {
+        addrs: vec![addr],
+        acl: Acl::Allow(plan.v4_prefixes.clone()),
+        forward_to: None,
+        qmin: false,
+        qmin_halts_on_nxdomain: true,
+        allocator: Os::LinuxModern.default_port_allocator(),
+        os: Os::LinuxModern,
+        p0f_visible: false,
+        root_hints: root_hints.to_vec(),
+        timeout: SimDuration::from_secs(2),
+        max_attempts: 3,
+        warmup: Vec::new(),
+    };
+    net.add_host(
+        HostConfig {
+            addrs: vec![addr],
+            asn: plan.asn,
+            stack: Os::LinuxModern.stack_policy(),
+        },
+        Box::new(RecursiveResolver::new(cfg)),
+    );
+    *isp_upstream = Some(addr);
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_world_builds_and_is_deterministic() {
+        let w1 = build(WorldConfig::tiny(11));
+        let w2 = build(WorldConfig::tiny(11));
+        assert_eq!(w1.resolvers.len(), w2.resolvers.len());
+        assert!(!w1.resolvers.is_empty());
+        assert_eq!(w1.measured_asns.len(), w1.cfg.n_as);
+        // Same addresses in the same order.
+        let a1: Vec<IpAddr> = w1.resolvers.iter().map(|r| r.addr).collect();
+        let a2: Vec<IpAddr> = w2.resolvers.iter().map(|r| r.addr).collect();
+        assert_eq!(a1, a2);
+        assert_eq!(w1.ditl2019.len(), w2.ditl2019.len());
+    }
+
+    #[test]
+    fn world_has_required_infrastructure() {
+        let w = build(WorldConfig::tiny(3));
+        // Roots, org, lab, f4, f6, tcp, 5 public resolvers at minimum.
+        assert!(w.net.host_count() > 11);
+        assert_eq!(w.public_dns_v4.len(), 5);
+        // Scanner slot routes to the scanner AS.
+        assert_eq!(w.net.routes.origin(w.scanner.v4), Some(w.scanner.asn));
+        assert_eq!(w.net.routes.origin(w.scanner.v6), Some(w.scanner.asn));
+        // The scanner AS must lack OSAV (the vantage requirement, §3.4).
+        assert!(!w.net.as_info(w.scanner.asn).unwrap().policy.osav);
+        // Auth addresses route to infrastructure.
+        assert_eq!(w.net.routes.origin(w.auth.root_v4), Some(INFRA_ASN));
+        assert_eq!(w.net.routes.origin(w.auth.lab_v6), Some(INFRA_ASN));
+    }
+
+    #[test]
+    fn dsav_rate_is_roughly_half() {
+        let w = build(WorldConfig::paper_shape(5));
+        let lacking = w
+            .measured_asns
+            .iter()
+            .filter(|&&a| w.truly_lacks_dsav(a))
+            .count();
+        let frac = lacking as f64 / w.measured_asns.len() as f64;
+        assert!(
+            (0.35..0.60).contains(&frac),
+            "no-DSAV fraction {frac} out of expected band"
+        );
+    }
+
+    #[test]
+    fn target_truth_is_indexed() {
+        let w = build(WorldConfig::tiny(7));
+        for (i, r) in w.resolvers.iter().enumerate() {
+            assert_eq!(w.by_addr.get(&r.addr), Some(&i));
+            assert_eq!(w.net.routes.origin(r.addr), Some(r.asn));
+        }
+    }
+
+    #[test]
+    fn responsive_targets_exist_and_mix_open_closed() {
+        let w = build(WorldConfig::paper_shape(9));
+        let responsive: Vec<_> = w.resolvers.iter().filter(|r| r.responsive).collect();
+        assert!(
+            responsive.len() > 100,
+            "expected a healthy responsive population, got {}",
+            responsive.len()
+        );
+        let open = responsive.iter().filter(|r| r.open).count();
+        let frac = open as f64 / responsive.len() as f64;
+        // §5.1: 40% open globally.
+        assert!((0.30..0.50).contains(&frac), "open fraction {frac}");
+        let forwarders = responsive.iter().filter(|r| r.forwards).count();
+        let ffrac = forwarders as f64 / responsive.len() as f64;
+        assert!((0.30..0.55).contains(&ffrac), "forward fraction {ffrac}");
+    }
+
+    #[test]
+    fn v6_targets_present() {
+        let w = build(WorldConfig::paper_shape(13));
+        let v6 = w.resolvers.iter().filter(|r| r.addr.is_ipv6()).count();
+        assert!(v6 > 20, "v6 targets: {v6}");
+    }
+}

@@ -1,0 +1,490 @@
+//! Per-resolver behaviour profiles and the ground-truth registry.
+//!
+//! Each *target* address (an entry in the DITL-derived target list) carries
+//! a [`ResolverMeta`] recording what the world generator actually put
+//! there. Analyses never read this — they infer everything from packets,
+//! like the paper did — but tests and the EXPERIMENTS report join against
+//! it to validate inference quality.
+
+use bcd_netsim::Asn;
+use bcd_osmodel::{DnsSoftware, Os, PortAllocator};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::net::IpAddr;
+
+/// Truth label for a resolver's source-port behaviour, aligned with the
+/// Table 4 bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortClass {
+    /// Range 0: a single source port (§5.2.1's 3,810 resolvers).
+    Zero,
+    /// Sequential allocation in a 1–200 window (§5.2.3).
+    SeqSmall,
+    /// Odd small pools landing in the 201–940 band.
+    OddLow,
+    /// Windows DNS 2008 R2+ (2,500-port pool, band 941–2,488).
+    Windows,
+    /// Odd pools in the 2,489–6,124 band.
+    OddMid,
+    /// FreeBSD's IANA pool (band 6,125–16,331).
+    FreeBsdPool,
+    /// Linux's 32768–61000 pool (band 16,332–28,222).
+    LinuxPool,
+    /// The full unprivileged range (band 28,223–65,536).
+    FullRange,
+}
+
+impl PortClass {
+    /// All classes with their sampling weights among *direct* responsive
+    /// resolvers — the Table 4 "Total" column normalized (3,810 / 244 / 144
+    /// / 13,692 / 366 / 11,462 / 89,495 / 178,773 of 297,986).
+    pub const WEIGHTED: [(PortClass, f64); 8] = [
+        (PortClass::Zero, 0.01279),
+        (PortClass::SeqSmall, 0.00082),
+        (PortClass::OddLow, 0.00048),
+        (PortClass::Windows, 0.04595),
+        (PortClass::OddMid, 0.00123),
+        (PortClass::FreeBsdPool, 0.03847),
+        (PortClass::LinuxPool, 0.30033),
+        (PortClass::FullRange, 0.59993),
+    ];
+
+    /// Sample a class by the Table 4 weights.
+    pub fn sample(rng: &mut ChaCha8Rng) -> PortClass {
+        let mut roll: f64 = rng.gen();
+        for (class, w) in PortClass::WEIGHTED {
+            if roll < w {
+                return class;
+            }
+            roll -= w;
+        }
+        PortClass::FullRange
+    }
+
+    /// Open-resolver probability within this band (Table 4's Open column
+    /// over its Total: the striking signal that Windows-band resolvers are
+    /// 89% open while Linux-band ones are 97% closed).
+    pub fn open_probability(self) -> f64 {
+        match self {
+            PortClass::Zero => 0.411,
+            PortClass::SeqSmall => 0.824,
+            PortClass::OddLow => 0.694,
+            PortClass::Windows => 0.889,
+            PortClass::OddMid => 0.702,
+            PortClass::FreeBsdPool => 0.101,
+            PortClass::LinuxPool => 0.027,
+            PortClass::FullRange => 0.066,
+        }
+    }
+}
+
+/// How this resolver allocated source ports in the 2018 DITL collection
+/// (§5.2.2's longitudinal comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port2018 {
+    /// Already pinned to a single port 18 months earlier (paper: 51%).
+    FixedThen,
+    /// Showed source-port variation then — the vulnerability *regressed*
+    /// (paper: 25%).
+    VariedThen,
+    /// Not enough 2018 data to compare (paper: 24%).
+    Absent,
+}
+
+/// ACL shape for closed resolvers — what decides *which* spoofed-source
+/// categories a query can ride in on (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclKind {
+    /// Open to everyone.
+    Open,
+    /// Allow the whole AS's announced prefixes.
+    AsWide,
+    /// Allow only the resolver's own /24 (IPv4) or /64 (IPv6).
+    SameSubnet,
+    /// Allow only the resolver's own address.
+    SelfOnly,
+    /// AS prefixes plus RFC 1918 / ULA space (NATed internal clients).
+    AsWidePlusPrivate,
+    /// Only RFC 1918 / ULA space (a resolver meant for NATed clients only).
+    PrivateOnly,
+    /// Only localhost (`allow-query { localhost; }`) — reachable solely by
+    /// loopback-source spoofs.
+    LocalhostOnly,
+    /// An allow-list that matches nothing we can spoof (live but always
+    /// REFUSED — the §3.8 anecdotes).
+    NoMatch,
+}
+
+impl AclKind {
+    /// Sample an ACL for a *closed*, responsive resolver. Weights are
+    /// calibrated against Table 3's category-exclusive columns.
+    pub fn sample_closed(rng: &mut ChaCha8Rng) -> AclKind {
+        let roll: f64 = rng.gen();
+        if roll < 0.555 {
+            AclKind::AsWide
+        } else if roll < 0.855 {
+            AclKind::SameSubnet
+        } else if roll < 0.905 {
+            AclKind::SelfOnly
+        } else if roll < 0.975 {
+            AclKind::AsWidePlusPrivate
+        } else if roll < 0.990 {
+            AclKind::PrivateOnly
+        } else {
+            AclKind::LocalhostOnly
+        }
+    }
+}
+
+/// Ground truth for one target address.
+#[derive(Debug, Clone)]
+pub struct ResolverMeta {
+    /// The target address (what the DITL trace exposes).
+    pub addr: IpAddr,
+    /// Second-family address for dual-stack hosts.
+    pub other_addr: Option<IpAddr>,
+    pub asn: Asn,
+    /// A host exists at this address.
+    pub live: bool,
+    /// Expected to *handle* (resolve) at least one matching spoofed query.
+    pub responsive: bool,
+    pub open: bool,
+    pub forwards: bool,
+    pub qmin: bool,
+    pub qmin_halts: bool,
+    pub os: Os,
+    pub software: DnsSoftware,
+    pub port_class: PortClass,
+    pub p0f_visible: bool,
+    pub acl: AclKind,
+    pub port_2018: Port2018,
+}
+
+/// Everything sampled for one responsive resolver's port/OS identity.
+pub struct PortIdentity {
+    pub class: PortClass,
+    pub software: DnsSoftware,
+    pub os: Os,
+    pub allocator: PortAllocator,
+    pub p0f_visible: bool,
+}
+
+/// Sample the coupled (port class, software, OS, allocator, p0f
+/// visibility) identity of a direct responsive resolver. The couplings
+/// implement §5.3's findings:
+///
+/// * zero-range = antique/misconfigured software: 34% pinned to port 53,
+///   old Windows DNS for ~20% (p0f: 12% of the band looked Windows), and
+///   20% of the band carries the BaiduSpider TCP profile,
+/// * the Windows band is Windows DNS on Windows Server, 89% p0f-visible,
+/// * the FreeBSD/Linux bands are OS-default pools (BIND 9.9+/Knot),
+/// * the full-range band is version-ambiguous (BIND 9.5.2+/Unbound/
+///   PowerDNS — §5.3.3's unresolvable void), mostly p0f-invisible.
+pub fn sample_port_identity(rng: &mut ChaCha8Rng) -> PortIdentity {
+    let class = PortClass::sample(rng);
+    sample_identity_for_class(rng, class)
+}
+
+/// As [`sample_port_identity`], with the band fixed (tests and ablations).
+pub fn sample_identity_for_class(rng: &mut ChaCha8Rng, class: PortClass) -> PortIdentity {
+    match class {
+        PortClass::Zero => {
+            let roll: f64 = rng.gen();
+            let (software, os) = if roll < 0.34 {
+                let os = if rng.gen_bool(0.25) {
+                    Os::BaiduCrawler
+                } else {
+                    Os::LinuxOld
+                };
+                (DnsSoftware::FixedPort53, os)
+            } else if roll < 0.80 {
+                let os = if rng.gen_bool(0.30) {
+                    Os::BaiduCrawler
+                } else if rng.gen_bool(0.5) {
+                    Os::LinuxModern
+                } else {
+                    Os::LinuxOld
+                };
+                (DnsSoftware::FixedPortOther, os)
+            } else {
+                let os = if rng.gen_bool(0.6) {
+                    Os::Windows2003
+                } else {
+                    Os::Windows2008
+                };
+                (DnsSoftware::WindowsDnsOld, os)
+            };
+            let p0f_visible = match os {
+                Os::BaiduCrawler => true,
+                Os::Windows2003 | Os::Windows2008 => rng.gen_bool(0.60),
+                _ => rng.gen_bool(0.03),
+            };
+            PortIdentity {
+                class,
+                software,
+                os,
+                allocator: software.allocator(os, rng),
+                p0f_visible,
+            }
+        }
+        PortClass::SeqSmall => {
+            let os = if rng.gen_bool(0.70) {
+                Os::WindowsModern
+            } else {
+                Os::LinuxOld
+            };
+            PortIdentity {
+                class,
+                software: DnsSoftware::SequentialSmall,
+                os,
+                allocator: DnsSoftware::SequentialSmall.allocator(os, rng),
+                p0f_visible: if os.is_windows() {
+                    rng.gen_bool(0.93)
+                } else {
+                    rng.gen_bool(0.25)
+                },
+            }
+        }
+        PortClass::OddLow | PortClass::OddMid => {
+            let os = if rng.gen_bool(0.60) {
+                Os::WindowsModern
+            } else {
+                Os::LinuxModern
+            };
+            let size = if class == PortClass::OddLow {
+                rng.gen_range(260..920)
+            } else {
+                rng.gen_range(2_800..5_900)
+            };
+            let lo: u16 = rng.gen_range(1_024..=(65_535 - size as u16));
+            PortIdentity {
+                class,
+                software: DnsSoftware::FixedPortOther, // closest label: custom config
+                os,
+                allocator: PortAllocator::uniform(lo, size),
+                p0f_visible: if os.is_windows() {
+                    rng.gen_bool(0.85)
+                } else {
+                    rng.gen_bool(0.05)
+                },
+            }
+        }
+        PortClass::Windows => {
+            let os = Os::WindowsModern;
+            PortIdentity {
+                class,
+                software: DnsSoftware::WindowsDnsModern,
+                os,
+                allocator: DnsSoftware::WindowsDnsModern.allocator(os, rng),
+                p0f_visible: rng.gen_bool(0.885),
+            }
+        }
+        PortClass::FreeBsdPool => {
+            let os = Os::FreeBsd;
+            let software = if rng.gen_bool(0.8) {
+                DnsSoftware::Bind99Plus
+            } else {
+                DnsSoftware::Knot32
+            };
+            PortIdentity {
+                class,
+                software,
+                os,
+                allocator: software.allocator(os, rng),
+                p0f_visible: rng.gen_bool(0.05),
+            }
+        }
+        PortClass::LinuxPool => {
+            let os = if rng.gen_bool(0.95) {
+                Os::LinuxModern
+            } else {
+                Os::LinuxOld
+            };
+            let software = if rng.gen_bool(0.8) {
+                DnsSoftware::Bind99Plus
+            } else {
+                DnsSoftware::Knot32
+            };
+            PortIdentity {
+                class,
+                software,
+                os,
+                allocator: software.allocator(os, rng),
+                p0f_visible: rng.gen_bool(0.009),
+            }
+        }
+        PortClass::FullRange => {
+            let roll: f64 = rng.gen();
+            let (software, os) = if roll < 0.40 {
+                (DnsSoftware::Unbound19, Os::LinuxModern)
+            } else if roll < 0.70 {
+                (DnsSoftware::Bind952To988, Os::LinuxModern)
+            } else if roll < 0.85 {
+                (DnsSoftware::PowerDns42, Os::LinuxModern)
+            } else if roll < 0.94 {
+                // BIND 9.9+ on Windows uses the full unprivileged range —
+                // the §5.3.2 caveat that hides Windows from the port model.
+                (DnsSoftware::Bind99Plus, Os::WindowsModern)
+            } else if roll < 0.99 {
+                (DnsSoftware::Unbound19, Os::LinuxOld)
+            } else {
+                (DnsSoftware::Bind950, Os::LinuxModern)
+            };
+            let p0f_visible = if os.is_windows() {
+                rng.gen_bool(0.16)
+            } else {
+                rng.gen_bool(0.045)
+            };
+            PortIdentity {
+                class,
+                software,
+                os,
+                allocator: software.allocator(os, rng),
+                p0f_visible,
+            }
+        }
+    }
+}
+
+/// Sample the 2018 port behaviour conditioned on the current class
+/// (§5.2.2: of the *currently* zero-range population, 51% were already
+/// fixed, 25% varied, 24% absent).
+pub fn sample_port_2018(rng: &mut ChaCha8Rng, class: PortClass) -> Port2018 {
+    let roll: f64 = rng.gen();
+    if class == PortClass::Zero {
+        if roll < 0.51 {
+            Port2018::FixedThen
+        } else if roll < 0.76 {
+            Port2018::VariedThen
+        } else {
+            Port2018::Absent
+        }
+    } else {
+        // Non-vulnerable resolvers: mostly unchanged, some absent.
+        if roll < 0.75 {
+            Port2018::VariedThen
+        } else {
+            Port2018::Absent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn class_weights_sum_to_one() {
+        let total: f64 = PortClass::WEIGHTED.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-3, "{total}");
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let mut r = rng();
+        let n = 200_000;
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            *counts.entry(PortClass::sample(&mut r)).or_insert(0u32) += 1;
+        }
+        let frac = |c: PortClass| counts.get(&c).copied().unwrap_or(0) as f64 / n as f64;
+        assert!((frac(PortClass::FullRange) - 0.600).abs() < 0.01);
+        assert!((frac(PortClass::LinuxPool) - 0.300).abs() < 0.01);
+        assert!((frac(PortClass::Windows) - 0.046).abs() < 0.005);
+        assert!((frac(PortClass::Zero) - 0.0128).abs() < 0.003);
+    }
+
+    #[test]
+    fn identities_have_consistent_pool_sizes() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let id = sample_port_identity(&mut r);
+            let size = id.allocator.pool_size();
+            match id.class {
+                PortClass::Zero => assert_eq!(size, 1),
+                PortClass::SeqSmall => assert!((2..=200).contains(&size)),
+                PortClass::OddLow => assert!((201..=941).contains(&size)),
+                PortClass::Windows => assert_eq!(size, 2_500),
+                PortClass::OddMid => assert!((2_489..=6_125).contains(&size)),
+                PortClass::FreeBsdPool => assert_eq!(size, 16_383),
+                PortClass::LinuxPool => assert_eq!(size, 28_232),
+                PortClass::FullRange => assert!(size == 64_511 || size == 8),
+            }
+        }
+    }
+
+    #[test]
+    fn windows_band_is_windows_dns_and_mostly_visible() {
+        let mut r = rng();
+        let mut visible = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            let id = sample_identity_for_class(&mut r, PortClass::Windows);
+            assert_eq!(id.software, DnsSoftware::WindowsDnsModern);
+            assert!(id.os.is_windows());
+            if id.p0f_visible {
+                visible += 1;
+            }
+        }
+        let frac = visible as f64 / n as f64;
+        assert!((frac - 0.885).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn zero_band_port53_share() {
+        let mut r = rng();
+        let mut p53 = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let id = sample_identity_for_class(&mut r, PortClass::Zero);
+            assert_eq!(id.allocator.pool_size(), 1);
+            if let PortAllocator::Fixed(53) = id.allocator {
+                p53 += 1;
+            }
+        }
+        // 34% explicit port 53 (the §5.2.1 observation).
+        let frac = p53 as f64 / n as f64;
+        assert!((frac - 0.34).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn acl_sampling_produces_all_kinds() {
+        let mut r = rng();
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            kinds.insert(format!("{:?}", AclKind::sample_closed(&mut r)));
+        }
+        for k in [
+            "AsWide",
+            "SameSubnet",
+            "SelfOnly",
+            "AsWidePlusPrivate",
+            "PrivateOnly",
+            "LocalhostOnly",
+        ] {
+            assert!(kinds.contains(k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn port_2018_mix_for_zero_band() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut fixed = 0;
+        let mut varied = 0;
+        for _ in 0..n {
+            match sample_port_2018(&mut r, PortClass::Zero) {
+                Port2018::FixedThen => fixed += 1,
+                Port2018::VariedThen => varied += 1,
+                Port2018::Absent => {}
+            }
+        }
+        assert!((fixed as f64 / n as f64 - 0.51).abs() < 0.02);
+        assert!((varied as f64 / n as f64 - 0.25).abs() < 0.02);
+    }
+}

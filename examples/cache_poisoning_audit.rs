@@ -1,0 +1,75 @@
+//! Cache-poisoning exposure audit — the paper's §5.2 case study as a tool.
+//!
+//! Surveys a synthetic Internet, then reports every resolver whose source
+//! ports make Kaminsky-style cache poisoning practical: fixed ports reduce
+//! the attacker's search space from 2^32 to 2^16, and closed resolvers in
+//! no-DSAV networks are attackable *despite* their ACLs, because spoofed
+//! in-network sources can induce queries.
+//!
+//! ```sh
+//! cargo run --release --example cache_poisoning_audit
+//! ```
+
+use behind_closed_doors::core::analysis::openclosed::OpenClosedReport;
+use behind_closed_doors::core::analysis::ports::PortReport;
+use behind_closed_doors::core::analysis::reachability::Reachability;
+use behind_closed_doors::core::{Experiment, ExperimentConfig};
+use behind_closed_doors::stats::occupancy;
+
+fn main() {
+    let mut cfg = ExperimentConfig::tiny(7);
+    cfg.world.n_as = 150;
+    cfg.world.target_scale = 0.15;
+    let data = Experiment::run(cfg);
+
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+
+    println!("== cache-poisoning exposure audit ==\n");
+    println!(
+        "{} direct resolvers measured; {} with ZERO source-port randomization\n",
+        ports.observations.len(),
+        ports.zero.count
+    );
+
+    for obs in ports.observations.iter().filter(|o| o.range == 0) {
+        let status = if obs.open { "OPEN" } else { "closed" };
+        let exposure = if obs.open {
+            "attackable by anyone (no spoofing needed)"
+        } else {
+            "attackable via spoofed in-network sources (no DSAV)"
+        };
+        println!(
+            "  {:<18} port {:<6} {:<7} — txid search space 2^16 — {}",
+            obs.addr.to_string(),
+            obs.ports[0],
+            status,
+            exposure
+        );
+    }
+
+    // Suspiciously small pools: ports that repeat within 10 queries.
+    println!("\nresolvers with suspicious port reuse (<=7 unique in 10 queries):");
+    for obs in &ports.observations {
+        let unique: std::collections::BTreeSet<u16> = obs.ports.iter().copied().collect();
+        if unique.len() <= 7 && obs.range > 0 {
+            let p = occupancy::at_most_unique(obs.range as u64 + 1, 10, unique.len() as u32);
+            println!(
+                "  {:<18} range {:<6} {} unique ports (probability under a uniform pool: {:.4}%)",
+                obs.addr.to_string(),
+                obs.range,
+                unique.len(),
+                100.0 * p
+            );
+        }
+    }
+
+    println!(
+        "\n{} of {} affected ASes host at least one *closed* zero-range resolver —",
+        ports.zero.asns_with_closed.len(),
+        ports.zero.asns.len()
+    );
+    println!("for those networks, deploying DSAV would directly shrink the attack surface.");
+}

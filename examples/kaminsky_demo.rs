@@ -1,0 +1,73 @@
+//! Kaminsky-style cache poisoning, executed — the attack §5.2 warns about,
+//! run against the same resolver implementation the survey measures.
+//!
+//! Two victims, identical except for source-port allocation:
+//! * a resolver pinned to source port 53 (like the paper's 1,308
+//!   port-53 resolvers), with the port learned from a §5.2 survey,
+//! * a resolver drawing ports from the Linux 32768–61000 pool.
+//!
+//! Both are *closed* resolvers — only the lack of DSAV lets the attacker
+//! induce queries at all, by spoofing an in-network client.
+//!
+//! ```sh
+//! cargo run --release --example kaminsky_demo
+//! ```
+
+use behind_closed_doors::core::attack::{run_poisoning_attack, PoisonConfig};
+use behind_closed_doors::osmodel::{Os, PortAllocator};
+
+fn main() {
+    let budget_rounds = 24;
+    let guesses = 16_384;
+
+    println!("== Kaminsky-style poisoning vs source-port randomization ==\n");
+    println!(
+        "attack budget: {budget_rounds} induced queries x {guesses} forged responses each\n"
+    );
+
+    println!("victim 1: closed resolver, fixed source port 53 (port known from survey)");
+    let fixed = run_poisoning_attack(PoisonConfig {
+        guesses_per_round: guesses,
+        rounds: budget_rounds,
+        known_port: Some(53),
+        allocator: PortAllocator::fixed(53),
+        seed: 2020,
+    });
+    println!(
+        "  per-forgery acceptance probability: {:.2e} (txid only: 2^16 search space)",
+        fixed.per_forgery_probability
+    );
+    match (fixed.poisoned_at_round, fixed.poisoned_name) {
+        (Some(round), Some(name)) => println!(
+            "  POISONED at round {round} ({} forged packets sent): {name} now resolves to the attacker\n",
+            fixed.forged_sent
+        ),
+        _ => println!("  survived this run (try another seed — expected success ~22%/round)\n"),
+    }
+
+    println!("victim 2: identical resolver, Linux ephemeral pool (28,232 ports)");
+    let random = run_poisoning_attack(PoisonConfig {
+        guesses_per_round: guesses,
+        rounds: budget_rounds,
+        known_port: None,
+        allocator: Os::LinuxModern.default_port_allocator(),
+        seed: 2020,
+    });
+    println!(
+        "  per-forgery acceptance probability: {:.2e} (txid x port: 2^16 x 28,232)",
+        random.per_forgery_probability
+    );
+    match random.poisoned_at_round {
+        Some(round) => println!("  poisoned at round {round} (!)"),
+        None => println!(
+            "  survived all {budget_rounds} rounds ({} forged packets) — as the arithmetic demands",
+            random.forged_sent
+        ),
+    }
+
+    println!(
+        "\nthe same attack budget that cracks a fixed-port resolver in seconds would need\n\
+         ~{:.0}x longer against the randomized one — §5.2's point, made executable.",
+        fixed.per_forgery_probability / random.per_forgery_probability
+    );
+}

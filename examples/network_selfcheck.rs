@@ -1,0 +1,45 @@
+//! The §6 "testing tool": assess individual networks from survey data,
+//! the way the paper's planned public web interface would — verdict,
+//! reached resolvers, port health, and ordered remediation advice.
+//!
+//! ```sh
+//! cargo run --release --example network_selfcheck
+//! ```
+
+use behind_closed_doors::core::analysis::openclosed::OpenClosedReport;
+use behind_closed_doors::core::analysis::ports::PortReport;
+use behind_closed_doors::core::analysis::reachability::Reachability;
+use behind_closed_doors::core::{Experiment, ExperimentConfig, SelfCheck, Verdict};
+
+fn main() {
+    let mut cfg = ExperimentConfig::tiny(99);
+    cfg.world.n_as = 120;
+    let data = Experiment::run(cfg);
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+
+    // Pick one vulnerable and one apparently-filtered AS to showcase.
+    let reached = reach.reached_asns_all();
+    let vulnerable = reached.iter().max_by_key(|asn| {
+        reach.reached.values().filter(|h| h.asn == **asn).count()
+    });
+    let filtered = data
+        .world
+        .measured_asns
+        .iter()
+        .find(|a| !reached.contains(a));
+
+    for asn in [vulnerable.copied(), filtered.copied()].into_iter().flatten() {
+        let report = SelfCheck::assess(asn, &data.targets, &reach, &oc, &ports);
+        println!("{report}");
+        // Cross-check against the simulation's ground truth.
+        let truth = data.world.truly_lacks_dsav(asn);
+        if report.verdict == Verdict::Vulnerable { assert!(truth, "self-check false positive") }
+        println!(
+            "(ground truth: this AS {} DSAV)\n",
+            if truth { "lacks" } else { "deploys" }
+        );
+    }
+}

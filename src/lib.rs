@@ -1,0 +1,39 @@
+//! # behind-closed-doors
+//!
+//! A full reproduction of *Behind Closed Doors: A Network Tale of Spoofing,
+//! Intrusion, and False DNS Security* (Deccio et al., IMC 2020) as a Rust
+//! workspace: the paper's spoofed-source DSAV measurement methodology plus
+//! every substrate it needs, running on a deterministic discrete-event
+//! Internet simulator.
+//!
+//! This crate is the facade: it re-exports the workspace members under one
+//! namespace for examples and downstream users.
+//!
+//! * [`netsim`] — the simulator (engine, packets, routing, border policies),
+//! * [`dnswire`] — DNS wire format,
+//! * [`dns`] — resolver / authoritative / middlebox node behaviours,
+//! * [`osmodel`] — OS stack models, port allocators, p0f,
+//! * [`geo`] — synthetic geolocation,
+//! * [`stats`] — Beta/range statistics behind the OS identification,
+//! * [`worldgen`] — the seeded synthetic Internet,
+//! * [`core`] — the paper's methodology and analyses.
+//!
+//! Quickstart (see `examples/quickstart.rs`):
+//!
+//! ```
+//! use behind_closed_doors::core::{Experiment, ExperimentConfig};
+//! use behind_closed_doors::core::analysis::reachability::Reachability;
+//!
+//! let data = Experiment::run(ExperimentConfig::tiny(1));
+//! let reach = Reachability::compute(&data.input());
+//! assert!(!reach.reached.is_empty());
+//! ```
+
+pub use bcd_core as core;
+pub use bcd_dns as dns;
+pub use bcd_dnswire as dnswire;
+pub use bcd_geo as geo;
+pub use bcd_netsim as netsim;
+pub use bcd_osmodel as osmodel;
+pub use bcd_stats as stats;
+pub use bcd_worldgen as worldgen;

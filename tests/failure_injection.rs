@@ -1,0 +1,115 @@
+//! Failure injection: the methodology must stay *sound* (never claim a
+//! protected AS reachable) and *useful* (still find most of the population)
+//! under adverse conditions — packet loss, heavy human-intervention noise,
+//! and QNAME-minimizing resolvers.
+
+use behind_closed_doors::core::analysis::reachability::Reachability;
+use behind_closed_doors::core::{Experiment, ExperimentConfig};
+
+#[test]
+fn survey_is_sound_under_packet_loss() {
+    let mut cfg = ExperimentConfig::tiny(201);
+    cfg.world.link_loss = 0.05; // 5% loss on every inter-AS traversal
+    let data = Experiment::run(cfg);
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+
+    // Soundness holds regardless of loss.
+    for asn in reach.reached_asns_all() {
+        assert!(
+            data.world.truly_lacks_dsav(asn),
+            "{asn}: loss must never create false reachability"
+        );
+    }
+    // And the survey still finds a solid share of the population: each
+    // target gets many probes, so 5% loss costs little.
+    assert!(
+        reach.reached.len() > 20,
+        "survey collapsed under 5% loss: {} reached",
+        reach.reached.len()
+    );
+}
+
+#[test]
+fn loss_only_shrinks_results_never_grows_them() {
+    let run = |loss: f64| {
+        let mut cfg = ExperimentConfig::tiny(202);
+        cfg.world.link_loss = loss;
+        let data = Experiment::run(cfg);
+        let reach = Reachability::compute(&data.input());
+        (reach.reached.len(), reach.reached_asns_all().len())
+    };
+    let (addrs_clean, asns_clean) = run(0.0);
+    let (addrs_lossy, asns_lossy) = run(0.30);
+    assert!(addrs_lossy <= addrs_clean);
+    assert!(asns_lossy <= asns_clean + 1, "{asns_lossy} vs {asns_clean}");
+    // 30% loss must actually bite somewhere (follow-up completeness etc.).
+    assert!(addrs_lossy < addrs_clean, "loss had no observable effect");
+}
+
+#[test]
+fn qmin_heavy_world_still_detects_ases() {
+    // Make a third of resolvers QNAME-minimizing with NXDOMAIN halting:
+    // many individual targets become invisible, but AS-level detection
+    // survives via the minimized queries themselves plus other resolvers
+    // (§3.6.4's conclusion).
+    let mut cfg = ExperimentConfig::tiny(203);
+    cfg.world.qmin_fraction = 0.33;
+    cfg.world.qmin_halts_fraction = 1.0;
+    let data = Experiment::run(cfg);
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    assert!(
+        reach.qmin.partial_sources.len() > 3,
+        "expected minimized queries, saw {}",
+        reach.qmin.partial_sources.len()
+    );
+    assert!(
+        !reach.reached_asns_all().is_empty(),
+        "AS detection must survive qmin"
+    );
+    for asn in reach.reached_asns_all() {
+        assert!(data.world.truly_lacks_dsav(asn));
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The root crate exposes every subsystem under one namespace.
+    use behind_closed_doors::{dns, dnswire, geo, netsim, osmodel, stats, worldgen};
+    let _ = dnswire::Name::root();
+    let _ = netsim::SimTime::ZERO;
+    let _ = osmodel::Os::LinuxModern.stack_policy();
+    let _ = stats::Beta::range_model(10);
+    let _ = geo::Country("US").name();
+    let _ = worldgen::WorldConfig::tiny(1);
+    let _ = dns::log::shared_log();
+}
+
+#[test]
+fn survey_trace_exports_as_valid_pcap() {
+    use behind_closed_doors::core::{Experiment, ExperimentConfig};
+    use behind_closed_doors::netsim::pcap;
+
+    let mut cfg = ExperimentConfig::tiny(401);
+    cfg.world.n_as = 10;
+    cfg.world.target_scale = 0.02;
+    cfg.world.trace_capacity = Some(50_000);
+    let data = Experiment::run(cfg);
+    let trace = data.world.net.trace.as_ref().expect("trace enabled");
+    assert!(!trace.entries().is_empty());
+
+    let bytes = pcap::pcap_bytes(trace, true);
+    // Magic + linktype are in place and records parse to exactly the
+    // buffer's end.
+    assert_eq!(&bytes[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+    let mut off = 24;
+    let mut records = 0;
+    while off < bytes.len() {
+        let incl = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+        off += 16 + incl;
+        records += 1;
+    }
+    assert_eq!(off, bytes.len(), "trailing bytes in pcap");
+    assert!(records > 10, "only {records} records captured");
+}
