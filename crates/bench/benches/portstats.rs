@@ -23,11 +23,11 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
-    c.bench_function("derive_all_band_cutoffs", |b| {
-        b.iter(BandCutoffs::derive)
-    });
+    c.bench_function("derive_all_band_cutoffs", |b| b.iter(BandCutoffs::derive));
     c.bench_function("windows_wrap_adjustment", |b| {
-        let ports = [65_400u16, 49_200, 65_500, 49_300, 65_300, 49_152, 65_535, 49_400, 65_450, 49_250];
+        let ports = [
+            65_400u16, 49_200, 65_500, 49_300, 65_300, 49_152, 65_535, 49_400, 65_450, 49_250,
+        ];
         b.iter(|| adjust_windows_wrap(black_box(&ports)))
     });
 }

@@ -20,6 +20,22 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    // The sharding layer on the paper-shape world: identical output (see
+    // tests/shard_equivalence.rs), wall-clock compared 1 vs N engines.
+    let mut g = c.benchmark_group("survey_sharded");
+    g.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("paper_shape_seed2019_shards{shards}"), |b| {
+            b.iter(|| {
+                let mut cfg = ExperimentConfig::paper_shape(2019);
+                cfg.shards = shards;
+                let data = Experiment::run(cfg);
+                Reachability::compute(&data.input()).reached.len()
+            })
+        });
+    }
+    g.finish();
 }
 
 criterion_group!(benches, bench);

@@ -32,9 +32,18 @@ fn main() {
     println!("== ablation: NXDOMAIN vs wildcard experiment zone (25% qmin world) ==");
     let (nx_addrs, nx_lost, nx_asns) = run(false);
     let (wc_addrs, wc_lost, wc_asns) = run(true);
-    println!("{:<22} {:>14} {:>18} {:>13}", "zone mode", "reached addrs", "qmin-lost targets", "reached ASNs");
-    println!("{:<22} {:>14} {:>18} {:>13}", "NXDOMAIN (paper)", nx_addrs, nx_lost, nx_asns);
-    println!("{:<22} {:>14} {:>18} {:>13}", "wildcard (proposed)", wc_addrs, wc_lost, wc_asns);
+    println!(
+        "{:<22} {:>14} {:>18} {:>13}",
+        "zone mode", "reached addrs", "qmin-lost targets", "reached ASNs"
+    );
+    println!(
+        "{:<22} {:>14} {:>18} {:>13}",
+        "NXDOMAIN (paper)", nx_addrs, nx_lost, nx_asns
+    );
+    println!(
+        "{:<22} {:>14} {:>18} {:>13}",
+        "wildcard (proposed)", wc_addrs, wc_lost, wc_asns
+    );
     println!(
         "\nwildcard recovers {} targets that NXDOMAIN loses to RFC 8020 halting",
         wc_addrs as i64 - nx_addrs as i64

@@ -36,7 +36,10 @@ fn main() {
     rows.push(run("other-prefix only", Some(vec![OtherPrefix])));
 
     println!("== ablation: source-category contribution (re-scanned, not re-analyzed) ==");
-    println!("{:<28} {:>14} {:>12}", "scan configuration", "reached addrs", "reached ASNs");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "scan configuration", "reached addrs", "reached ASNs"
+    );
     let base = (rows[0].1, rows[0].2);
     for (label, addrs, asns) in &rows {
         println!(

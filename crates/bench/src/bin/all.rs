@@ -35,7 +35,10 @@ fn main() {
     println!("{}", report::render_table5(&lab::table5(n, seed)));
     println!("{}", report::render_table6(&lab::table6()));
     println!("{}", report::render_figure2(&ports));
-    println!("{}", report::render_figure3a(&lab::figure3a_samples(n, seed)));
+    println!(
+        "{}",
+        report::render_figure3a(&lab::figure3a_samples(n, seed))
+    );
     println!("{}", report::render_figure3b(&ports));
     println!("{}", report::render_openclosed(&oc));
     println!("{}", report::render_forwarding(&fwd));

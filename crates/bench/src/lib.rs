@@ -21,7 +21,8 @@
 //! | `all`         | everything above, in order                         |
 //!
 //! Environment knobs (all binaries): `BCD_SEED`, `BCD_NAS` (AS count),
-//! `BCD_SCALE` (targets-per-AS multiplier).
+//! `BCD_SCALE` (targets-per-AS multiplier), `BCD_SHARDS` (parallel survey
+//! shards; results are byte-identical for any value).
 
 use bcd_core::{Experiment, ExperimentConfig, ExperimentData};
 
@@ -48,6 +49,7 @@ pub fn standard_config() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper_shape(seed);
     cfg.world.n_as = env_u64("BCD_NAS", cfg.world.n_as as u64) as usize;
     cfg.world.target_scale = env_f64("BCD_SCALE", cfg.world.target_scale);
+    cfg.shards = bcd_core::shards_from_env().unwrap_or(cfg.shards);
     cfg
 }
 
@@ -55,8 +57,8 @@ pub fn standard_config() -> ExperimentConfig {
 pub fn standard_data() -> ExperimentData {
     let cfg = standard_config();
     eprintln!(
-        "# running survey: seed={} ases={} scale={:.2}",
-        cfg.world.seed, cfg.world.n_as, cfg.world.target_scale
+        "# running survey: seed={} ases={} scale={:.2} shards={}",
+        cfg.world.seed, cfg.world.n_as, cfg.world.target_scale, cfg.shards
     );
     let t0 = std::time::Instant::now();
     let data = Experiment::run(cfg);
@@ -65,7 +67,7 @@ pub fn standard_data() -> ExperimentData {
         t0.elapsed().as_secs_f64(),
         data.targets.len(),
         data.entries.len(),
-        data.world.net.events_processed()
+        data.events
     );
     data
 }

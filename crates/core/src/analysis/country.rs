@@ -79,8 +79,7 @@ impl CountryReport {
 
     /// Table 1 ordering: countries by total AS count, descending.
     pub fn table1(&self, top: usize) -> Vec<(Country, &CountryRow)> {
-        let mut v: Vec<(Country, &CountryRow)> =
-            self.rows.iter().map(|(c, r)| (*c, r)).collect();
+        let mut v: Vec<(Country, &CountryRow)> = self.rows.iter().map(|(c, r)| (*c, r)).collect();
         v.sort_by_key(|(_, r)| std::cmp::Reverse(r.ases_total.len()));
         v.truncate(top);
         v

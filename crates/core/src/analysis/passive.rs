@@ -52,8 +52,7 @@ impl PassiveReport {
             let current_port = obs.ports[0];
             let outcome = match old.get(&obs.addr) {
                 Some((ports2018, qnames)) => {
-                    let comparable = qnames.len() >= 10
-                        || ports2018.contains(&current_port);
+                    let comparable = qnames.len() >= 10 || ports2018.contains(&current_port);
                     if !comparable {
                         PassiveOutcome::Insufficient
                     } else {

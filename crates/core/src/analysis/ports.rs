@@ -399,7 +399,9 @@ mod tests {
     #[test]
     fn wrap_adjustment_fires_only_when_split() {
         // Split pool: some ports near the top, some wrapped to the bottom.
-        let split = [65_400u16, 49_200, 65_500, 49_300, 65_300, 49_152, 65_535, 49_400, 65_450, 49_250];
+        let split = [
+            65_400u16, 49_200, 65_500, 49_300, 65_300, 49_152, 65_535, 49_400, 65_450, 49_250,
+        ];
         let (range, fired) = adjust_windows_wrap(&split);
         assert!(fired);
         // Without adjustment the range would be ~16k; adjusted it must be
@@ -408,13 +410,17 @@ mod tests {
         assert!(range_of(&split) > 14_000);
 
         // All ports in one region: no adjustment.
-        let contiguous = [50_000u16, 50_100, 50_200, 51_000, 50_500, 50_700, 50_900, 50_050, 50_150, 50_250];
+        let contiguous = [
+            50_000u16, 50_100, 50_200, 51_000, 50_500, 50_700, 50_900, 50_050, 50_150, 50_250,
+        ];
         let (range, fired) = adjust_windows_wrap(&contiguous);
         assert!(!fired);
         assert_eq!(range, 1_000);
 
         // Ports outside the IANA range: no adjustment.
-        let outside = [1_024u16, 65_535, 49_152, 60_000, 50_000, 2_000, 3_000, 4_000, 5_000, 6_000];
+        let outside = [
+            1_024u16, 65_535, 49_152, 60_000, 50_000, 2_000, 3_000, 4_000, 5_000, 6_000,
+        ];
         let (_, fired) = adjust_windows_wrap(&outside);
         assert!(!fired);
     }
@@ -438,9 +444,21 @@ mod tests {
         // Paper Table 4: bands 941–2,488 (Windows), 6,125–16,331 (FreeBSD),
         // 16,332–28,222 (Linux), 28,223+ (full). Our exact-distribution
         // derivations must land in the same neighbourhoods.
-        assert!((600..=1_400).contains(&c.windows_lo), "windows_lo {}", c.windows_lo);
-        assert!((2_300..=2_500).contains(&c.windows_hi), "windows_hi {}", c.windows_hi);
-        assert!((4_000..=9_000).contains(&c.freebsd_lo), "freebsd_lo {}", c.freebsd_lo);
+        assert!(
+            (600..=1_400).contains(&c.windows_lo),
+            "windows_lo {}",
+            c.windows_lo
+        );
+        assert!(
+            (2_300..=2_500).contains(&c.windows_hi),
+            "windows_hi {}",
+            c.windows_hi
+        );
+        assert!(
+            (4_000..=9_000).contains(&c.freebsd_lo),
+            "freebsd_lo {}",
+            c.freebsd_lo
+        );
         assert!(
             (15_800..=16_383).contains(&c.freebsd_linux),
             "freebsd_linux {}",

@@ -19,7 +19,9 @@
 //!    an accepted forgery is cached and served to clients.
 
 use bcd_dns::log::shared_log;
-use bcd_dns::{Acl, AuthServer, AuthServerConfig, RecursiveResolver, ResolverConfig, Zone, ZoneMode};
+use bcd_dns::{
+    Acl, AuthServer, AuthServerConfig, RecursiveResolver, ResolverConfig, Zone, ZoneMode,
+};
 use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
 use bcd_netsim::{
     Asn, BorderPolicy, HostConfig, LinkProfile, Network, NetworkConfig, Node, NodeCtx, Packet,
@@ -119,7 +121,13 @@ impl Node for Attacker {
                 RData::A(FORGED_A.parse().unwrap()),
             ));
             self.forged_sent += 1;
-            ctx.send(Packet::udp(self.auth, self.resolver, 53, dst_port, forged.encode()));
+            ctx.send(Packet::udp(
+                self.auth,
+                self.resolver,
+                53,
+                dst_port,
+                forged.encode(),
+            ));
         }
 
         // Next round after the dust settles.
@@ -231,9 +239,10 @@ pub fn run_poisoning_attack(cfg: PoisonConfig) -> PoisonOutcome {
     for r in 0..rounds {
         let name = Attacker::round_name(r);
         if let Some(hit) = resolver.cache().get_answer(&name, RType::A, net.now()) {
-            let has_forged = hit.answers.iter().any(
-                |rec| matches!(rec.rdata, RData::A(a) if IpAddr::V4(a) == forged),
-            );
+            let has_forged = hit
+                .answers
+                .iter()
+                .any(|rec| matches!(rec.rdata, RData::A(a) if IpAddr::V4(a) == forged));
             if has_forged && hit.rcode == RCode::NoError {
                 poisoned_at_round = Some(r);
                 poisoned_name = Some(name);

@@ -8,11 +8,12 @@
 use crate::qname::QnameCodec;
 use crate::scanner::{HumanNoise, Scanner, ScannerConfig, ScannerStats};
 use crate::schedule::Schedule;
+use crate::shard::{self, ShardOutcome};
 use crate::sources::SourcePlan;
 use crate::targets::TargetSet;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
-use bcd_netsim::{HostConfig, SimDuration, SimTime, StackPolicy};
+use bcd_netsim::{stream_seed, HostConfig, SimDuration, SimTime, StackPolicy};
 use bcd_worldgen::{World, WorldConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -52,6 +53,11 @@ pub struct ExperimentConfig {
     /// §3.6.4 QNAME-minimization blind spot) or the wildcard synthesis the
     /// paper proposes for a future run. The ablation binary compares both.
     pub wildcard_zone: bool,
+    /// Number of parallel survey shards (see [`crate::shard`]). Probes are
+    /// partitioned by destination AS and run on one engine per shard;
+    /// results merge deterministically, so every analysis and report is
+    /// byte-identical for 1 and N shards. 1 = classic single-engine run.
+    pub shards: usize,
 }
 
 impl ExperimentConfig {
@@ -70,6 +76,7 @@ impl ExperimentConfig {
             outages: Vec::new(),
             category_filter: None,
             wildcard_zone: false,
+            shards: 1,
         }
     }
 
@@ -95,6 +102,9 @@ pub struct ExperimentData {
     pub scanner_responses: Vec<(SimTime, IpAddr, RCode)>,
     /// All public DNS addresses (v4 + v6), for middlebox attribution.
     pub public_dns: Vec<IpAddr>,
+    /// Total engine events processed, summed over all shards (the kept
+    /// world's own counter covers only shard 0).
+    pub events: u64,
     pub cfg: ExperimentConfig,
 }
 
@@ -118,9 +128,22 @@ impl ExperimentData {
 /// The experiment runner.
 pub struct Experiment;
 
+/// RNG stream id for the human-noise salt (shared by every shard).
+const NOISE_SALT_STREAM: u64 = 0x4855_4D41_4E5F_4E53; // "HUMAN_NS"
+
+/// RNG stream base for per-shard engine (link-fault) noise.
+const SHARD_NOISE_STREAM: u64 = 0x5348_4152_4400_0000; // "SHARD"
+
 impl Experiment {
     /// Run the full methodology and return the collected data.
+    ///
+    /// With `cfg.shards > 1` the schedule is partitioned by destination AS
+    /// (see [`crate::shard`]) and each shard runs on its own thread against
+    /// an identical world rebuilt from the config; outcomes merge
+    /// deterministically, so the returned data — and everything rendered
+    /// from it — is byte-identical to a single-shard run.
     pub fn run(cfg: ExperimentConfig) -> ExperimentData {
+        let shards = cfg.shards.max(1);
         let mut world = bcd_worldgen::build::build(cfg.world.clone());
         if cfg.wildcard_zone {
             bcd_worldgen::build::set_experiment_zone_wildcard(&mut world);
@@ -147,61 +170,57 @@ impl Experiment {
             })
             .collect();
 
-        // §3.4: the schedule.
+        // §3.4: the schedule — built once, with final rate-capped emission
+        // times, *then* partitioned, so a probe fires at the same instant
+        // in every sharding configuration.
         let schedule = Schedule::build(&plans, cfg.window, cfg.rate, &mut rng);
 
-        // §3.3/§3.5: codec + scanner node at the reserved vantage.
         let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
-        let asn_of: HashMap<IpAddr, u32> =
-            targets.iter().map(|t| (t.addr, t.asn.0)).collect();
-        let schedule_end = schedule.end;
-        let human_noise = if cfg.world.human_lookup_fraction > 0.0 {
-            Some(HumanNoise {
-                probability: cfg.world.human_lookup_fraction,
-                delay: SimDuration::from_secs(cfg.world.human_lookup_delay_secs),
-            })
-        } else {
-            None
-        };
-        let scanner_cfg = ScannerConfig {
-            v4: world.scanner.v4,
-            v6: world.scanner.v6,
-            codec: codec.clone(),
-            schedule,
-            asn_of,
-            poll_interval: cfg.poll_interval,
-            log: world.log.clone(),
-            followups_per_family: cfg.followups_per_family,
-            lab_v4: world.auth.lab_v4,
-            lab_v6: world.auth.lab_v6,
-            human_noise,
-            opt_outs: cfg.opt_outs.clone(),
-            outages: cfg.outages.clone(),
-        };
-        let scanner_host = world.net.add_host(
-            HostConfig {
-                addrs: vec![world.scanner.v4, world.scanner.v6],
-                asn: world.scanner.asn,
-                stack: StackPolicy::strict(),
-            },
-            Box::new(Scanner::new(scanner_cfg)),
-        );
+        let asn_of: HashMap<IpAddr, u32> = targets.iter().map(|t| (t.addr, t.asn.0)).collect();
 
         // Run the scan plus drain time (outages push the real end out, the
-        // paper's "longer than the four weeks we had planned").
+        // paper's "longer than the four weeks we had planned"). All shards
+        // simulate the same horizon.
         let outage_total = cfg
             .outages
             .iter()
             .fold(SimDuration::ZERO, |acc, (_, len)| acc + *len);
-        world.net.run_until(schedule_end + outage_total + cfg.drain);
+        let run_until = schedule.end + outage_total + cfg.drain;
 
-        let scanner = world
-            .net
-            .node::<Scanner>(scanner_host)
-            .expect("scanner node");
-        let scanner_stats = scanner.stats.clone();
-        let scanner_responses = scanner.responses.clone();
-        let entries = world.log.borrow().entries().to_vec();
+        let mut parts = shard::partition_schedule(&schedule, &asn_of, shards);
+
+        // Shards 1.. run on worker threads, each in its own engine over an
+        // identical world rebuilt from the config (worldgen is a pure
+        // function of the seed). Shard 0 runs here, in the world we keep.
+        let workers: Vec<std::thread::JoinHandle<ShardOutcome>> = (1..shards)
+            .map(|sid| {
+                let cfg = cfg.clone();
+                let part = std::mem::take(&mut parts[sid]);
+                let asn_of = asn_of.clone();
+                std::thread::Builder::new()
+                    .name(format!("bcd-shard-{sid}"))
+                    .spawn(move || {
+                        let mut w = bcd_worldgen::build::build(cfg.world.clone());
+                        if cfg.wildcard_zone {
+                            bcd_worldgen::build::set_experiment_zone_wildcard(&mut w);
+                        }
+                        run_shard(&mut w, &cfg, sid, part, asn_of, run_until)
+                    })
+                    .expect("spawn shard thread")
+            })
+            .collect();
+        let part0 = std::mem::take(&mut parts[0]);
+        let shard0 = run_shard(&mut world, &cfg, 0, part0, asn_of, run_until);
+
+        // Deterministic merge, always in shard-id order.
+        let mut outcomes = vec![shard0];
+        for w in workers {
+            outcomes.push(w.join().expect("shard thread panicked"));
+        }
+        let merged = shard::merge_outcomes(outcomes);
+        world.net.counters = merged.counters;
+        world.net.budget_exhausted |= merged.budget_exhausted;
+
         let public_dns: Vec<IpAddr> = world
             .public_dns_v4
             .iter()
@@ -213,11 +232,80 @@ impl Experiment {
             world,
             targets,
             codec,
-            entries,
-            scanner_stats,
-            scanner_responses,
+            entries: merged.entries,
+            scanner_stats: merged.scanner_stats,
+            scanner_responses: merged.responses,
             public_dns,
+            events: merged.events,
             cfg,
         }
+    }
+}
+
+/// Run one shard's slice of the schedule to completion in `world` and
+/// collect its `Send`-able outcome. §3.3/§3.5: codec + scanner node at the
+/// reserved vantage (the codec is rebuilt per world; apex and keyword are
+/// seed-determined, so every shard encodes identically).
+fn run_shard(
+    world: &mut World,
+    cfg: &ExperimentConfig,
+    shard_id: usize,
+    schedule: Schedule,
+    asn_of: HashMap<IpAddr, u32>,
+    run_until: SimTime,
+) -> ShardOutcome {
+    let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
+    let human_noise = if cfg.world.human_lookup_fraction > 0.0 {
+        Some(HumanNoise {
+            probability: cfg.world.human_lookup_fraction,
+            delay: SimDuration::from_secs(cfg.world.human_lookup_delay_secs),
+        })
+    } else {
+        None
+    };
+    let scanner_cfg = ScannerConfig {
+        v4: world.scanner.v4,
+        v6: world.scanner.v6,
+        codec,
+        schedule,
+        asn_of,
+        poll_interval: cfg.poll_interval,
+        log: world.log.clone(),
+        followups_per_family: cfg.followups_per_family,
+        lab_v4: world.auth.lab_v4,
+        lab_v6: world.auth.lab_v6,
+        human_noise,
+        noise_salt: stream_seed(cfg.world.seed, NOISE_SALT_STREAM),
+        opt_outs: cfg.opt_outs.clone(),
+        outages: cfg.outages.clone(),
+    };
+    let scanner_host = world.net.add_host(
+        HostConfig {
+            addrs: vec![world.scanner.v4, world.scanner.v6],
+            asn: world.scanner.asn,
+            stack: StackPolicy::strict(),
+        },
+        Box::new(Scanner::new(scanner_cfg)),
+    );
+    // Per-shard stream for the engine's link-fault noise; host streams stay
+    // seed-derived (see `bcd_netsim::stream_seed`), which is what keeps
+    // per-target behaviour shard-invariant.
+    world.net.reseed_noise(stream_seed(
+        cfg.world.seed,
+        SHARD_NOISE_STREAM ^ shard_id as u64,
+    ));
+    world.net.run_until(run_until);
+
+    let scanner = world
+        .net
+        .node::<Scanner>(scanner_host)
+        .expect("scanner node");
+    ShardOutcome {
+        entries: world.log.borrow().entries().to_vec(),
+        scanner_stats: scanner.stats.clone(),
+        responses: scanner.responses.clone(),
+        counters: world.net.counters.clone(),
+        events: world.net.events_processed(),
+        budget_exhausted: world.net.budget_exhausted,
     }
 }

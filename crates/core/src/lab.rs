@@ -58,7 +58,9 @@ impl LabPortResult {
 }
 
 fn lab_ip(i: u128) -> IpAddr {
-    Prefix::new("203.0.112.0".parse().unwrap(), 24).nth(i).unwrap()
+    Prefix::new("203.0.112.0".parse().unwrap(), 24)
+        .nth(i)
+        .unwrap()
 }
 
 /// Issue `n_queries` recursive queries to `software` running on `os` and
@@ -190,10 +192,20 @@ pub fn table5(n_queries: usize, seed: u64) -> Vec<LabPortResult> {
 /// unprivileged range, 10-query sample ranges each.
 pub fn figure3a_samples(n_queries: usize, seed: u64) -> Vec<(&'static str, u32, Vec<u32>)> {
     let cases: [(&'static str, DnsSoftware, Os, u32); 4] = [
-        ("Windows DNS", DnsSoftware::WindowsDnsModern, Os::WindowsModern, 2_500),
+        (
+            "Windows DNS",
+            DnsSoftware::WindowsDnsModern,
+            Os::WindowsModern,
+            2_500,
+        ),
         ("FreeBSD", DnsSoftware::Bind99Plus, Os::FreeBsd, 16_383),
         ("Linux", DnsSoftware::Bind99Plus, Os::LinuxModern, 28_232),
-        ("Full Port Range", DnsSoftware::Unbound19, Os::LinuxModern, 64_511),
+        (
+            "Full Port Range",
+            DnsSoftware::Unbound19,
+            Os::LinuxModern,
+            64_511,
+        ),
     ];
     cases
         .iter()
@@ -328,7 +340,11 @@ mod tests {
         let r = measure_ports(DnsSoftware::Bind99Plus, Os::LinuxModern, 300, 2);
         assert!(r.min >= 32_768);
         assert!((r.max as u32) < 32_768 + 28_232);
-        assert!(r.unique > 250, "near-unique ports expected, got {}", r.unique);
+        assert!(
+            r.unique > 250,
+            "near-unique ports expected, got {}",
+            r.unique
+        );
         let ranges = r.sample_ranges(10);
         assert_eq!(ranges.len(), r.ports.len() / 10);
         // Mean 10-sample range near (9/11)·28232 ≈ 23,099.

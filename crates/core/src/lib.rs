@@ -25,6 +25,8 @@
 //!   and the 2018 passive comparison (§5.2.2),
 //! * [`lab`] — the controlled lab harness reproducing the paper's
 //!   OS/software characterization experiments,
+//! * [`shard`] — AS-sharded parallel survey execution with a deterministic
+//!   merge (analyses and reports are byte-identical for 1 and N shards),
 //! * [`experiment`] — end-to-end orchestration: world → scan → analyses,
 //! * [`report`] — plain-text renderings of every table and figure.
 
@@ -36,15 +38,17 @@ pub mod outreach;
 pub mod qname;
 pub mod report;
 pub mod scanner;
-pub mod selfcheck;
 pub mod schedule;
+pub mod selfcheck;
+pub mod shard;
 pub mod sources;
 pub mod targets;
 
 pub use experiment::{Experiment, ExperimentConfig, ExperimentData};
 pub use qname::{ExperimentTag, QnameCodec, SuffixKind};
 pub use scanner::Scanner;
-pub use selfcheck::{SelfCheck, SelfCheckReport, Verdict};
 pub use schedule::{Schedule, ScheduledQuery};
+pub use selfcheck::{SelfCheck, SelfCheckReport, Verdict};
+pub use shard::{shard_of_asn, shards_from_env};
 pub use sources::{SourceCategory, SourcePlan};
 pub use targets::{Target, TargetSet};

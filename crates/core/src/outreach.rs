@@ -118,7 +118,10 @@ mod tests {
         assert_eq!(plan.port53_population, 30);
         assert_eq!(plan.unprivileged_population, 30);
         assert_eq!(plan.contacts.len(), 40);
-        assert_eq!(plan.contacts.iter().filter(|c| c.port53_stratum).count(), 20);
+        assert_eq!(
+            plan.contacts.iter().filter(|c| c.port53_stratum).count(),
+            20
+        );
         // PTR names are correct reverse forms.
         let c = plan
             .contacts

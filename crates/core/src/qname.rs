@@ -245,7 +245,12 @@ mod tests {
         let c = codec();
         let src: IpAddr = "2001:db8::1".parse().unwrap();
         let dst: IpAddr = "2600:1:2:3::42".parse().unwrap();
-        for suffix in [SuffixKind::F4, SuffixKind::F6, SuffixKind::Tcp, SuffixKind::Main] {
+        for suffix in [
+            SuffixKind::F4,
+            SuffixKind::F6,
+            SuffixKind::Tcp,
+            SuffixKind::Main,
+        ] {
             let name = c.encode(SimTime::from_secs(9), src, dst, 7, suffix);
             match c.decode(&name) {
                 Decoded::Full(tag) => {
@@ -291,26 +296,30 @@ mod tests {
     #[test]
     fn foreign_names_are_rejected() {
         let c = codec();
-        assert_eq!(c.decode(&"www.example.com".parse().unwrap()), Decoded::Foreign);
-        assert_eq!(c.decode(&"dns-lab.com".parse().unwrap()), Decoded::Foreign);
-        // Deceptively similar but not a subdomain.
         assert_eq!(
-            c.decode(&"xdns-lab.org".parse().unwrap()),
+            c.decode(&"www.example.com".parse().unwrap()),
             Decoded::Foreign
         );
+        assert_eq!(c.decode(&"dns-lab.com".parse().unwrap()), Decoded::Foreign);
+        // Deceptively similar but not a subdomain.
+        assert_eq!(c.decode(&"xdns-lab.org".parse().unwrap()), Decoded::Foreign);
     }
 
     #[test]
     fn wrong_keyword_degrades_to_partial() {
         let c = codec();
-        let name: Name = "t1.s10-0-0-1.d10-0-0-2.a5.other.dns-lab.org".parse().unwrap();
+        let name: Name = "t1.s10-0-0-1.d10-0-0-2.a5.other.dns-lab.org"
+            .parse()
+            .unwrap();
         assert!(matches!(c.decode(&name), Decoded::Partial { .. }));
     }
 
     #[test]
     fn malformed_labels_degrade_to_partial() {
         let c = codec();
-        let name: Name = "bogus.s10-0-0-1.d10-0-0-2.a5.x7.dns-lab.org".parse().unwrap();
+        let name: Name = "bogus.s10-0-0-1.d10-0-0-2.a5.x7.dns-lab.org"
+            .parse()
+            .unwrap();
         assert!(matches!(c.decode(&name), Decoded::Partial { .. }));
         let bad_ip: Name = "t1.s10-0-0.d10-0-0-2.a5.x7.dns-lab.org".parse().unwrap();
         assert!(matches!(c.decode(&bad_ip), Decoded::Partial { .. }));

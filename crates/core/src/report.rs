@@ -77,7 +77,11 @@ pub fn render_headline(targets: &TargetSet, reach: &Reachability) -> String {
 /// Table 1: top countries by AS count.
 pub fn render_table1(report: &CountryReport, top: usize) -> String {
     let mut s = String::new();
-    writeln!(s, "== Table 1: DSAV results, top {top} countries by AS count ==").unwrap();
+    writeln!(
+        s,
+        "== Table 1: DSAV results, top {top} countries by AS count =="
+    )
+    .unwrap();
     writeln!(
         s,
         "{:<22} {:>8} {:>18} {:>10} {:>18}",
@@ -236,7 +240,11 @@ pub fn render_table4(report: &PortReport) -> String {
 /// Table 5: lab port-allocation behaviours.
 pub fn render_table5(results: &[LabPortResult]) -> String {
     let mut s = String::new();
-    writeln!(s, "== Table 5: default source-port allocation by DNS software ==").unwrap();
+    writeln!(
+        s,
+        "== Table 5: default source-port allocation by DNS software =="
+    )
+    .unwrap();
     writeln!(
         s,
         "{:<48} {:>8} {:>8} {:>8} | expected default",
@@ -297,7 +305,11 @@ pub fn render_figure2(report: &PortReport) -> String {
         }
     }
     let mut s = String::new();
-    writeln!(s, "== Figure 2: source-port range distribution (open/closed) ==").unwrap();
+    writeln!(
+        s,
+        "== Figure 2: source-port range distribution (open/closed) =="
+    )
+    .unwrap();
     writeln!(s, "-- full scale (bin 2048) --").unwrap();
     s.push_str(&full.render(40));
     writeln!(s, "-- zoom 0..3000 (bin 100) --").unwrap();
@@ -309,7 +321,11 @@ pub fn render_figure2(report: &PortReport) -> String {
 pub fn render_figure3a(samples: &[(&'static str, u32, Vec<u32>)]) -> String {
     let beta = Beta::range_model(10);
     let mut s = String::new();
-    writeln!(s, "== Figure 3a: lab 10-query sample ranges vs Beta(9,2) model ==").unwrap();
+    writeln!(
+        s,
+        "== Figure 3a: lab 10-query sample ranges vs Beta(9,2) model =="
+    )
+    .unwrap();
     for (label, pool, ranges) in samples {
         let mut hist = StackedHistogram::new(2_048);
         for &r in ranges {
@@ -348,7 +364,11 @@ pub fn render_figure3b(report: &PortReport) -> String {
         }
     }
     let mut s = String::new();
-    writeln!(s, "== Figure 3b: field port ranges by p0f class, Beta(9,2) peaks ==").unwrap();
+    writeln!(
+        s,
+        "== Figure 3b: field port ranges by p0f class, Beta(9,2) peaks =="
+    )
+    .unwrap();
     for (label, pool) in [
         ("Windows DNS", 2_500u32),
         ("FreeBSD", 16_383),
@@ -493,7 +513,11 @@ pub fn render_methodology(
 /// §5.2.2 passive comparison summary.
 pub fn render_passive(report: &PassiveReport) -> String {
     let mut s = String::new();
-    writeln!(s, "== §5.2.2: passive (2018 DITL) comparison of zero-range resolvers ==").unwrap();
+    writeln!(
+        s,
+        "== §5.2.2: passive (2018 DITL) comparison of zero-range resolvers =="
+    )
+    .unwrap();
     let t = report.total().max(1);
     writeln!(
         s,

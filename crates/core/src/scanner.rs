@@ -17,7 +17,7 @@
 //!   lifetime the analysis must filter out.
 
 use crate::qname::{Decoded, QnameCodec, SuffixKind};
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduledQuery};
 use bcd_dns::SharedLog;
 use bcd_dnswire::{Message, RCode, RType};
 use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, Transport};
@@ -28,6 +28,44 @@ use std::net::IpAddr;
 const TOK_WALK: u64 = 0;
 const TOK_POLL: u64 = 1;
 const TOK_HUMAN: u64 = 2;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv1a_addr(h: &mut u64, addr: IpAddr) {
+    match addr {
+        IpAddr::V4(a) => {
+            fnv1a(h, &[4]);
+            fnv1a(h, &a.octets());
+        }
+        IpAddr::V6(a) => {
+            fnv1a(h, &[6]);
+            fnv1a(h, &a.octets());
+        }
+    }
+}
+
+/// Deterministic per-probe uniform draw in `[0, 1)`.
+///
+/// Keyed on the probe's identity (scheduled time, source, target) plus a
+/// seed-derived salt — *not* on any stream position — so the draw for a
+/// given probe is identical no matter which shard emits it or in what
+/// order. This is what keeps §3.6.3 human-noise injection shard-invariant.
+pub(crate) fn probe_unit(salt: u64, q: &ScheduledQuery) -> f64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &salt.to_le_bytes());
+    fnv1a(&mut h, &q.at.as_nanos().to_le_bytes());
+    fnv1a_addr(&mut h, q.source);
+    fnv1a_addr(&mut h, q.target);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// Human-intervention noise model (§3.6.3).
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +96,10 @@ pub struct ScannerConfig {
     pub lab_v4: IpAddr,
     pub lab_v6: IpAddr,
     pub human_noise: Option<HumanNoise>,
+    /// Salt for the per-probe human-noise draw (seed-derived, identical
+    /// across shards so the same probes attract human lookups in every
+    /// sharding configuration).
+    pub noise_salt: u64,
     /// §3.8 opt-outs: from `time` onward, no probes are sent to targets in
     /// `prefix` (the paper honoured five such requests mid-campaign).
     pub opt_outs: Vec<(SimTime, Prefix)>,
@@ -117,7 +159,13 @@ impl Scanner {
         &self.followed_up
     }
 
-    fn send_dns(&mut self, ctx: &mut NodeCtx<'_>, src: IpAddr, dst: IpAddr, qname: bcd_dnswire::Name) {
+    fn send_dns(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        src: IpAddr,
+        dst: IpAddr,
+        qname: bcd_dnswire::Name,
+    ) {
         let txid: u16 = ctx.rng().gen();
         let sport: u16 = ctx.rng().gen_range(20_000..60_000);
         let msg = Message::query(txid, qname, RType::A);
@@ -169,13 +217,11 @@ impl Scanner {
             // §3.6.3: with small probability an IDS logs this probe and a
             // human later resolves the name from inside the target network.
             if let Some(h) = self.cfg.human_noise {
-                if ctx.rng().gen_bool(h.probability) {
-                    let admin: IpAddr = Prefix::subprefix_of(
-                        q.target,
-                        if q.target.is_ipv6() { 64 } else { 24 },
-                    )
-                    .nth(199)
-                    .unwrap();
+                if probe_unit(self.cfg.noise_salt, &q) < h.probability {
+                    let admin: IpAddr =
+                        Prefix::subprefix_of(q.target, if q.target.is_ipv6() { 64 } else { 24 })
+                            .nth(199)
+                            .unwrap();
                     let due = now + h.delay;
                     self.human_queue
                         .entry(due)
@@ -216,7 +262,11 @@ impl Scanner {
             self.stats.followup_queries += 2;
         }
         // Open-resolver probe: NOT spoofed — our real source address.
-        let real = if dst.is_ipv6() { self.cfg.v6 } else { self.cfg.v4 };
+        let real = if dst.is_ipv6() {
+            self.cfg.v6
+        } else {
+            self.cfg.v4
+        };
         let name = self.cfg.codec.encode(
             now + SimDuration::from_nanos(2 * n),
             real,
@@ -267,22 +317,26 @@ impl Scanner {
 
     fn drain_human_queue(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
-        let due: Vec<SimTime> = self
-            .human_queue
-            .range(..=now)
-            .map(|(t, _)| *t)
-            .collect();
+        let due: Vec<SimTime> = self.human_queue.range(..=now).map(|(t, _)| *t).collect();
         for t in due {
             for (qname, admin) in self.human_queue.remove(&t).unwrap_or_default() {
                 // The analyst's resolver queries our authoritative server
                 // directly with the logged name (source: inside target AS).
+                // Port and txid derive from the name rather than the node
+                // rng: this packet is *logged* at the lab server, so its
+                // observables must not depend on scanner stream position.
                 self.stats.human_lookups += 1;
                 let lab = if admin.is_ipv6() {
                     self.cfg.lab_v6
                 } else {
                     self.cfg.lab_v4
                 };
-                self.send_dns(ctx, admin, lab, qname);
+                let mut h = FNV_OFFSET;
+                fnv1a(&mut h, &self.cfg.noise_salt.to_le_bytes());
+                fnv1a(&mut h, &qname.canonical_bytes());
+                let sport = 20_000 + (h % 40_000) as u16;
+                let msg = Message::query((h >> 32) as u16, qname, RType::A);
+                ctx.send(Packet::udp(admin, lab, sport, 53, msg.encode()));
             }
         }
     }

@@ -31,7 +31,9 @@ pub enum Verdict {
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
-            Verdict::Vulnerable => "VULNERABLE — spoofed internal-source traffic enters this network",
+            Verdict::Vulnerable => {
+                "VULNERABLE — spoofed internal-source traffic enters this network"
+            }
             Verdict::NoPenetrationObserved => "no penetration observed (consistent with DSAV)",
             Verdict::NotTested => "not tested (no targets in this network)",
         };
@@ -78,11 +80,8 @@ impl SelfCheck {
         ports: &PortReport,
     ) -> SelfCheckReport {
         let targets_tested = targets.iter().filter(|t| t.asn == asn).count();
-        let reached: Vec<(&IpAddr, &crate::analysis::reachability::TargetHit)> = reach
-            .reached
-            .iter()
-            .filter(|(_, h)| h.asn == asn)
-            .collect();
+        let reached: Vec<(&IpAddr, &crate::analysis::reachability::TargetHit)> =
+            reach.reached.iter().filter(|(_, h)| h.asn == asn).collect();
 
         let mut categories_admitted = BTreeSet::new();
         for (_, h) in &reached {

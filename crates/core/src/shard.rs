@@ -1,0 +1,250 @@
+//! AS-sharded parallel survey execution.
+//!
+//! The paper ran its survey from a single vantage over four weeks; the
+//! simulation compresses the window but still walks every probe through one
+//! discrete-event engine. Sharding splits that work: scheduled probes are
+//! partitioned by *destination AS* into `S` shards, each shard runs its
+//! slice against its own engine over an identical generated world, and the
+//! per-shard artifacts are folded back together deterministically.
+//!
+//! Determinism contract: because
+//!
+//! * the schedule (with final, rate-capped emission times) is built once and
+//!   then partitioned — a probe fires at the same instant in every sharding
+//!   configuration,
+//! * every host draws from its own seed-derived RNG stream (see
+//!   [`bcd_netsim::stream_seed`]), so a resolver's behaviour depends only on
+//!   the traffic *it* sees — and all probes for one AS land in one shard,
+//! * human-noise injection is a pure function of probe identity
+//!   ([`crate::scanner`]), and
+//! * the merge re-establishes one canonical entry order ([`canonical_sort`])
+//!   and sums counters with [`Merge`] impls in shard-id order,
+//!
+//! every analysis and report renders byte-identically for `S = 1` and
+//! `S = N` (the equivalence suite in `tests/shard_equivalence.rs` locks
+//! this in).
+
+use crate::scanner::ScannerStats;
+use crate::schedule::Schedule;
+use bcd_dns::QueryLogEntry;
+use bcd_dnswire::RCode;
+use bcd_netsim::{Merge, NetCounters, SimTime};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Shard count requested via the `BCD_SHARDS` environment variable, if any.
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var("BCD_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+}
+
+/// The shard an AS belongs to: a stable FNV-1a hash of the ASN, reduced
+/// modulo the shard count. Stable across runs, platforms, and shard-count
+/// choices for `shards == 1` (everything maps to shard 0).
+pub fn shard_of_asn(asn: u32, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in asn.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Split a built schedule into per-shard schedules by destination AS.
+///
+/// Probe times are final (the global rate cap already ran), relative order
+/// within each shard is preserved, and every part carries the *global*
+/// schedule end so all shards simulate the same horizon. Targets with no
+/// ASN attribution hash as ASN 0.
+pub fn partition_schedule(
+    schedule: &Schedule,
+    asn_of: &HashMap<IpAddr, u32>,
+    shards: usize,
+) -> Vec<Schedule> {
+    let shards = shards.max(1);
+    let mut parts: Vec<Schedule> = (0..shards)
+        .map(|_| Schedule {
+            queries: Vec::new(),
+            end: schedule.end,
+        })
+        .collect();
+    for q in &schedule.queries {
+        let asn = asn_of.get(&q.target).copied().unwrap_or(0);
+        parts[shard_of_asn(asn, shards)].queries.push(*q);
+    }
+    parts
+}
+
+/// Re-establish the single canonical order of a merged query log.
+///
+/// Entries are keyed by `(time, qname, src, src_port, server, proto)` —
+/// the qname encodes the probe's `ts.src.dst` serial (§3.3), so the key is
+/// unique per logged query and the order is independent of which shard
+/// contributed an entry.
+pub fn canonical_sort(entries: &mut [QueryLogEntry]) {
+    entries.sort_by(|a, b| {
+        (
+            a.time,
+            &a.qname,
+            a.src,
+            a.src_port,
+            a.server,
+            proto_rank(a.proto),
+        )
+            .cmp(&(
+                b.time,
+                &b.qname,
+                b.src,
+                b.src_port,
+                b.server,
+                proto_rank(b.proto),
+            ))
+    });
+}
+
+fn proto_rank(p: bcd_dns::LogProto) -> u8 {
+    match p {
+        bcd_dns::LogProto::Udp => 0,
+        bcd_dns::LogProto::Tcp => 1,
+    }
+}
+
+impl Merge for ScannerStats {
+    fn merge(&mut self, other: ScannerStats) {
+        self.spoofed_sent += other.spoofed_sent;
+        self.followup_sets += other.followup_sets;
+        self.followup_queries += other.followup_queries;
+        self.open_probes += other.open_probes;
+        self.tcp_probes += other.tcp_probes;
+        self.human_lookups += other.human_lookups;
+        self.responses_received += other.responses_received;
+        self.refused_responses += other.refused_responses;
+        self.opted_out += other.opted_out;
+        self.outage_deferrals += other.outage_deferrals;
+    }
+}
+
+/// Everything one shard's run produces, in `Send`-able form (worker shards
+/// run on their own threads; the world itself stays thread-local).
+pub struct ShardOutcome {
+    pub entries: Vec<QueryLogEntry>,
+    pub scanner_stats: ScannerStats,
+    pub responses: Vec<(SimTime, IpAddr, RCode)>,
+    pub counters: NetCounters,
+    pub events: u64,
+    pub budget_exhausted: bool,
+}
+
+/// Fold shard outcomes (in shard-id order) into one logical run.
+///
+/// Query-log entries are re-sorted canonically, scanner responses by
+/// `(time, responder)`, counters and stats summed via [`Merge`].
+pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
+    let mut merged = ShardOutcome {
+        entries: Vec::new(),
+        scanner_stats: ScannerStats::default(),
+        responses: Vec::new(),
+        counters: NetCounters::default(),
+        events: 0,
+        budget_exhausted: false,
+    };
+    for o in outcomes {
+        merged.entries.extend(o.entries);
+        merged.scanner_stats.merge(o.scanner_stats);
+        merged.responses.extend(o.responses);
+        merged.counters.merge(o.counters);
+        merged.events += o.events;
+        merged.budget_exhausted |= o.budget_exhausted;
+    }
+    canonical_sort(&mut merged.entries);
+    merged.responses.sort_by_key(|r| (r.0, r.1));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduledQuery;
+    use crate::sources::SourceCategory;
+
+    fn sched(n: usize) -> (Schedule, HashMap<IpAddr, u32>) {
+        let mut queries = Vec::new();
+        let mut asn_of = HashMap::new();
+        for i in 0..n {
+            let target: IpAddr = format!("192.0.{}.{}", i / 200, 1 + i % 200)
+                .parse()
+                .unwrap();
+            asn_of.insert(target, (i % 17) as u32 + 1);
+            queries.push(ScheduledQuery {
+                at: SimTime::from_secs(i as u64),
+                target,
+                source: "198.51.100.7".parse().unwrap(),
+                category: SourceCategory::OtherPrefix,
+            });
+        }
+        (
+            Schedule {
+                queries,
+                end: SimTime::from_secs(n as u64),
+            },
+            asn_of,
+        )
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_by_as() {
+        let (s, asn_of) = sched(500);
+        let parts = partition_schedule(&s, &asn_of, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.queries.len()).sum::<usize>(), 500);
+        for (sid, part) in parts.iter().enumerate() {
+            assert_eq!(part.end, s.end);
+            for q in &part.queries {
+                let asn = asn_of[&q.target];
+                assert_eq!(shard_of_asn(asn, 4), sid);
+            }
+            // Relative order within a shard is the global order.
+            for w in part.queries.windows(2) {
+                assert!(w[0].at <= w[1].at);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_partition_is_identity() {
+        let (s, asn_of) = sched(50);
+        let parts = partition_schedule(&s, &asn_of, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].queries, s.queries);
+    }
+
+    #[test]
+    fn shard_of_asn_is_stable() {
+        for asn in [0u32, 1, 64512, 4_200_000_000] {
+            let a = shard_of_asn(asn, 8);
+            assert_eq!(a, shard_of_asn(asn, 8));
+            assert!(a < 8);
+            assert_eq!(shard_of_asn(asn, 1), 0);
+        }
+    }
+
+    #[test]
+    fn scanner_stats_merge_sums() {
+        let mut a = ScannerStats {
+            spoofed_sent: 3,
+            open_probes: 1,
+            ..ScannerStats::default()
+        };
+        a.merge(ScannerStats {
+            spoofed_sent: 5,
+            tcp_probes: 2,
+            ..ScannerStats::default()
+        });
+        assert_eq!(a.spoofed_sent, 8);
+        assert_eq!(a.open_probes, 1);
+        assert_eq!(a.tcp_probes, 2);
+    }
+}

@@ -131,8 +131,8 @@ impl SourcePlan {
                 let head = preferred.len().min(MAX_OTHER_PREFIX);
                 let tail: Vec<Prefix> = other.split_off(head);
                 let need = MAX_OTHER_PREFIX - head;
-                if need > 0 {
-                    let step = (tail.len() / need).max(1);
+                if let Some(step) = tail.len().checked_div(need) {
+                    let step = step.max(1);
                     other.extend(tail.into_iter().step_by(step).take(need));
                 }
             }

@@ -110,13 +110,13 @@ mod tests {
     fn pipeline_dedupes_and_excludes() {
         let trace = vec![
             rec("203.0.112.5"),
-            rec("203.0.112.5"),  // duplicate
-            rec("203.0.112.9"),  // second target, same AS
-            rec("192.168.1.1"),  // special: private
-            rec("127.0.0.1"),    // special: loopback
-            rec("8.8.8.8"),      // no route announced
-            rec("2600:1::42"),   // v6 target
-            rec("fc00::1"),      // special: ULA
+            rec("203.0.112.5"), // duplicate
+            rec("203.0.112.9"), // second target, same AS
+            rec("192.168.1.1"), // special: private
+            rec("127.0.0.1"),   // special: loopback
+            rec("8.8.8.8"),     // no route announced
+            rec("2600:1::42"),  // v6 target
+            rec("fc00::1"),     // special: ULA
         ];
         let set = TargetSet::extract(&trace, &routes());
         assert_eq!(set.v4.len(), 2);

@@ -126,13 +126,35 @@ impl Fixture {
 fn lifetime_filter_excludes_late_only_targets() {
     let mut fx = Fixture::new();
     // Target 1: on-time hit (lifetime 2 s).
-    fx.entry(100, 102, "17.1.2.9", "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 40_000, "5.5.5.5");
+    fx.entry(
+        100,
+        102,
+        "17.1.2.9",
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        40_000,
+        "5.5.5.5",
+    );
     // Target 2: only a late hit (lifetime 7200 s) — human intervention.
-    fx.entry(100, 7_300, "18.5.5.9", "18.5.5.53", 200, "18.5.5.199", SuffixKind::Main, 40_001, "5.5.5.5");
+    fx.entry(
+        100,
+        7_300,
+        "18.5.5.9",
+        "18.5.5.53",
+        200,
+        "18.5.5.199",
+        SuffixKind::Main,
+        40_001,
+        "5.5.5.5",
+    );
     let input = fx.input();
     let reach = Reachability::compute(&input);
     assert_eq!(reach.reached.len(), 1);
-    assert!(reach.reached.contains_key(&"17.1.1.53".parse::<IpAddr>().unwrap()));
+    assert!(reach
+        .reached
+        .contains_key(&"17.1.1.53".parse::<IpAddr>().unwrap()));
     assert_eq!(reach.lifetime.late_entries, 1);
     assert_eq!(reach.lifetime.excluded_addrs_v4, 1);
     assert_eq!(reach.lifetime.excluded_asns.len(), 1);
@@ -142,18 +164,52 @@ fn lifetime_filter_excludes_late_only_targets() {
 #[test]
 fn late_target_is_rescued_if_its_as_has_on_time_evidence() {
     let mut fx = Fixture::new();
-    fx.entry(100, 101, "17.1.2.9", "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 1, "5.5.5.5");
-    fx.entry(100, 9_000, "17.1.1.9", "17.1.2.53", 100, "17.1.2.53", SuffixKind::Main, 2, "5.5.5.5");
+    fx.entry(
+        100,
+        101,
+        "17.1.2.9",
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
+    fx.entry(
+        100,
+        9_000,
+        "17.1.1.9",
+        "17.1.2.53",
+        100,
+        "17.1.2.53",
+        SuffixKind::Main,
+        2,
+        "5.5.5.5",
+    );
     let reach = Reachability::compute(&fx.input());
     assert_eq!(reach.lifetime.excluded_addrs_v4, 1);
-    assert_eq!(reach.lifetime.rescued_asns.len(), 1, "AS 100 has on-time evidence");
+    assert_eq!(
+        reach.lifetime.rescued_asns.len(),
+        1,
+        "AS 100 has on-time evidence"
+    );
 }
 
 #[test]
 fn exactly_at_threshold_is_kept() {
     let mut fx = Fixture::new();
     // Lifetime exactly 10 s: "a lifetime of 10 seconds or less" is kept.
-    fx.entry(100, 110, "17.1.2.9", "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 1, "5.5.5.5");
+    fx.entry(
+        100,
+        110,
+        "17.1.2.9",
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
     let reach = Reachability::compute(&fx.input());
     assert_eq!(reach.reached.len(), 1);
 }
@@ -186,15 +242,48 @@ fn category_classification_from_recovered_labels() {
 fn exclusive_category_counting() {
     let mut fx = Fixture::new();
     // Target 1 reached only by other-prefix; target 2 by two categories.
-    fx.entry(100, 101, "17.1.2.77", "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 1, "5.5.5.5");
-    fx.entry(100, 101, "18.5.5.9", "18.5.5.53", 200, "18.5.5.53", SuffixKind::Main, 1, "5.5.5.5");
-    fx.entry(100, 101, "18.5.5.53", "18.5.5.53", 200, "18.5.5.53", SuffixKind::Main, 1, "5.5.5.5");
+    fx.entry(
+        100,
+        101,
+        "17.1.2.77",
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
+    fx.entry(
+        100,
+        101,
+        "18.5.5.9",
+        "18.5.5.53",
+        200,
+        "18.5.5.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
+    fx.entry(
+        100,
+        101,
+        "18.5.5.53",
+        "18.5.5.53",
+        200,
+        "18.5.5.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
     let reach = Reachability::compute(&fx.input());
     let cats = CategoryReport::compute(&reach);
     let op = cats.row(false, SourceCategory::OtherPrefix);
     assert_eq!(op.inclusive_addrs, 1);
     assert_eq!(op.exclusive_addrs, 1);
-    assert_eq!(op.exclusive_asns, 1, "AS 100 was only reached via other-prefix");
+    assert_eq!(
+        op.exclusive_asns, 1,
+        "AS 100 was only reached via other-prefix"
+    );
     let sp = cats.row(false, SourceCategory::SamePrefix);
     assert_eq!(sp.inclusive_addrs, 1);
     assert_eq!(sp.exclusive_addrs, 0, "target 2 also had dst-as-src");
@@ -206,9 +295,39 @@ fn open_probe_evidence_classifies_open_and_closed() {
     let mut fx = Fixture::new();
     // Both targets reached via spoof; only target 1 answers the scanner's
     // real-source probe.
-    fx.entry(100, 101, "17.1.2.9", "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 1, "5.5.5.5");
-    fx.entry(100, 101, "18.5.5.9", "18.5.5.53", 200, "18.5.5.53", SuffixKind::Main, 1, "5.5.5.5");
-    fx.entry(200, 201, SCANNER_V4, "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 2, "5.5.5.5");
+    fx.entry(
+        100,
+        101,
+        "17.1.2.9",
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
+    fx.entry(
+        100,
+        101,
+        "18.5.5.9",
+        "18.5.5.53",
+        200,
+        "18.5.5.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
+    fx.entry(
+        200,
+        201,
+        SCANNER_V4,
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        2,
+        "5.5.5.5",
+    );
     let input = fx.input();
     let reach = Reachability::compute(&input);
     // The scanner-source probe is not reachability evidence.
@@ -228,15 +347,45 @@ fn port_report_requires_ten_direct_samples() {
     let dst = "17.1.1.53";
     // 10 direct F4 follow-ups with a fixed port.
     for i in 0..10 {
-        fx.entry(100 + i, 101 + i, "17.1.2.9", dst, 100, dst, SuffixKind::F4, 53, "5.5.5.5");
+        fx.entry(
+            100 + i,
+            101 + i,
+            "17.1.2.9",
+            dst,
+            100,
+            dst,
+            SuffixKind::F4,
+            53,
+            "5.5.5.5",
+        );
     }
     // A second target with only 9 samples: insufficient.
     for i in 0..9 {
-        fx.entry(100 + i, 101 + i, "18.5.5.9", "18.5.5.53", 200, "18.5.5.53", SuffixKind::F4, 1000 + i as u16, "5.5.5.5");
+        fx.entry(
+            100 + i,
+            101 + i,
+            "18.5.5.9",
+            "18.5.5.53",
+            200,
+            "18.5.5.53",
+            SuffixKind::F4,
+            1000 + i as u16,
+            "5.5.5.5",
+        );
     }
     // A forwarded target: samples from an upstream (ignored entirely).
     for i in 0..10 {
-        fx.entry(100 + i, 101 + i, "17.1.1.9", "17.1.2.53", 100, "17.1.2.99", SuffixKind::F4, 2000, "5.5.5.5");
+        fx.entry(
+            100 + i,
+            101 + i,
+            "17.1.1.9",
+            "17.1.2.53",
+            100,
+            "17.1.2.99",
+            SuffixKind::F4,
+            2000,
+            "5.5.5.5",
+        );
     }
     let input = fx.input();
     let reach = Reachability::compute(&input);
@@ -254,26 +403,82 @@ fn forwarding_family_attribution() {
     let mut fx = Fixture::new();
     let v6dst = "2600:100::53";
     // v6 target answers its F6 follow-ups directly over v6...
-    fx.entry(100, 101, "2600:100::9", v6dst, 300, v6dst, SuffixKind::F6, 1, "2600:5::5");
+    fx.entry(
+        100,
+        101,
+        "2600:100::9",
+        v6dst,
+        300,
+        v6dst,
+        SuffixKind::F6,
+        1,
+        "2600:5::5",
+    );
     // ...and its F4 follow-ups from a v4 side-address (dual-stack, NOT
     // forwarding) — must be ignored by family matching.
-    fx.entry(100, 101, "2600:100::9", v6dst, 300, "17.1.1.40", SuffixKind::F4, 2, "5.5.5.5");
+    fx.entry(
+        100,
+        101,
+        "2600:100::9",
+        v6dst,
+        300,
+        "17.1.1.40",
+        SuffixKind::F4,
+        2,
+        "5.5.5.5",
+    );
     // A genuine v4 forwarder: F4 resolved by an upstream.
-    fx.entry(100, 101, "18.5.5.9", "18.5.5.53", 200, "18.5.5.250", SuffixKind::F4, 3, "5.5.5.5");
+    fx.entry(
+        100,
+        101,
+        "18.5.5.9",
+        "18.5.5.53",
+        200,
+        "18.5.5.250",
+        SuffixKind::F4,
+        3,
+        "5.5.5.5",
+    );
     let fwd = ForwardingReport::compute(&fx.input());
     assert_eq!(fwd.direct_v6.len(), 1);
-    assert_eq!(fwd.forwarded_v6.len(), 0, "dual-stack must not look forwarded");
+    assert_eq!(
+        fwd.forwarded_v6.len(),
+        0,
+        "dual-stack must not look forwarded"
+    );
     assert_eq!(fwd.forwarded_v4.len(), 1);
     assert_eq!(fwd.both_v4 + fwd.both_v6, 0);
-    assert!(fwd.upstreams.contains(&"18.5.5.250".parse::<IpAddr>().unwrap()));
+    assert!(fwd
+        .upstreams
+        .contains(&"18.5.5.250".parse::<IpAddr>().unwrap()));
 }
 
 #[test]
 fn country_report_aggregates_and_orders() {
     let mut fx = Fixture::new();
     // Reach one AS-100 target (US) and the AS-200 target (BR).
-    fx.entry(100, 101, "17.1.2.9", "17.1.1.53", 100, "17.1.1.53", SuffixKind::Main, 1, "5.5.5.5");
-    fx.entry(100, 101, "18.5.5.9", "18.5.5.53", 200, "18.5.5.53", SuffixKind::Main, 1, "5.5.5.5");
+    fx.entry(
+        100,
+        101,
+        "17.1.2.9",
+        "17.1.1.53",
+        100,
+        "17.1.1.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
+    fx.entry(
+        100,
+        101,
+        "18.5.5.9",
+        "18.5.5.53",
+        200,
+        "18.5.5.53",
+        SuffixKind::Main,
+        1,
+        "5.5.5.5",
+    );
     let input = fx.input();
     let reach = Reachability::compute(&input);
     let report = CountryReport::compute(&input, &reach);
@@ -301,7 +506,17 @@ fn passive_outcomes_match_2018_trace_contents() {
         ("18.5.5.53", 200, "18.5.5.53"),
     ] {
         for i in 0..10 {
-            fx.entry(100 + i, 101 + i, "192.168.0.10", dst, asn, from, SuffixKind::F4, 53, "5.5.5.5");
+            fx.entry(
+                100 + i,
+                101 + i,
+                "192.168.0.10",
+                dst,
+                asn,
+                from,
+                SuffixKind::F4,
+                53,
+                "5.5.5.5",
+            );
         }
     }
     let input = fx.input();
@@ -341,7 +556,17 @@ fn single_matching_port_makes_sparse_2018_data_comparable() {
     let mut fx = Fixture::new();
     let dst = "17.1.1.53";
     for i in 0..10 {
-        fx.entry(100 + i, 101 + i, "17.1.2.9", dst, 100, dst, SuffixKind::F4, 4242, "5.5.5.5");
+        fx.entry(
+            100 + i,
+            101 + i,
+            "17.1.2.9",
+            dst,
+            100,
+            dst,
+            SuffixKind::F4,
+            4242,
+            "5.5.5.5",
+        );
     }
     let input = fx.input();
     let reach = Reachability::compute(&input);

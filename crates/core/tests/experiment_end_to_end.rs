@@ -139,7 +139,10 @@ fn port_ranges_identify_zero_range_resolvers_exactly() {
         "no port observations collected"
     );
     for obs in &ports.observations {
-        let meta = data.world.meta_of(obs.addr).expect("observed addr is a target");
+        let meta = data
+            .world
+            .meta_of(obs.addr)
+            .expect("observed addr is a target");
         assert!(!meta.forwards, "direct-only filter leaked a forwarder");
         // Ground-truth port class vs measured range.
         match meta.port_class {

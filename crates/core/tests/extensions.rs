@@ -10,12 +10,7 @@ fn opt_out_stops_probes_to_the_prefix() {
     // First run: find a prefix that gets probed.
     let cfg = ExperimentConfig::tiny(301);
     let data = Experiment::run(cfg.clone());
-    let victim = data
-        .targets
-        .v4
-        .first()
-        .expect("targets exist")
-        .addr;
+    let victim = data.targets.v4.first().expect("targets exist").addr;
     let prefix = Prefix::subprefix_of(victim, 16);
 
     // Second run: same world, opt the whole /16 out from t=0.

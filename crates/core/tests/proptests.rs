@@ -2,9 +2,13 @@
 
 use bcd_core::analysis::ports::{adjust_windows_wrap, increasing_pattern, range_of};
 use bcd_core::qname::{Decoded, QnameCodec, SuffixKind};
+use bcd_core::scanner::ScannerStats;
 use bcd_core::schedule::Schedule;
+use bcd_core::shard::canonical_sort;
 use bcd_core::sources::{classify_source, SourceCategory, SourcePlan};
+use bcd_dns::{LogProto, QueryLogEntry};
 use bcd_netsim::{Asn, Prefix, PrefixTable, SimDuration, SimTime};
+use bcd_netsim::{DropReason, Merge, NetCounters};
 use bcd_osmodel::ports::{IANA_HI, IANA_LO, WINDOWS_POOL_SIZE};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -209,5 +213,173 @@ proptest! {
         prop_assert!(in_active, "hitlist /64 missing from the plan");
         // Still capped at 97 + 4 singleton categories.
         prop_assert!(plan.len() <= 101);
+    }
+}
+
+// ---- sharded-merge algebra (crate::shard / bcd_netsim::merge) ----
+
+const DROP_REASONS: [DropReason; 6] = [
+    DropReason::Osav,
+    DropReason::Dsav,
+    DropReason::SubnetSavi,
+    DropReason::PrivateIngress,
+    DropReason::NoRoute,
+    DropReason::LinkLoss,
+];
+
+fn any_counters() -> impl Strategy<Value = NetCounters> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec((0usize..DROP_REASONS.len(), any::<u16>()), 0..6),
+    )
+        .prop_map(|(sent, delivered, duplicated, intercepted, drops)| {
+            let mut c = NetCounters {
+                sent: sent as u64,
+                delivered: delivered as u64,
+                duplicated: duplicated as u64,
+                intercepted: intercepted as u64,
+                ..NetCounters::default()
+            };
+            for (i, n) in drops {
+                *c.drops.entry(DROP_REASONS[i]).or_insert(0) += n as u64;
+            }
+            c
+        })
+}
+
+fn any_stats() -> impl Strategy<Value = ScannerStats> {
+    (
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        ),
+    )
+        .prop_map(|((a, b, c, d, e), (f, g, h, i, j))| ScannerStats {
+            spoofed_sent: a as u64,
+            followup_sets: b as u64,
+            followup_queries: c as u64,
+            open_probes: d as u64,
+            tcp_probes: e as u64,
+            human_lookups: f as u64,
+            responses_received: g as u64,
+            refused_responses: h as u64,
+            opted_out: i as u64,
+            outage_deferrals: j as u64,
+        })
+}
+
+fn merged<T: Merge + Clone>(mut a: T, b: &T) -> T {
+    a.merge(b.clone());
+    a
+}
+
+/// Log entries whose canonical keys are unique (distinct qname serials) —
+/// the shape a real merged survey log has, since every logged query's name
+/// encodes its probe serial.
+fn any_shard_logs() -> impl Strategy<Value = Vec<Vec<QueryLogEntry>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<u16>(), 0u8..8, any::<u16>()), 0..24),
+        1..4,
+    )
+    .prop_map(|shards| {
+        let mut serial = 0u32;
+        shards
+            .into_iter()
+            .map(|entries| {
+                let mut v: Vec<QueryLogEntry> = entries
+                    .into_iter()
+                    .map(|(t, target, port)| {
+                        serial += 1;
+                        QueryLogEntry {
+                            time: SimTime::from_secs(t as u64),
+                            src: IpAddr::V4(Ipv4Addr::new(10, 0, 0, target)),
+                            server: "198.51.100.1".parse().unwrap(),
+                            src_port: port,
+                            qname: format!("t{}.q{serial}.x.dns-lab.org", t).parse().unwrap(),
+                            proto: LogProto::Udp,
+                            observed_ttl: 52,
+                            syn: None,
+                        }
+                    })
+                    .collect();
+                // Each shard's log is time-ordered, like a real capture.
+                v.sort_by_key(|e| e.time);
+                v
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// NetCounters merge is commutative and associative — the shard fold
+    /// may run in any grouping and still produce the same totals.
+    #[test]
+    fn counters_merge_is_commutative_associative(
+        a in any_counters(),
+        b in any_counters(),
+        c in any_counters(),
+    ) {
+        let ab = merged(a.clone(), &b);
+        let ba = merged(b.clone(), &a);
+        prop_assert_eq!(format!("{ab:?}"), format!("{ba:?}"));
+        let ab_c = merged(ab, &c);
+        let a_bc = merged(a, &merged(b, &c));
+        prop_assert_eq!(format!("{ab_c:?}"), format!("{a_bc:?}"));
+    }
+
+    /// ScannerStats merge is commutative and associative.
+    #[test]
+    fn scanner_stats_merge_is_commutative_associative(
+        a in any_stats(),
+        b in any_stats(),
+        c in any_stats(),
+    ) {
+        let ab = merged(a.clone(), &b);
+        let ba = merged(b.clone(), &a);
+        prop_assert_eq!(format!("{ab:?}"), format!("{ba:?}"));
+        let ab_c = merged(ab, &c);
+        let a_bc = merged(a, &merged(b, &c));
+        prop_assert_eq!(format!("{ab_c:?}"), format!("{a_bc:?}"));
+    }
+
+    /// Canonically sorting a concatenation of per-shard logs preserves each
+    /// target's own arrival order and is independent of shard order.
+    #[test]
+    fn merged_logs_preserve_per_target_order(shards in any_shard_logs()) {
+        let mut fwd: Vec<QueryLogEntry> = shards.iter().flatten().cloned().collect();
+        canonical_sort(&mut fwd);
+        let mut rev: Vec<QueryLogEntry> = shards.iter().rev().flatten().cloned().collect();
+        canonical_sort(&mut rev);
+        // Shard order is irrelevant (keys are unique per entry).
+        let key = |e: &QueryLogEntry| (e.time, e.qname.clone(), e.src, e.src_port);
+        prop_assert_eq!(fwd.iter().map(key).collect::<Vec<_>>(),
+                        rev.iter().map(key).collect::<Vec<_>>());
+        // Global order is by time; per-target subsequences stay sorted.
+        for w in fwd.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        for shard in &shards {
+            for target in shard.iter().map(|e| e.src) {
+                let times: Vec<SimTime> = fwd
+                    .iter()
+                    .filter(|e| e.src == target)
+                    .map(|e| e.time)
+                    .collect();
+                prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
     }
 }

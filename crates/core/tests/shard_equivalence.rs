@@ -1,0 +1,45 @@
+//! Shard-count invariance (the sharding layer's contract).
+//!
+//! A sharded survey partitions probes by destination AS, runs one engine
+//! per shard, and merges the artifacts deterministically. These tests lock
+//! in the observable guarantee: the headline and the two most
+//! merge-sensitive tables render *byte-identically* for 1, 2, and 8 shards
+//! — across seeds, so the invariance is not an accident of one topology.
+
+use bcd_core::analysis::categories::CategoryReport;
+use bcd_core::analysis::openclosed::OpenClosedReport;
+use bcd_core::analysis::ports::PortReport;
+use bcd_core::analysis::reachability::Reachability;
+use bcd_core::{report, Experiment, ExperimentConfig};
+
+fn renders(seed: u64, shards: usize) -> [String; 3] {
+    let mut cfg = ExperimentConfig::tiny(seed);
+    cfg.shards = shards;
+    let data = Experiment::run(cfg);
+    let input = data.input();
+    let reach = Reachability::compute(&input);
+    let cats = CategoryReport::compute(&reach);
+    let oc = OpenClosedReport::compute(&input, &reach);
+    let ports = PortReport::compute(&input, &oc);
+    [
+        report::render_headline(&data.targets, &reach),
+        report::render_table3(&cats),
+        report::render_table4(&ports),
+    ]
+}
+
+#[test]
+fn renders_are_shard_count_invariant() {
+    for seed in [11u64, 2019] {
+        let single = renders(seed, 1);
+        for shards in [2usize, 8] {
+            let sharded = renders(seed, shards);
+            for (one, many) in single.iter().zip(sharded.iter()) {
+                assert_eq!(
+                    one, many,
+                    "render differs between 1 and {shards} shards at seed {seed}"
+                );
+            }
+        }
+    }
+}

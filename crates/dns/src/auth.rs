@@ -190,13 +190,7 @@ impl Node for AuthServer {
                 if let Some(q) = query.question() {
                     self.log(ctx, &pkt, q.name.clone(), LogProto::Udp);
                 }
-                ctx.send(Packet::udp(
-                    pkt.dst,
-                    pkt.src,
-                    53,
-                    u.src_port,
-                    resp.encode(),
-                ));
+                ctx.send(Packet::udp(pkt.dst, pkt.src, 53, u.src_port, resp.encode()));
             }
             Transport::Tcp(t) => {
                 if t.dst_port != 53 {
@@ -385,7 +379,9 @@ mod tests {
             log: shared_log(),
             log_queries: false,
         });
-        let hit = s.answer(&Message::query(8, n("www.org"), RType::A), false).unwrap();
+        let hit = s
+            .answer(&Message::query(8, n("www.org"), RType::A), false)
+            .unwrap();
         assert_eq!(hit.answers.len(), 1);
         let nodata = s
             .answer(&Message::query(9, n("www.org"), RType::Aaaa), false)

@@ -158,10 +158,14 @@ mod tests {
             .unwrap();
         assert_eq!(below.rcode, RCode::NXDomain);
         // Siblings and ancestors are not.
-        assert!(c.get_answer(&n("other.dns-lab.org"), RType::A, t(10)).is_none());
+        assert!(c
+            .get_answer(&n("other.dns-lab.org"), RType::A, t(10))
+            .is_none());
         assert!(c.get_answer(&n("dns-lab.org"), RType::A, t(10)).is_none());
         // Expiry honoured.
-        assert!(c.get_answer(&n("kw.dns-lab.org"), RType::A, t(100)).is_none());
+        assert!(c
+            .get_answer(&n("kw.dns-lab.org"), RType::A, t(100))
+            .is_none());
     }
 
     #[test]
@@ -169,7 +173,11 @@ mod tests {
         let mut c = Cache::new();
         c.put_cut(Name::root(), vec!["198.41.0.4".parse().unwrap()], t(1000));
         c.put_cut(n("org"), vec!["199.19.56.1".parse().unwrap()], t(1000));
-        c.put_cut(n("dns-lab.org"), vec!["203.0.113.53".parse().unwrap()], t(1000));
+        c.put_cut(
+            n("dns-lab.org"),
+            vec!["203.0.113.53".parse().unwrap()],
+            t(1000),
+        );
         let (zone, servers) = c.best_cut(&n("a.b.kw.dns-lab.org"), t(1)).unwrap();
         assert_eq!(zone, n("dns-lab.org"));
         assert_eq!(servers.len(), 1);

@@ -87,7 +87,13 @@ impl Node for Interceptor {
             fwd.header.id = txid;
             fwd.header.rd = true;
             self.proxied += 1;
-            ctx.send(Packet::udp(self.addr, self.upstream, 53_000, 53, fwd.encode()));
+            ctx.send(Packet::udp(
+                self.addr,
+                self.upstream,
+                53_000,
+                53,
+                fwd.encode(),
+            ));
         } else if msg.header.qr && pkt.src == self.upstream {
             // Upstream → middlebox: relay to the client, spoofing the
             // original destination as the source.
@@ -129,7 +135,10 @@ mod tests {
 
         // Client query addressed to the *target*, delivered to the middlebox.
         let q = Message::query(0x7777, "x.dns-lab.org".parse::<Name>().unwrap(), RType::A);
-        mbx.on_packet(&mut ctx, Packet::udp(client, target, 40_000, 53, q.encode()));
+        mbx.on_packet(
+            &mut ctx,
+            Packet::udp(client, target, 40_000, 53, q.encode()),
+        );
         assert_eq!(mbx.proxied, 1);
         assert_eq!(effects.len(), 1);
         let (fwd_txid, fwd);

@@ -92,7 +92,10 @@ impl QueryLog {
     /// Entries from `cursor` onward (the scanner's real-time tail); returns
     /// the new cursor.
     pub fn tail_from(&self, cursor: usize) -> (&[QueryLogEntry], usize) {
-        (&self.entries[cursor.min(self.entries.len())..], self.entries.len())
+        (
+            &self.entries[cursor.min(self.entries.len())..],
+            self.entries.len(),
+        )
     }
 }
 

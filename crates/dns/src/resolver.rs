@@ -21,9 +21,7 @@
 
 use crate::cache::Cache;
 use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
-use bcd_netsim::{
-    Node, NodeCtx, Packet, Prefix, SimDuration, TcpFlags, TcpSegment, Transport,
-};
+use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, TcpFlags, TcpSegment, Transport};
 use bcd_osmodel::{p0f, Os, PortAllocator};
 use rand::Rng;
 use std::collections::HashMap;
@@ -173,7 +171,10 @@ const CUT_TTL_SECS: u64 = 86_400;
 
 /// Our address in the same family as `peer`, if we have one.
 fn our_addr_for(addrs: &[IpAddr], peer: IpAddr) -> Option<IpAddr> {
-    addrs.iter().copied().find(|a| a.is_ipv6() == peer.is_ipv6())
+    addrs
+        .iter()
+        .copied()
+        .find(|a| a.is_ipv6() == peer.is_ipv6())
 }
 
 /// Pick a usable server (matching one of our address families) from a list,
@@ -665,11 +666,7 @@ impl Node for RecursiveResolver {
         if token & WARMUP_BIT != 0 {
             let idx = (token & !WARMUP_BIT) as usize;
             if let Some((_, name, rtype)) = self.cfg.warmup.get(idx).cloned() {
-                if self
-                    .cache
-                    .get_answer(&name, rtype, ctx.now())
-                    .is_none()
-                {
+                if self.cache.get_answer(&name, rtype, ctx.now()).is_none() {
                     self.start_resolution(ctx, None, name, rtype);
                 }
             }

@@ -91,7 +91,11 @@ impl Zone {
 
     /// The SOA record for negative responses.
     pub fn soa_record(&self) -> Record {
-        Record::new(self.apex.clone(), self.soa.minimum, RData::Soa(self.soa.clone()))
+        Record::new(
+            self.apex.clone(),
+            self.soa.minimum,
+            RData::Soa(self.soa.clone()),
+        )
     }
 }
 
@@ -124,7 +128,10 @@ mod tests {
             n("dns-lab.org")
         );
         assert_eq!(zone_for(&zones, &n("example.org")).unwrap().apex, n("org"));
-        assert_eq!(zone_for(&zones, &n("example.com")).unwrap().apex, Name::root());
+        assert_eq!(
+            zone_for(&zones, &n("example.com")).unwrap().apex,
+            Name::root()
+        );
         let no_root = &zones[1..];
         assert!(zone_for(no_root, &n("example.com")).is_none());
     }
@@ -138,7 +145,10 @@ mod tests {
             )
             .delegate(
                 n("f6.dns-lab.org"),
-                vec![(n("ns.f6.dns-lab.org"), vec!["2001:db8::10".parse().unwrap()])],
+                vec![(
+                    n("ns.f6.dns-lab.org"),
+                    vec!["2001:db8::10".parse().unwrap()],
+                )],
             );
         assert_eq!(
             zone.delegation_for(&n("x.f4.dns-lab.org")).unwrap().cut,
@@ -156,8 +166,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "delegation outside zone")]
     fn delegation_must_nest() {
-        let _ = Zone::new(n("dns-lab.org"), ZoneMode::Nxdomain)
-            .delegate(n("example.com"), vec![]);
+        let _ = Zone::new(n("dns-lab.org"), ZoneMode::Nxdomain).delegate(n("example.com"), vec![]);
     }
 
     #[test]

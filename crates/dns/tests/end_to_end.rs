@@ -3,11 +3,11 @@
 //! zones) plus recursive resolvers in a client AS.
 
 use bcd_dns::log::shared_log;
+use bcd_dns::stub::StubQuery;
 use bcd_dns::{
     Acl, AuthServer, AuthServerConfig, LogProto, RecursiveResolver, ResolverConfig, SharedLog,
     StubClient, Zone, ZoneMode,
 };
-use bcd_dns::stub::StubQuery;
 use bcd_dnswire::{Name, RCode, RType};
 use bcd_netsim::{
     Asn, BorderPolicy, HostConfig, LinkProfile, Network, NetworkConfig, Prefix, SimDuration,
@@ -146,10 +146,8 @@ fn q(at_secs: u64, name: &str) -> StubQuery {
 
 #[test]
 fn full_recursion_reaches_the_authoritative_log() {
-    let (mut net, log, _, stub) = build_world(
-        |_| {},
-        vec![q(1, "ts100.src.dst.asn.kw.dns-lab.org")],
-    );
+    let (mut net, log, _, stub) =
+        build_world(|_| {}, vec![q(1, "ts100.src.dst.asn.kw.dns-lab.org")]);
     net.run();
     // The stub got an NXDOMAIN answer.
     let stub_node = net.node::<StubClient>(stub).unwrap();
@@ -158,7 +156,12 @@ fn full_recursion_reaches_the_authoritative_log() {
     // The lab auth server logged the recursive-to-authoritative query with
     // the resolver's source address and the full query name.
     let log = log.borrow();
-    assert_eq!(log.len(), 1, "exactly one logged query, got: {:?}", log.entries());
+    assert_eq!(
+        log.len(),
+        1,
+        "exactly one logged query, got: {:?}",
+        log.entries()
+    );
     let e = &log.entries()[0];
     assert_eq!(e.src, ip(RESOLVER));
     assert_eq!(e.qname, n("ts100.src.dst.asn.kw.dns-lab.org"));
@@ -170,10 +173,7 @@ fn full_recursion_reaches_the_authoritative_log() {
 fn second_query_skips_root_via_zone_cut_cache() {
     let (mut net, log, resolver, stub) = build_world(
         |_| {},
-        vec![
-            q(1, "ts1.a.kw.dns-lab.org"),
-            q(100, "ts2.b.kw.dns-lab.org"),
-        ],
+        vec![q(1, "ts1.a.kw.dns-lab.org"), q(100, "ts2.b.kw.dns-lab.org")],
     );
     net.run();
     assert_eq!(net.node::<StubClient>(stub).unwrap().responses.len(), 2);
@@ -250,10 +250,8 @@ fn qmin_without_halting_eventually_sends_full_qname() {
 
 #[test]
 fn tc_zone_forces_tcp_with_fingerprint() {
-    let (mut net, log, resolver, stub) = build_world(
-        |_| {},
-        vec![q(1, "probe1.x.tcp.dns-lab.org")],
-    );
+    let (mut net, log, resolver, stub) =
+        build_world(|_| {}, vec![q(1, "probe1.x.tcp.dns-lab.org")]);
     net.run();
     let stub_node = net.node::<StubClient>(stub).unwrap();
     assert_eq!(stub_node.responses.len(), 1, "{:?}", stub_node.responses);
@@ -396,9 +394,12 @@ fn source_ports_follow_the_allocator() {
     // §5.2.1 vulnerable configuration.
     let (mut net, log, _, _) = build_world(
         |cfg| {
-            cfg.allocator = DnsSoftware::FixedPort53.allocator(Os::LinuxModern, &mut rand::thread_rng());
+            cfg.allocator =
+                DnsSoftware::FixedPort53.allocator(Os::LinuxModern, &mut rand::thread_rng());
         },
-        (0..10).map(|i| q(1 + i * 120, &format!("t{i}.u.kw.dns-lab.org"))).collect(),
+        (0..10)
+            .map(|i| q(1 + i * 120, &format!("t{i}.u.kw.dns-lab.org")))
+            .collect(),
     );
     net.run();
     let log = log.borrow();
@@ -411,7 +412,9 @@ fn deterministic_replay() {
     let run = || {
         let (mut net, log, _, _) = build_world(
             |_| {},
-            (0..5).map(|i| q(1 + i, &format!("t{i}.d.kw.dns-lab.org"))).collect(),
+            (0..5)
+                .map(|i| q(1 + i, &format!("t{i}.d.kw.dns-lab.org")))
+                .collect(),
         );
         net.run();
         let log = log.borrow();

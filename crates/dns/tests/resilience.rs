@@ -43,10 +43,8 @@ fn world(core_link: LinkProfile, queries: Vec<StubQuery>) -> (Network, SharedLog
 
     let log = shared_log();
     let auth = ip("20.0.0.53");
-    let root = Zone::new(Name::root(), ZoneMode::Static(vec![])).delegate(
-        n("zone.test"),
-        vec![(n("ns.zone.test"), vec![auth])],
-    );
+    let root = Zone::new(Name::root(), ZoneMode::Static(vec![]))
+        .delegate(n("zone.test"), vec![(n("ns.zone.test"), vec![auth])]);
     net.add_host(
         HostConfig {
             addrs: vec![auth],
@@ -95,7 +93,9 @@ fn retransmission_recovers_from_heavy_loss() {
     // 40% loss on the wide-area path; with 3 attempts per stage most
     // resolutions still complete (p_fail per stage ≈ (1-0.36)^3 where a
     // round trip needs both directions: p_rt ≈ 0.36).
-    let queries: Vec<StubQuery> = (0..40).map(|i| q(1 + i * 5, &format!("u{i}.zone.test"))).collect();
+    let queries: Vec<StubQuery> = (0..40)
+        .map(|i| q(1 + i * 5, &format!("u{i}.zone.test")))
+        .collect();
     let (mut net, _, resolver, stub) = world(LinkProfile::lossy(0.4), queries);
     net.run();
     let stub_node = net.node::<StubClient>(stub).unwrap();
@@ -132,10 +132,8 @@ fn refused_upstream_rotates_to_working_server() {
     let log = shared_log();
     let bad = ip("20.0.0.66");
     let good = ip("20.0.0.53");
-    let root = Zone::new(Name::root(), ZoneMode::Static(vec![])).delegate(
-        n("zone.test"),
-        vec![(n("ns.zone.test"), vec![bad, good])],
-    );
+    let root = Zone::new(Name::root(), ZoneMode::Static(vec![]))
+        .delegate(n("zone.test"), vec![(n("ns.zone.test"), vec![bad, good])]);
     // Root host also serves the root zone; the "bad" server serves an
     // unrelated zone so queries for zone.test come back REFUSED.
     net.add_host(
@@ -175,7 +173,9 @@ fn refused_upstream_rotates_to_working_server() {
     );
     // Many queries: server rotation starts at attempt 0 with server index
     // `attempts % len`, so some go to the bad server first and must retry.
-    let queries: Vec<StubQuery> = (0..10).map(|i| q(1 + i, &format!("r{i}.zone.test"))).collect();
+    let queries: Vec<StubQuery> = (0..10)
+        .map(|i| q(1 + i, &format!("r{i}.zone.test")))
+        .collect();
     let stub = net.add_host(
         HostConfig {
             addrs: vec![ip("21.0.0.9")],
@@ -213,10 +213,8 @@ fn middlebox_intercepts_inside_the_engine() {
     net.announce(pre("22.0.0.0/24"), Asn(3));
     let log = shared_log();
     let auth = ip("20.0.0.53");
-    let root = Zone::new(Name::root(), ZoneMode::Static(vec![])).delegate(
-        n("zone.test"),
-        vec![(n("ns.zone.test"), vec![auth])],
-    );
+    let root = Zone::new(Name::root(), ZoneMode::Static(vec![]))
+        .delegate(n("zone.test"), vec![(n("ns.zone.test"), vec![auth])]);
     net.add_host(
         HostConfig {
             addrs: vec![auth],
@@ -298,10 +296,8 @@ fn negative_cache_suppresses_repeat_upstream_traffic() {
     net.announce(pre("21.0.0.0/24"), Asn(2));
     let log = shared_log();
     let auth = ip("20.0.0.53");
-    let root = Zone::new(Name::root(), ZoneMode::Static(vec![])).delegate(
-        n("zone.test"),
-        vec![(n("ns.zone.test"), vec![auth])],
-    );
+    let root = Zone::new(Name::root(), ZoneMode::Static(vec![]))
+        .delegate(n("zone.test"), vec![(n("ns.zone.test"), vec![auth])]);
     net.add_host(
         HostConfig {
             addrs: vec![auth],
@@ -339,7 +335,10 @@ fn negative_cache_suppresses_repeat_upstream_traffic() {
     net.run();
     let stub_node = net.node::<StubClient>(stub).unwrap();
     assert_eq!(stub_node.responses.len(), 2);
-    assert!(stub_node.responses.iter().all(|r| r.rcode == RCode::NXDomain));
+    assert!(stub_node
+        .responses
+        .iter()
+        .all(|r| r.rcode == RCode::NXDomain));
     let stats = &net.node::<RecursiveResolver>(resolver).unwrap().stats;
     assert_eq!(stats.cache_hits, 1, "{stats:?}");
 }

@@ -214,7 +214,11 @@ mod tests {
 
     #[test]
     fn a_and_aaaa_round_trip() {
-        let rec = Record::new(n("h.example.org"), 300, RData::A("192.0.2.7".parse().unwrap()));
+        let rec = Record::new(
+            n("h.example.org"),
+            300,
+            RData::A("192.0.2.7".parse().unwrap()),
+        );
         assert_eq!(round_trip(rec.clone()), rec);
         let rec6 = Record::new(
             n("h.example.org"),

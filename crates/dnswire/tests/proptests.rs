@@ -97,13 +97,15 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         proptest::collection::vec(record_strategy(), 0..3),
         proptest::collection::vec(record_strategy(), 0..3),
     )
-        .prop_map(|(header, questions, answers, authorities, additionals)| Message {
-            header,
-            questions,
-            answers,
-            authorities,
-            additionals,
-        })
+        .prop_map(
+            |(header, questions, answers, authorities, additionals)| Message {
+                header,
+                questions,
+                answers,
+                authorities,
+                additionals,
+            },
+        )
 }
 
 proptest! {

@@ -68,29 +68,197 @@ impl CountryProfile {
 /// country-attributed ASes; the long tail absorbs the remainder.
 pub const COUNTRIES: &[CountryProfile] = &[
     // ----- Table 1: most ASes -----
-    CountryProfile { code: "US", name: "United States", as_share: 0.2715, no_dsav_rate: 0.28, targets_per_as: 174.0, accept_rate: 0.114, size_bias: 0.0 },
-    CountryProfile { code: "BR", name: "Brazil", as_share: 0.1046, no_dsav_rate: 0.59, targets_per_as: 61.0, accept_rate: 0.081, size_bias: 0.0 },
-    CountryProfile { code: "RU", name: "Russia", as_share: 0.0799, no_dsav_rate: 0.59, targets_per_as: 73.0, accept_rate: 0.197, size_bias: 0.0 },
-    CountryProfile { code: "DE", name: "Germany", as_share: 0.0400, no_dsav_rate: 0.36, targets_per_as: 404.0, accept_rate: 0.106, size_bias: 0.0 },
-    CountryProfile { code: "GB", name: "United Kingdom", as_share: 0.0363, no_dsav_rate: 0.33, targets_per_as: 181.0, accept_rate: 0.136, size_bias: 0.0 },
-    CountryProfile { code: "PL", name: "Poland", as_share: 0.0330, no_dsav_rate: 0.52, targets_per_as: 58.0, accept_rate: 0.115, size_bias: 0.0 },
-    CountryProfile { code: "UA", name: "Ukraine", as_share: 0.0276, no_dsav_rate: 0.63, targets_per_as: 40.0, accept_rate: 0.244, size_bias: 0.0 },
-    CountryProfile { code: "IN", name: "India", as_share: 0.0258, no_dsav_rate: 0.41, targets_per_as: 212.0, accept_rate: 0.283, size_bias: 0.0 },
-    CountryProfile { code: "AU", name: "Australia", as_share: 0.0253, no_dsav_rate: 0.32, targets_per_as: 114.0, accept_rate: 0.144, size_bias: 0.0 },
-    CountryProfile { code: "CA", name: "Canada", as_share: 0.0246, no_dsav_rate: 0.36, targets_per_as: 196.0, accept_rate: 0.078, size_bias: 0.0 },
+    CountryProfile {
+        code: "US",
+        name: "United States",
+        as_share: 0.2715,
+        no_dsav_rate: 0.28,
+        targets_per_as: 174.0,
+        accept_rate: 0.114,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "BR",
+        name: "Brazil",
+        as_share: 0.1046,
+        no_dsav_rate: 0.59,
+        targets_per_as: 61.0,
+        accept_rate: 0.081,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "RU",
+        name: "Russia",
+        as_share: 0.0799,
+        no_dsav_rate: 0.59,
+        targets_per_as: 73.0,
+        accept_rate: 0.197,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "DE",
+        name: "Germany",
+        as_share: 0.0400,
+        no_dsav_rate: 0.36,
+        targets_per_as: 404.0,
+        accept_rate: 0.106,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "GB",
+        name: "United Kingdom",
+        as_share: 0.0363,
+        no_dsav_rate: 0.33,
+        targets_per_as: 181.0,
+        accept_rate: 0.136,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "PL",
+        name: "Poland",
+        as_share: 0.0330,
+        no_dsav_rate: 0.52,
+        targets_per_as: 58.0,
+        accept_rate: 0.115,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "UA",
+        name: "Ukraine",
+        as_share: 0.0276,
+        no_dsav_rate: 0.63,
+        targets_per_as: 40.0,
+        accept_rate: 0.244,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "IN",
+        name: "India",
+        as_share: 0.0258,
+        no_dsav_rate: 0.41,
+        targets_per_as: 212.0,
+        accept_rate: 0.283,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "AU",
+        name: "Australia",
+        as_share: 0.0253,
+        no_dsav_rate: 0.32,
+        targets_per_as: 114.0,
+        accept_rate: 0.144,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "CA",
+        name: "Canada",
+        as_share: 0.0246,
+        no_dsav_rate: 0.36,
+        targets_per_as: 196.0,
+        accept_rate: 0.078,
+        size_bias: 0.0,
+    },
     // ----- Table 2: highest IP reachability -----
-    CountryProfile { code: "DZ", name: "Algeria", as_share: 0.00024, no_dsav_rate: 0.40, targets_per_as: 1058.0, accept_rate: 0.90, size_bias: 3.0 },
-    CountryProfile { code: "MA", name: "Morocco", as_share: 0.00036, no_dsav_rate: 0.45, targets_per_as: 1132.0, accept_rate: 0.85, size_bias: 3.0 },
-    CountryProfile { code: "SZ", name: "Eswatini", as_share: 0.00011, no_dsav_rate: 0.86, targets_per_as: 91.0, accept_rate: 0.50, size_bias: 1.0 },
-    CountryProfile { code: "BZ", name: "Belize", as_share: 0.00049, no_dsav_rate: 0.40, targets_per_as: 44.0, accept_rate: 0.80, size_bias: 2.0 },
-    CountryProfile { code: "BF", name: "Burkina Faso", as_share: 0.00023, no_dsav_rate: 0.43, targets_per_as: 91.0, accept_rate: 0.70, size_bias: 2.0 },
-    CountryProfile { code: "XK", name: "Kosovo", as_share: 0.00008, no_dsav_rate: 0.60, targets_per_as: 10.0, accept_rate: 0.60, size_bias: 1.0 },
-    CountryProfile { code: "BA", name: "Bosnia & Herzegovina", as_share: 0.00078, no_dsav_rate: 0.54, targets_per_as: 104.0, accept_rate: 0.55, size_bias: 1.0 },
-    CountryProfile { code: "SC", name: "Seychelles", as_share: 0.00040, no_dsav_rate: 0.44, targets_per_as: 32.0, accept_rate: 0.60, size_bias: 1.0 },
-    CountryProfile { code: "WF", name: "Wallis & Futuna", as_share: 0.00002, no_dsav_rate: 1.00, targets_per_as: 11.0, accept_rate: 0.27, size_bias: 0.0 },
-    CountryProfile { code: "CI", name: "Ivory Coast", as_share: 0.00024, no_dsav_rate: 0.53, targets_per_as: 441.0, accept_rate: 0.45, size_bias: 1.0 },
+    CountryProfile {
+        code: "DZ",
+        name: "Algeria",
+        as_share: 0.00024,
+        no_dsav_rate: 0.40,
+        targets_per_as: 1058.0,
+        accept_rate: 0.90,
+        size_bias: 3.0,
+    },
+    CountryProfile {
+        code: "MA",
+        name: "Morocco",
+        as_share: 0.00036,
+        no_dsav_rate: 0.45,
+        targets_per_as: 1132.0,
+        accept_rate: 0.85,
+        size_bias: 3.0,
+    },
+    CountryProfile {
+        code: "SZ",
+        name: "Eswatini",
+        as_share: 0.00011,
+        no_dsav_rate: 0.86,
+        targets_per_as: 91.0,
+        accept_rate: 0.50,
+        size_bias: 1.0,
+    },
+    CountryProfile {
+        code: "BZ",
+        name: "Belize",
+        as_share: 0.00049,
+        no_dsav_rate: 0.40,
+        targets_per_as: 44.0,
+        accept_rate: 0.80,
+        size_bias: 2.0,
+    },
+    CountryProfile {
+        code: "BF",
+        name: "Burkina Faso",
+        as_share: 0.00023,
+        no_dsav_rate: 0.43,
+        targets_per_as: 91.0,
+        accept_rate: 0.70,
+        size_bias: 2.0,
+    },
+    CountryProfile {
+        code: "XK",
+        name: "Kosovo",
+        as_share: 0.00008,
+        no_dsav_rate: 0.60,
+        targets_per_as: 10.0,
+        accept_rate: 0.60,
+        size_bias: 1.0,
+    },
+    CountryProfile {
+        code: "BA",
+        name: "Bosnia & Herzegovina",
+        as_share: 0.00078,
+        no_dsav_rate: 0.54,
+        targets_per_as: 104.0,
+        accept_rate: 0.55,
+        size_bias: 1.0,
+    },
+    CountryProfile {
+        code: "SC",
+        name: "Seychelles",
+        as_share: 0.00040,
+        no_dsav_rate: 0.44,
+        targets_per_as: 32.0,
+        accept_rate: 0.60,
+        size_bias: 1.0,
+    },
+    CountryProfile {
+        code: "WF",
+        name: "Wallis & Futuna",
+        as_share: 0.00002,
+        no_dsav_rate: 1.00,
+        targets_per_as: 11.0,
+        accept_rate: 0.27,
+        size_bias: 0.0,
+    },
+    CountryProfile {
+        code: "CI",
+        name: "Ivory Coast",
+        as_share: 0.00024,
+        no_dsav_rate: 0.53,
+        targets_per_as: 441.0,
+        accept_rate: 0.45,
+        size_bias: 1.0,
+    },
     // ----- Long tail: everything else, at the global averages -----
-    CountryProfile { code: "ZZ", name: "(other)", as_share: 0.3270, no_dsav_rate: 0.55, targets_per_as: 150.0, accept_rate: 0.105, size_bias: 0.0 },
+    CountryProfile {
+        code: "ZZ",
+        name: "(other)",
+        as_share: 0.3270,
+        no_dsav_rate: 0.55,
+        targets_per_as: 150.0,
+        accept_rate: 0.105,
+        size_bias: 0.0,
+    },
 ];
 
 /// Draw a country weighted by `as_share` (the long-tail entry included).
@@ -147,10 +315,15 @@ mod tests {
         // yet *below* average in missing DSAV; Ukraine/Brazil/Russia are
         // well above half.
         let us = Country("US").profile().unwrap();
-        assert!(COUNTRIES.iter().all(|p| p.as_share <= us.as_share || p.code == "ZZ"));
+        assert!(COUNTRIES
+            .iter()
+            .all(|p| p.as_share <= us.as_share || p.code == "ZZ"));
         assert!(us.no_dsav_rate < 0.30);
         for code in ["BR", "RU", "UA"] {
-            assert!(Country(code).profile().unwrap().no_dsav_rate > 0.5, "{code}");
+            assert!(
+                Country(code).profile().unwrap().no_dsav_rate > 0.5,
+                "{code}"
+            );
         }
     }
 

@@ -66,8 +66,14 @@ mod tests {
         let mut db = GeoDb::new();
         db.insert(p("10.0.0.0/8"), Asn(1), Country("US"));
         db.insert(p("10.5.0.0/16"), Asn(1), Country("CA"));
-        assert_eq!(db.country_of("10.1.1.1".parse().unwrap()), Some(Country("US")));
-        assert_eq!(db.country_of("10.5.9.9".parse().unwrap()), Some(Country("CA")));
+        assert_eq!(
+            db.country_of("10.1.1.1".parse().unwrap()),
+            Some(Country("US"))
+        );
+        assert_eq!(
+            db.country_of("10.5.9.9".parse().unwrap()),
+            Some(Country("CA"))
+        );
         assert_eq!(db.country_of("11.0.0.1".parse().unwrap()), None);
     }
 

@@ -71,6 +71,32 @@ pub struct HostConfig {
 struct HostState {
     cfg: HostConfig,
     node: Box<dyn Node>,
+    /// Per-host RNG stream, seeded `stream_seed(cfg.seed, host_id)`.
+    ///
+    /// Giving every host its own stream (instead of one engine-global
+    /// stream) makes a host's random draws a function of *its own* event
+    /// sequence only. That is what lets a sharded survey partition hosts
+    /// across independent engines and still produce byte-identical
+    /// per-host observables: a host that sees the same inbound packets at
+    /// the same times draws the same values, no matter what the rest of
+    /// the world is doing.
+    rng: ChaCha8Rng,
+}
+
+/// splitmix64 finalizer — mixes a 64-bit value into an avalanche-quality
+/// hash. Used to derive independent seed streams from one master seed.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for an independent RNG stream (`stream`) from a master
+/// seed. Distinct streams of the same master are decorrelated by the
+/// splitmix64 avalanche.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    splitmix64(base ^ splitmix64(stream.wrapping_add(0x5EED_CAFE_F00D_D00D)))
 }
 
 #[derive(Debug)]
@@ -138,12 +164,7 @@ fn subnet_permille(asn: Asn, src: IpAddr) -> u64 {
     let sub = Prefix::subprefix_of(src, if src.is_ipv6() { 64 } else { 24 });
     let (key, _) = sub.key();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in asn
-        .0
-        .to_le_bytes()
-        .into_iter()
-        .chain(key.to_le_bytes())
-    {
+    for byte in asn.0.to_le_bytes().into_iter().chain(key.to_le_bytes()) {
         h ^= byte as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -198,8 +219,17 @@ impl Network {
             let prev = self.ip_index.insert(*a, id);
             assert!(prev.is_none(), "address {a} bound twice");
         }
-        self.hosts.push(HostState { cfg, node });
+        let rng = ChaCha8Rng::seed_from_u64(stream_seed(self.cfg.seed, id as u64));
+        self.hosts.push(HostState { cfg, node, rng });
         id
+    }
+
+    /// Reseed the engine-level noise RNG (link-fault sampling). Hosts keep
+    /// their own streams; this only affects environment randomness, so a
+    /// sharded run can give each shard decorrelated link noise without
+    /// perturbing host behaviour.
+    pub fn reseed_noise(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
     }
 
     /// Install a transparent DNS interceptor (middlebox) for an AS: UDP/53
@@ -482,12 +512,12 @@ impl Network {
         let mut effects = Vec::new();
         {
             // Split borrows: node is taken out of the host table for the
-            // duration of the callback so the ctx can borrow the engine rng.
+            // duration of the callback so the ctx can borrow the host rng.
             let mut node = std::mem::replace(
                 &mut self.hosts[host].node,
                 Box::new(crate::node::SinkNode::default()),
             );
-            let mut ctx = NodeCtx::new(self.now, host, &mut self.rng, &mut effects);
+            let mut ctx = NodeCtx::new(self.now, host, &mut self.hosts[host].rng, &mut effects);
             f(node.as_mut(), &mut ctx);
             self.hosts[host].node = node;
         }
@@ -941,6 +971,9 @@ mod tests {
         net.run();
         let trace = net.trace.as_ref().unwrap();
         assert_eq!(trace.filter(|e| e.point == TracePoint::Sent).count(), 1);
-        assert_eq!(trace.filter(|e| e.point == TracePoint::Delivered).count(), 1);
+        assert_eq!(
+            trace.filter(|e| e.point == TracePoint::Delivered).count(),
+            1
+        );
     }
 }

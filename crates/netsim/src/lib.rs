@@ -34,6 +34,7 @@
 pub mod counters;
 pub mod engine;
 pub mod link;
+pub mod merge;
 pub mod node;
 pub mod packet;
 pub mod pcap;
@@ -44,8 +45,9 @@ pub mod topology;
 pub mod trace;
 
 pub use counters::{DropReason, NetCounters};
-pub use engine::{HostConfig, Network, NetworkConfig};
+pub use engine::{splitmix64, stream_seed, HostConfig, Network, NetworkConfig};
 pub use link::LinkProfile;
+pub use merge::Merge;
 pub use node::{Node, NodeCtx};
 pub use packet::{Packet, TcpFlags, TcpOptions, TcpSegment, Transport, UdpDatagram};
 pub use prefix::Prefix;

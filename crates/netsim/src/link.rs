@@ -65,7 +65,10 @@ impl LinkProfile {
 
     /// Sample the fate of one traversal: `None` = lost; `Some((d, dup))` =
     /// delivered after `d`, plus an optional duplicate delivered after `dup`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(SimDuration, Option<SimDuration>)> {
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(SimDuration, Option<SimDuration>)> {
         if self.loss > 0.0 && rng.gen_bool(self.loss.clamp(0.0, 1.0)) {
             return None;
         }
@@ -126,7 +129,10 @@ mod tests {
         let l = LinkProfile::lossy(0.3);
         let delivered = (0..10_000).filter(|_| l.sample(&mut rng).is_some()).count();
         // 70% ± 2.5% delivery over 10k samples.
-        assert!((6_750..=7_250).contains(&delivered), "delivered = {delivered}");
+        assert!(
+            (6_750..=7_250).contains(&delivered),
+            "delivered = {delivered}"
+        );
     }
 
     #[test]

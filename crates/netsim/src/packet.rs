@@ -225,7 +225,10 @@ impl Packet {
         let l3 = if self.is_v6() { 40 } else { 20 };
         let (l4, payload) = match &self.transport {
             Transport::Udp(u) => (8, u.payload.len()),
-            Transport::Tcp(t) => (20 + if t.options.mss.is_some() { 12 } else { 0 }, t.payload.len()),
+            Transport::Tcp(t) => (
+                20 + if t.options.mss.is_some() { 12 } else { 0 },
+                t.payload.len(),
+            ),
         };
         l3 + l4 + payload
     }
@@ -252,7 +255,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "mixed address families")]
     fn mixed_family_panics() {
-        let _ = Packet::udp(v4("192.0.2.1"), "2001:db8::1".parse().unwrap(), 1, 2, vec![]);
+        let _ = Packet::udp(
+            v4("192.0.2.1"),
+            "2001:db8::1".parse().unwrap(),
+            1,
+            2,
+            vec![],
+        );
     }
 
     #[test]

@@ -297,7 +297,7 @@ mod tests {
         let tcp = &bytes[40..];
         assert_eq!(tcp[12] >> 4, 10);
         assert_eq!(tcp[13], 0x02); // SYN only
-        // Options begin with MSS kind/len and the value.
+                                   // Options begin with MSS kind/len and the value.
         assert_eq!(&tcp[20..24], &[2, 4, 0x05, 0xB4]);
         // TCP checksum verifies over the v6 pseudo-header.
         let mut pseudo = Vec::new();
@@ -323,8 +323,14 @@ mod tests {
         );
         let bytes = pcap_bytes(&trace, false);
         // Global header + exactly one record (Delivered only).
-        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 0xa1b2_c3d4);
-        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE_RAW);
+        assert_eq!(
+            u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            0xa1b2_c3d4
+        );
+        assert_eq!(
+            u32::from_le_bytes(bytes[20..24].try_into().unwrap()),
+            LINKTYPE_RAW
+        );
         let rec_len = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
         assert_eq!(bytes.len(), 24 + 16 + rec_len);
         assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 2); // ts_sec

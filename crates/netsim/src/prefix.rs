@@ -65,7 +65,10 @@ impl Prefix {
     pub fn new(ip: IpAddr, len: u8) -> Prefix {
         let (bits, v6) = ip_to_bits(ip);
         let width = if v6 { 128 } else { 32 };
-        assert!(len <= width, "prefix length {len} exceeds family width {width}");
+        assert!(
+            len <= width,
+            "prefix length {len} exceeds family width {width}"
+        );
         Prefix {
             bits: bits & mask(len, v6),
             len,
@@ -428,11 +431,17 @@ mod tests {
             "2002::1",
         ];
         for s in yes {
-            assert!(is_special_purpose(s.parse().unwrap()), "{s} should be special");
+            assert!(
+                is_special_purpose(s.parse().unwrap()),
+                "{s} should be special"
+            );
         }
         let no = ["8.8.8.8", "203.0.112.1", "2600::1", "2a00:1450::1"];
         for s in no {
-            assert!(!is_special_purpose(s.parse().unwrap()), "{s} should be routable");
+            assert!(
+                !is_special_purpose(s.parse().unwrap()),
+                "{s} should be routable"
+            );
         }
         assert!(is_loopback("127.0.0.1".parse().unwrap()));
         assert!(is_loopback("::1".parse().unwrap()));

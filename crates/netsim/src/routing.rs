@@ -70,7 +70,11 @@ impl<T: Copy> PrefixMap<T> {
 
     /// Insert (or replace) the value at `prefix`; returns the old value.
     pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
-        let root = if prefix.is_v6() { &mut self.v6 } else { &mut self.v4 };
+        let root = if prefix.is_v6() {
+            &mut self.v6
+        } else {
+            &mut self.v4
+        };
         let (key, plen) = prefix.key();
         let mut node = root;
         for i in 0..plen {

@@ -231,7 +231,10 @@ mod tests {
     fn from_secs_f64_handles_edge_cases() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
         assert_eq!(SimDuration::from_secs_f64(1e30).as_nanos(), u64::MAX);
     }
 
@@ -246,13 +249,23 @@ mod tests {
     fn add_saturates_at_max() {
         let t = SimTime::MAX + SimDuration::from_secs(1);
         assert_eq!(t, SimTime::MAX);
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_nanos(1)).is_some());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_nanos(1))
+            .is_some());
     }
 
     #[test]
     fn div_and_mul() {
-        assert_eq!(SimDuration::from_secs(10).div(4), SimDuration::from_millis(2500));
-        assert_eq!(SimDuration::from_millis(3).mul(4), SimDuration::from_millis(12));
+        assert_eq!(
+            SimDuration::from_secs(10).div(4),
+            SimDuration::from_millis(2500)
+        );
+        assert_eq!(
+            SimDuration::from_millis(3).mul(4),
+            SimDuration::from_millis(12)
+        );
     }
 }

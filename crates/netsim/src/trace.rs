@@ -110,6 +110,28 @@ impl Trace {
         self.entries.iter().filter(move |e| pred(e))
     }
 
+    /// Fold another capture into this one: entries are interleaved by
+    /// timestamp (stable — at equal times `self` entries come first), the
+    /// larger capacity wins, and everything beyond it counts as overflow.
+    pub fn absorb(&mut self, other: Trace) {
+        self.capacity = self.capacity.max(other.capacity);
+        self.overflowed += other.overflowed;
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut rhs = other.entries.into_iter().peekable();
+        for e in self.entries.drain(..) {
+            while rhs.peek().is_some_and(|r| r.time < e.time) {
+                merged.push(rhs.next().unwrap());
+            }
+            merged.push(e);
+        }
+        merged.extend(rhs);
+        if merged.len() > self.capacity {
+            self.overflowed += (merged.len() - self.capacity) as u64;
+            merged.truncate(self.capacity);
+        }
+        self.entries = merged;
+    }
+
     /// Render the whole capture as text, one line per record.
     pub fn dump(&self) -> String {
         let mut s = String::new();
@@ -118,7 +140,10 @@ impl Trace {
             s.push('\n');
         }
         if self.overflowed > 0 {
-            s.push_str(&format!("... {} entries not captured (buffer full)\n", self.overflowed));
+            s.push_str(&format!(
+                "... {} entries not captured (buffer full)\n",
+                self.overflowed
+            ));
         }
         s
     }
@@ -158,6 +183,20 @@ mod tests {
         assert!(line.contains("DROP[dsav-ingress]"), "{line}");
         assert!(line.contains("192.0.2.1:40000 > 198.51.100.9:53"), "{line}");
         assert!(line.contains("len 12"), "{line}");
+    }
+
+    #[test]
+    fn absorb_interleaves_by_time_and_caps() {
+        let mut a = Trace::with_capacity(3);
+        a.record(SimTime::from_secs(1), TracePoint::Sent, &pkt());
+        a.record(SimTime::from_secs(3), TracePoint::Delivered, &pkt());
+        let mut b = Trace::with_capacity(2);
+        b.record(SimTime::from_secs(2), TracePoint::Sent, &pkt());
+        b.record(SimTime::from_secs(4), TracePoint::Sent, &pkt());
+        a.absorb(b);
+        let times: Vec<u64> = a.entries().iter().map(|e| e.time.as_secs()).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+        assert_eq!(a.overflowed, 1); // entry at t=4 fell past capacity 3
     }
 
     #[test]

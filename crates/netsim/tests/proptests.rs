@@ -20,7 +20,8 @@ fn any_ip() -> impl Strategy<Value = IpAddr> {
 
 fn any_prefix() -> impl Strategy<Value = Prefix> {
     prop_oneof![
-        (any::<u32>(), 0u8..=32).prop_map(|(v, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(v)), len)),
+        (any::<u32>(), 0u8..=32)
+            .prop_map(|(v, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(v)), len)),
         (any::<u128>(), 0u8..=128)
             .prop_map(|(v, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(v)), len)),
     ]

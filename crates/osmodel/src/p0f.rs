@@ -179,9 +179,18 @@ mod tests {
     #[test]
     fn every_os_signature_classifies_to_its_family() {
         let c = P0fClassifier::new();
-        assert_eq!(c.classify_signature(Os::LinuxModern.syn_signature()), P0fClass::Linux);
-        assert_eq!(c.classify_signature(Os::LinuxOld.syn_signature()), P0fClass::Linux);
-        assert_eq!(c.classify_signature(Os::FreeBsd.syn_signature()), P0fClass::FreeBsd);
+        assert_eq!(
+            c.classify_signature(Os::LinuxModern.syn_signature()),
+            P0fClass::Linux
+        );
+        assert_eq!(
+            c.classify_signature(Os::LinuxOld.syn_signature()),
+            P0fClass::Linux
+        );
+        assert_eq!(
+            c.classify_signature(Os::FreeBsd.syn_signature()),
+            P0fClass::FreeBsd
+        );
         assert_eq!(
             c.classify_signature(Os::WindowsModern.syn_signature()),
             P0fClass::Windows

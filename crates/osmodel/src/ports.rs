@@ -117,9 +117,7 @@ impl PortAllocator {
                 *next = (*next + 1) % *span;
                 port
             }
-            PortAllocator::Uniform { lo, size } => {
-                (*lo as u32 + rng.gen_range(0..*size)) as u16
-            }
+            PortAllocator::Uniform { lo, size } => (*lo as u32 + rng.gen_range(0..*size)) as u16,
             PortAllocator::WindowsPool { start } => {
                 let start_off = (*start - IANA_LO) as u32;
                 let off = (start_off + rng.gen_range(0..WINDOWS_POOL_SIZE)) % IANA_SIZE;

@@ -225,7 +225,8 @@ mod tests {
         let mut r = rng();
         let mut hits_32768 = 0;
         for _ in 0..1_000 {
-            if let PortAllocator::Fixed(p) = DnsSoftware::FixedPortOther.allocator(Os::LinuxModern, &mut r)
+            if let PortAllocator::Fixed(p) =
+                DnsSoftware::FixedPortOther.allocator(Os::LinuxModern, &mut r)
             {
                 if p == 32_768 {
                     hits_32768 += 1;

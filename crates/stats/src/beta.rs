@@ -19,7 +19,10 @@ pub struct Beta {
 impl Beta {
     /// Construct; panics on non-positive parameters.
     pub fn new(alpha: f64, beta: f64) -> Beta {
-        assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "Beta parameters must be positive"
+        );
         Beta {
             alpha,
             beta,

@@ -121,7 +121,10 @@ mod tests {
         let miss_fbsd_paper = fbsd.sf(16_331);
         let miss_linux_paper = linux.cdf(16_331);
         assert!(miss_fbsd_paper < 0.002, "{miss_fbsd_paper}");
-        assert!((0.01..0.06).contains(&miss_linux_paper), "{miss_linux_paper}");
+        assert!(
+            (0.01..0.06).contains(&miss_linux_paper),
+            "{miss_linux_paper}"
+        );
     }
 
     #[test]
@@ -136,7 +139,11 @@ mod tests {
             "cutoff = {}",
             c.cutoff
         );
-        assert!(c.miss_a + c.miss_b < 0.02, "total = {}", c.miss_a + c.miss_b);
+        assert!(
+            c.miss_a + c.miss_b < 0.02,
+            "total = {}",
+            c.miss_a + c.miss_b
+        );
     }
 
     #[test]

@@ -45,12 +45,17 @@ impl Histogram {
 
     /// Count in the bin containing `value`.
     pub fn count_at(&self, value: u32) -> u64 {
-        self.bins.get(&(value / self.bin_width)).copied().unwrap_or(0)
+        self.bins
+            .get(&(value / self.bin_width))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// `(bin_start, count)` pairs in ascending order, non-empty bins only.
     pub fn bars(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.bins.iter().map(move |(&b, &c)| (b * self.bin_width, c))
+        self.bins
+            .iter()
+            .map(move |(&b, &c)| (b * self.bin_width, c))
     }
 
     /// Restrict to values in `[lo, hi)` — the "zoomed" companion plots.
@@ -121,11 +126,8 @@ impl StackedHistogram {
 
     /// All categories seen, sorted.
     pub fn categories(&self) -> Vec<&'static str> {
-        let mut set: Vec<&'static str> = self
-            .bins
-            .values()
-            .flat_map(|m| m.keys().copied())
-            .collect();
+        let mut set: Vec<&'static str> =
+            self.bins.values().flat_map(|m| m.keys().copied()).collect();
         set.sort_unstable();
         set.dedup();
         set

@@ -43,10 +43,9 @@ pub fn exactly_unique(pool: u64, draws: u32, unique: u32) -> f64 {
         return 0.0;
     }
     // ln[C(s,u) · u!] = ln_choose + ln Γ(u+1)
-    let ln_term = ln_choose(pool, unique as u64)
-        + crate::gamma::ln_gamma(unique as f64 + 1.0)
-        + s2.ln()
-        - draws as f64 * (pool as f64).ln();
+    let ln_term =
+        ln_choose(pool, unique as u64) + crate::gamma::ln_gamma(unique as f64 + 1.0) + s2.ln()
+            - draws as f64 * (pool as f64).ln();
     ln_term.exp()
 }
 
@@ -82,7 +81,10 @@ mod tests {
     fn distribution_sums_to_one() {
         for (pool, draws) in [(10u64, 5u32), (200, 10), (65_536, 10)] {
             let total: f64 = (0..=draws).map(|u| exactly_unique(pool, draws, u)).sum();
-            assert!((total - 1.0).abs() < 1e-10, "pool {pool} draws {draws}: {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-10,
+                "pool {pool} draws {draws}: {total}"
+            );
         }
     }
 
@@ -141,10 +143,7 @@ mod tests {
         for u in 5..=draws {
             let mc = counts[u as usize] as f64 / trials as f64;
             let exact = exactly_unique(pool, draws, u);
-            assert!(
-                (mc - exact).abs() < 0.01,
-                "u={u}: mc {mc} vs exact {exact}"
-            );
+            assert!((mc - exact).abs() < 0.01, "u={u}: mc {mc} vs exact {exact}");
         }
     }
 

@@ -219,8 +219,14 @@ pub fn build(cfg: WorldConfig) -> World {
     // f4: IPv4-only server; f6: IPv6-only; tcp: dual-stack TC zone.
     let mut follow_hosts = Vec::new();
     for (addrs, zone) in [
-        (vec![f4_addr], Zone::new(f4_apex.clone(), ZoneMode::Nxdomain)),
-        (vec![f6_addr], Zone::new(f6_apex.clone(), ZoneMode::Nxdomain)),
+        (
+            vec![f4_addr],
+            Zone::new(f4_apex.clone(), ZoneMode::Nxdomain),
+        ),
+        (
+            vec![f6_addr],
+            Zone::new(f6_apex.clone(), ZoneMode::Nxdomain),
+        ),
         (
             vec![tcp_v4, tcp_v6],
             Zone::new(tcp_apex.clone(), ZoneMode::TruncateUdp),
@@ -296,9 +302,7 @@ pub fn build(cfg: WorldConfig) -> World {
     for i in 0..cfg.n_as {
         let asn = Asn(FIRST_MEASURED_ASN + i as u32);
         let country = sample_country(&mut rng);
-        let profile = country
-            .profile()
-            .unwrap_or(&COUNTRIES[COUNTRIES.len() - 1]);
+        let profile = country.profile().unwrap_or(&COUNTRIES[COUNTRIES.len() - 1]);
         // Heavy-tailed target count around the country mean.
         let mean = (profile.targets_per_as * cfg.target_scale).max(1.0);
         let shape: f64 = rng.gen_range(0.25..2.5);

@@ -119,7 +119,7 @@ impl WorldConfig {
             ensure_responsive_prob: 0.90,
             v6_accept_multiplier: 1.5,
             v4_accept_multiplier: 0.80,
-            forward_fraction_v4: 0.33,
+            forward_fraction_v4: 0.47,
             forward_fraction_v6: 0.16,
             forwarder_open_fraction: 0.74,
             qmin_fraction: 0.0016,

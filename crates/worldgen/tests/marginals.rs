@@ -80,7 +80,10 @@ fn every_no_dsav_as_with_targets_usually_has_a_responsive_resolver() {
     }
     let frac = with_responsive as f64 / with_targets as f64;
     // ensure_responsive_prob = 0.90 plus organic responsiveness.
-    assert!(frac > 0.85, "only {frac:.2} of no-DSAV ASes have a live handler");
+    assert!(
+        frac > 0.85,
+        "only {frac:.2} of no-DSAV ASes have a live handler"
+    );
 }
 
 #[test]

@@ -21,9 +21,7 @@ fn main() {
     let guesses = 16_384;
 
     println!("== Kaminsky-style poisoning vs source-port randomization ==\n");
-    println!(
-        "attack budget: {budget_rounds} induced queries x {guesses} forged responses each\n"
-    );
+    println!("attack budget: {budget_rounds} induced queries x {guesses} forged responses each\n");
 
     println!("victim 1: closed resolver, fixed source port 53 (port known from survey)");
     let fixed = run_poisoning_attack(PoisonConfig {

@@ -22,21 +22,26 @@ fn main() {
 
     // Pick one vulnerable and one apparently-filtered AS to showcase.
     let reached = reach.reached_asns_all();
-    let vulnerable = reached.iter().max_by_key(|asn| {
-        reach.reached.values().filter(|h| h.asn == **asn).count()
-    });
+    let vulnerable = reached
+        .iter()
+        .max_by_key(|asn| reach.reached.values().filter(|h| h.asn == **asn).count());
     let filtered = data
         .world
         .measured_asns
         .iter()
         .find(|a| !reached.contains(a));
 
-    for asn in [vulnerable.copied(), filtered.copied()].into_iter().flatten() {
+    for asn in [vulnerable.copied(), filtered.copied()]
+        .into_iter()
+        .flatten()
+    {
         let report = SelfCheck::assess(asn, &data.targets, &reach, &oc, &ports);
         println!("{report}");
         // Cross-check against the simulation's ground truth.
         let truth = data.world.truly_lacks_dsav(asn);
-        if report.verdict == Verdict::Vulnerable { assert!(truth, "self-check false positive") }
+        if report.verdict == Verdict::Vulnerable {
+            assert!(truth, "self-check false positive")
+        }
         println!(
             "(ground truth: this AS {} DSAV)\n",
             if truth { "lacks" } else { "deploys" }

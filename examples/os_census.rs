@@ -49,7 +49,10 @@ fn main() {
             e.1 += 1;
         }
     }
-    println!("{:<38} {:>7} {:>14}", "identification", "count", "p0f-confirmed");
+    println!(
+        "{:<38} {:>7} {:>14}",
+        "identification", "count", "p0f-confirmed"
+    );
     for (band, (count, confirmed)) in &by_os {
         println!("{:<38} {:>7} {:>14}", band, count, confirmed);
     }

@@ -13,7 +13,10 @@ fn main() {
     // A small world: ~100 ASes. Seeds make everything reproducible.
     let mut cfg = ExperimentConfig::tiny(42);
     cfg.world.n_as = 100;
-    println!("building a {}-AS synthetic Internet and scanning it...", cfg.world.n_as);
+    println!(
+        "building a {}-AS synthetic Internet and scanning it...",
+        cfg.world.n_as
+    );
 
     let data = Experiment::run(cfg);
     println!(

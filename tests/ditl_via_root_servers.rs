@@ -5,11 +5,11 @@
 //! the paper's target-extraction pipeline produces the same targets either
 //! way.
 
+use behind_closed_doors::core::targets::TargetSet;
 use behind_closed_doors::dns::log::shared_log;
 use behind_closed_doors::dns::{
     Acl, AuthServer, AuthServerConfig, RecursiveResolver, ResolverConfig, Zone, ZoneMode,
 };
-use behind_closed_doors::core::targets::TargetSet;
 use behind_closed_doors::dnswire::{Name, RType};
 use behind_closed_doors::netsim::{
     Asn, BorderPolicy, HostConfig, LinkProfile, Network, NetworkConfig, SimDuration, StackPolicy,

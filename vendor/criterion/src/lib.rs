@@ -1,0 +1,149 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace points its
+//! `criterion` dev-dependency here. It implements the subset the benches
+//! use — `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — as a plain wall-clock timer: each benchmark
+//! runs a short warm-up, then `sample_size` timed samples, and prints
+//! min/median/mean per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    /// Mean per-iteration time of the final measurement, populated by
+    /// [`Bencher::iter`].
+    sample: Option<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure the closure. Runs a warm-up pass, then enough iterations per
+    /// sample to be timeable, collecting `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: how many iterations fit in ~50 ms?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / per_sample as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        self.sample = Some(median);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        match b.sample {
+            Some(median) => println!(
+                "{}/{}: median {} per iteration",
+                self.name,
+                id,
+                fmt_duration(median)
+            ),
+            None => println!(
+                "{}/{}: no measurement (iter was never called)",
+                self.name, id
+            ),
+        }
+        let _ = &self.criterion;
+        self
+    }
+
+    /// End the group (upstream requires this; here it is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

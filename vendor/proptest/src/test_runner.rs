@@ -1,0 +1,94 @@
+//! The case runner: configuration, RNG, and the pass/reject/fail protocol.
+
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG driving generation.
+pub type TestRng = ChaCha8Rng;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this input out.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runs the closure over `cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        // Deterministic per-test seed: FNV-1a over the test name, so
+        // failures are reproducible run-to-run without a persistence file.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            name,
+            rng: <TestRng as rand::SeedableRng>::seed_from_u64(h),
+        }
+    }
+
+    /// Drive the property. Panics (failing the surrounding `#[test]`) on the
+    /// first failing case; panics if too many inputs are rejected.
+    pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let max_rejects = (self.config.cases as u64).saturating_mul(16).max(1024);
+        while passed < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest `{}`: too many rejected inputs ({rejected}) — \
+                             prop_assume! filter is too strict",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{}` failed after {passed} passing case(s): {msg} \
+                         (offline vendored runner: no shrinking)",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}

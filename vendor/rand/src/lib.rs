@@ -1,0 +1,403 @@
+//! Offline vendored stand-in for the `rand` 0.8 API surface this workspace
+//! uses. The build environment has no registry access, so the workspace
+//! points its `rand` dependency at this crate. It implements the exact
+//! subset the codebase exercises — `RngCore`/`SeedableRng`, the `Rng`
+//! extension trait (`gen`, `gen_range`, `gen_bool`), `seq::SliceRandom`
+//! shuffling, and `thread_rng` — with the standard splitmix64-based
+//! `seed_from_u64` expansion so seeding behaves like upstream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// splitmix64 — the seed-expansion mix used by upstream `seed_from_u64`.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via splitmix64 (upstream-compatible
+    /// construction: successive 32-bit words of successive outputs).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut src = state;
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let word = (splitmix64(&mut src) & 0xFFFF_FFFF) as u32;
+            for (b, v) in chunk.iter_mut().zip(word.to_le_bytes()) {
+                *b = v;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::gen`].
+pub trait FromRandom {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! from_random_uint {
+    ($($t:ty => $m:ident),* $(,)?) => {$(
+        impl FromRandom for $t {
+            fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+from_random_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64, usize => next_u64);
+from_random_uint!(i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64, isize => next_u64);
+
+impl FromRandom for u128 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl FromRandom for i128 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> i128 {
+        u128::from_random(rng) as i128
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (upstream `Standard`).
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> FromRandom for [u8; N] {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    // Modulo reduction; the bias is < span / 2^128, negligible for every
+    // span this workspace draws.
+    debug_assert!(span > 0);
+    u128::from_random(rng) % span
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                // Offset into unsigned space so signed ranges work too.
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = (hi_w - lo_w) as u128 + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample from empty range");
+                (lo_w + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: u128,
+        hi: u128,
+        inclusive: bool,
+    ) -> u128 {
+        if inclusive && lo == 0 && hi == u128::MAX {
+            return u128::from_random(rng);
+        }
+        let span = hi - lo + if inclusive { 1 } else { 0 };
+        assert!(span > 0, "cannot sample from empty range");
+        lo + uniform_u128(rng, span)
+    }
+}
+
+impl SampleUniform for i128 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: i128,
+        hi: i128,
+        inclusive: bool,
+    ) -> i128 {
+        let span = hi.wrapping_sub(lo) as u128 + if inclusive { 1 } else { 0 };
+        assert!(span > 0, "cannot sample from empty range");
+        lo.wrapping_add(uniform_u128(rng, span) as i128)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64, _inclusive: bool) -> f64 {
+        assert!(lo < hi || (_inclusive && lo <= hi), "empty float range");
+        lo + (hi - lo) * f64::from_random(rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32, _inclusive: bool) -> f32 {
+        assert!(lo < hi || (_inclusive && lo <= hi), "empty float range");
+        lo + (hi - lo) * f32::from_random(rng)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Clone> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// High-level random-value methods, blanket-implemented for every bit
+/// source.
+pub trait Rng: RngCore {
+    fn gen<T: FromRandom>(&mut self) -> T {
+        T::from_random(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    fn fill<T: AsMut<[u8]>>(&mut self, dest: &mut T) {
+        self.fill_bytes(dest.as_mut());
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence helpers (`shuffle`, `choose`).
+
+    use super::{Rng, SampleUniform};
+
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        /// Fisher–Yates, matching upstream's iteration order.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_uniform(rng, 0, i, true);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_uniform(rng, 0, self.len() - 1, true)])
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small fast non-cryptographic generator (xoshiro-free: iterated
+    /// splitmix64, which passes the statistical needs of a test stand-in).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> SmallRng {
+            SmallRng {
+                state: u64::from_le_bytes(seed),
+            }
+        }
+    }
+
+    /// Stand-in for upstream's thread-local generator. Deterministic per
+    /// process but distinct across calls.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) SmallRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+/// A fresh generator with a process-unique seed.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5EED_0000_0000_0000);
+    let mut state = COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    let seed = splitmix64(&mut state);
+    rngs::ThreadRng(rngs::SmallRng::from_seed(seed.to_le_bytes()))
+}
+
+/// One random value from the thread-local generator.
+pub fn random<T: FromRandom>() -> T {
+    T::from_random(&mut thread_rng())
+}
+
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut s = self.0;
+            splitmix64(&mut s)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: u16 = rng.gen_range(200u16..60000);
+            assert!((200..60000).contains(&v));
+            let w: u8 = rng.gen_range(b'a'..=b'z');
+            assert!(w.is_ascii_lowercase());
+            let f: f64 = rng.gen_range(0.25..2.5);
+            assert!((0.25..2.5).contains(&f));
+            let u: u128 = rng.gen_range(2..100u128);
+            assert!((2..100).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Counter(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_rngs_differ() {
+        let mut a = thread_rng();
+        let mut b = thread_rng();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
