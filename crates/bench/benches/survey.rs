@@ -21,6 +21,21 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
+    // The Topology/Runtime split's economics: `build` pays for world
+    // generation (AS table, routing, host configs, DITL traces) exactly
+    // once; `spawn` is what each additional shard pays — blueprint
+    // instantiation plus engine state, over the same shared topology.
+    let mut g = c.benchmark_group("worldgen_build");
+    g.sample_size(10);
+    g.bench_function("build_tiny", |b| {
+        b.iter(|| build::build(WorldConfig::tiny(1)).topo.host_count())
+    });
+    let world = build::build(WorldConfig::tiny(1));
+    g.bench_function("spawn_runtime_tiny", |b| {
+        b.iter(|| world.spawn().net.host_count())
+    });
+    g.finish();
+
     // The sharding layer on the paper-shape world: identical output (see
     // tests/shard_equivalence.rs), wall-clock compared 1 vs N engines.
     let mut g = c.benchmark_group("survey_sharded");

@@ -205,6 +205,8 @@ pub fn run_poisoning_attack(cfg: PoisonConfig) -> PoisonOutcome {
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
+            identity_draw_salt: None,
+            preload_cuts: Vec::new(),
         })),
     );
 

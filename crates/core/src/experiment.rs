@@ -13,12 +13,13 @@ use crate::sources::SourcePlan;
 use crate::targets::TargetSet;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
-use bcd_netsim::{stream_seed, HostConfig, SimDuration, SimTime, StackPolicy};
-use bcd_worldgen::{World, WorldConfig};
+use bcd_netsim::{stream_seed, HostConfig, NetCounters, SimDuration, SimTime, StackPolicy, Trace};
+use bcd_worldgen::{World, WorldConfig, WorldRuntime};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Experiment parameters (§3.4–§3.5 knobs).
 #[derive(Debug, Clone)]
@@ -57,6 +58,8 @@ pub struct ExperimentConfig {
     /// partitioned by destination AS and run on one engine per shard;
     /// results merge deterministically, so every analysis and report is
     /// byte-identical for 1 and N shards. 1 = classic single-engine run.
+    /// The constructors honour the `BCD_SHARDS` environment variable, which
+    /// is how CI runs the whole test suite sharded.
     pub shards: usize,
 }
 
@@ -76,7 +79,7 @@ impl ExperimentConfig {
             outages: Vec::new(),
             category_filter: None,
             wildcard_zone: false,
-            shards: 1,
+            shards: shard::shards_from_env().unwrap_or(1),
         }
     }
 
@@ -92,7 +95,9 @@ impl ExperimentConfig {
 
 /// Everything the analyses need, owned.
 pub struct ExperimentData {
-    pub world: World,
+    /// The immutable generated world, shared with any still-live shard
+    /// engines (all of them are gone by the time `run` returns).
+    pub world: Arc<World>,
     pub targets: TargetSet,
     pub codec: QnameCodec,
     /// Snapshot of the experiment estate's query log.
@@ -102,9 +107,14 @@ pub struct ExperimentData {
     pub scanner_responses: Vec<(SimTime, IpAddr, RCode)>,
     /// All public DNS addresses (v4 + v6), for middlebox attribution.
     pub public_dns: Vec<IpAddr>,
-    /// Total engine events processed, summed over all shards (the kept
-    /// world's own counter covers only shard 0).
+    /// Total engine events processed, summed over all shards.
     pub events: u64,
+    /// Packet counters, summed over all shards.
+    pub counters: NetCounters,
+    /// True if any shard hit its event budget.
+    pub budget_exhausted: bool,
+    /// Merged packet capture, when the world config enables one.
+    pub trace: Option<Trace>,
     pub cfg: ExperimentConfig,
 }
 
@@ -115,7 +125,7 @@ impl ExperimentData {
             log: &self.entries,
             codec: &self.codec,
             targets: &self.targets,
-            routes: &self.world.net.routes,
+            routes: self.world.topo.routes(),
             geo: &self.world.geo,
             scanner_v4: self.world.scanner.v4,
             scanner_v6: self.world.scanner.v6,
@@ -138,19 +148,19 @@ impl Experiment {
     /// Run the full methodology and return the collected data.
     ///
     /// With `cfg.shards > 1` the schedule is partitioned by destination AS
-    /// (see [`crate::shard`]) and each shard runs on its own thread against
-    /// an identical world rebuilt from the config; outcomes merge
+    /// (see [`crate::shard`]) and each shard runs on its own thread. The
+    /// world is generated exactly once; every shard spawns a cheap
+    /// [`WorldRuntime`] over the same shared `Arc<Topology>`. Outcomes merge
     /// deterministically, so the returned data — and everything rendered
     /// from it — is byte-identical to a single-shard run.
     pub fn run(cfg: ExperimentConfig) -> ExperimentData {
-        let shards = cfg.shards.max(1);
         let mut world = bcd_worldgen::build::build(cfg.world.clone());
         if cfg.wildcard_zone {
             bcd_worldgen::build::set_experiment_zone_wildcard(&mut world);
         }
 
         // §3.1: extract targets from the DITL trace.
-        let targets = TargetSet::extract(&world.ditl2019, &world.net.routes);
+        let targets = TargetSet::extract(&world.ditl2019, world.topo.routes());
 
         // §3.2: spoofed-source plans.
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.world.seed.wrapping_add(2));
@@ -159,7 +169,7 @@ impl Experiment {
             .map(|t| {
                 let mut plan = SourcePlan::build_with_hitlist(
                     t.addr,
-                    &world.net.routes,
+                    world.topo.routes(),
                     &world.v6_hitlist,
                     &mut rng,
                 );
@@ -187,30 +197,31 @@ impl Experiment {
             .fold(SimDuration::ZERO, |acc, (_, len)| acc + *len);
         let run_until = schedule.end + outage_total + cfg.drain;
 
-        let mut parts = shard::partition_schedule(&schedule, &asn_of, shards);
+        // The partitioner clamps the effective shard count to the distinct
+        // destination ASes — surplus shards would only simulate an empty
+        // horizon.
+        let mut parts = shard::partition_schedule(&schedule, &asn_of, cfg.shards.max(1));
+        let shards = parts.len();
 
-        // Shards 1.. run on worker threads, each in its own engine over an
-        // identical world rebuilt from the config (worldgen is a pure
-        // function of the seed). Shard 0 runs here, in the world we keep.
+        // Worldgen ran once; from here on the world is frozen and shared.
+        let world = Arc::new(world);
+
+        // Shards 1.. run on worker threads, each spawning its own runtime
+        // (fresh nodes + logs) over the shared topology. Shard 0 runs here.
         let workers: Vec<std::thread::JoinHandle<ShardOutcome>> = (1..shards)
             .map(|sid| {
                 let cfg = cfg.clone();
                 let part = std::mem::take(&mut parts[sid]);
                 let asn_of = asn_of.clone();
+                let world = Arc::clone(&world);
                 std::thread::Builder::new()
                     .name(format!("bcd-shard-{sid}"))
-                    .spawn(move || {
-                        let mut w = bcd_worldgen::build::build(cfg.world.clone());
-                        if cfg.wildcard_zone {
-                            bcd_worldgen::build::set_experiment_zone_wildcard(&mut w);
-                        }
-                        run_shard(&mut w, &cfg, sid, part, asn_of, run_until)
-                    })
+                    .spawn(move || run_shard(&world, &cfg, sid, part, asn_of, run_until))
                     .expect("spawn shard thread")
             })
             .collect();
         let part0 = std::mem::take(&mut parts[0]);
-        let shard0 = run_shard(&mut world, &cfg, 0, part0, asn_of, run_until);
+        let shard0 = run_shard(&world, &cfg, 0, part0, asn_of, run_until);
 
         // Deterministic merge, always in shard-id order.
         let mut outcomes = vec![shard0];
@@ -218,8 +229,6 @@ impl Experiment {
             outcomes.push(w.join().expect("shard thread panicked"));
         }
         let merged = shard::merge_outcomes(outcomes);
-        world.net.counters = merged.counters;
-        world.net.budget_exhausted |= merged.budget_exhausted;
 
         let public_dns: Vec<IpAddr> = world
             .public_dns_v4
@@ -237,23 +246,28 @@ impl Experiment {
             scanner_responses: merged.responses,
             public_dns,
             events: merged.events,
+            counters: merged.counters,
+            budget_exhausted: merged.budget_exhausted,
+            trace: merged.trace,
             cfg,
         }
     }
 }
 
-/// Run one shard's slice of the schedule to completion in `world` and
-/// collect its `Send`-able outcome. §3.3/§3.5: codec + scanner node at the
-/// reserved vantage (the codec is rebuilt per world; apex and keyword are
-/// seed-determined, so every shard encodes identically).
+/// Spawn a fresh runtime over the shared world, run one shard's slice of
+/// the schedule to completion, and collect its `Send`-able outcome.
+/// §3.3/§3.5: codec + scanner node at the reserved vantage (the codec is
+/// rebuilt per shard; apex and keyword are seed-determined, so every shard
+/// encodes identically).
 fn run_shard(
-    world: &mut World,
+    world: &World,
     cfg: &ExperimentConfig,
     shard_id: usize,
     schedule: Schedule,
     asn_of: HashMap<IpAddr, u32>,
     run_until: SimTime,
 ) -> ShardOutcome {
+    let mut wrt: WorldRuntime = world.spawn();
     let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
     let human_noise = if cfg.world.human_lookup_fraction > 0.0 {
         Some(HumanNoise {
@@ -270,7 +284,7 @@ fn run_shard(
         schedule,
         asn_of,
         poll_interval: cfg.poll_interval,
-        log: world.log.clone(),
+        log: wrt.log.clone(),
         followups_per_family: cfg.followups_per_family,
         lab_v4: world.auth.lab_v4,
         lab_v6: world.auth.lab_v6,
@@ -279,7 +293,10 @@ fn run_shard(
         opt_outs: cfg.opt_outs.clone(),
         outages: cfg.outages.clone(),
     };
-    let scanner_host = world.net.add_host(
+    // The scanner is a runtime-local host: it rides on top of the shared
+    // topology (same host id and RNG stream in every shard) without
+    // mutating it.
+    let scanner_host = wrt.net.add_host(
         HostConfig {
             addrs: vec![world.scanner.v4, world.scanner.v6],
             asn: world.scanner.asn,
@@ -290,22 +307,23 @@ fn run_shard(
     // Per-shard stream for the engine's link-fault noise; host streams stay
     // seed-derived (see `bcd_netsim::stream_seed`), which is what keeps
     // per-target behaviour shard-invariant.
-    world.net.reseed_noise(stream_seed(
+    wrt.net.reseed_noise(stream_seed(
         cfg.world.seed,
         SHARD_NOISE_STREAM ^ shard_id as u64,
     ));
-    world.net.run_until(run_until);
+    wrt.net.run_until(run_until);
 
-    let scanner = world
-        .net
-        .node::<Scanner>(scanner_host)
-        .expect("scanner node");
+    let entries = wrt.log.borrow().entries().to_vec();
+    let scanner = wrt.net.node::<Scanner>(scanner_host).expect("scanner node");
+    let scanner_stats = scanner.stats.clone();
+    let responses = scanner.responses.clone();
     ShardOutcome {
-        entries: world.log.borrow().entries().to_vec(),
-        scanner_stats: scanner.stats.clone(),
-        responses: scanner.responses.clone(),
-        counters: world.net.counters.clone(),
-        events: world.net.events_processed(),
-        budget_exhausted: world.net.budget_exhausted,
+        entries,
+        scanner_stats,
+        responses,
+        counters: wrt.net.counters.clone(),
+        events: wrt.net.events_processed(),
+        budget_exhausted: wrt.net.budget_exhausted,
+        trace: wrt.net.trace.take(),
     }
 }

@@ -121,6 +121,8 @@ pub fn measure_ports(software: DnsSoftware, os: Os, n_queries: usize, seed: u64)
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
+            identity_draw_salt: None,
+            preload_cuts: Vec::new(),
         })),
     );
 

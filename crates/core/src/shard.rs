@@ -28,7 +28,7 @@ use crate::scanner::ScannerStats;
 use crate::schedule::Schedule;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
-use bcd_netsim::{Merge, NetCounters, SimTime};
+use bcd_netsim::{Merge, NetCounters, SimTime, Trace};
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -59,12 +59,26 @@ pub fn shard_of_asn(asn: u32, shards: usize) -> usize {
 /// within each shard is preserved, and every part carries the *global*
 /// schedule end so all shards simulate the same horizon. Targets with no
 /// ASN attribution hash as ASN 0.
+///
+/// The effective shard count is clamped to the number of distinct
+/// destination ASes: with fewer ASes than requested shards, the surplus
+/// shards could only ever receive empty schedules, yet each would still
+/// spin up an engine and simulate the full horizon. The returned vector's
+/// length *is* the effective shard count. Clamping preserves the
+/// equivalence contract — partitioning is per-AS, so any shard count
+/// yields the same merged result.
 pub fn partition_schedule(
     schedule: &Schedule,
     asn_of: &HashMap<IpAddr, u32>,
     shards: usize,
 ) -> Vec<Schedule> {
-    let shards = shards.max(1);
+    let distinct_asns = schedule
+        .queries
+        .iter()
+        .map(|q| asn_of.get(&q.target).copied().unwrap_or(0))
+        .collect::<std::collections::HashSet<u32>>()
+        .len();
+    let shards = shards.max(1).min(distinct_asns.max(1));
     let mut parts: Vec<Schedule> = (0..shards)
         .map(|_| Schedule {
             queries: Vec::new(),
@@ -136,6 +150,8 @@ pub struct ShardOutcome {
     pub counters: NetCounters,
     pub events: u64,
     pub budget_exhausted: bool,
+    /// Packet capture, when the world config enables one.
+    pub trace: Option<Trace>,
 }
 
 /// Fold shard outcomes (in shard-id order) into one logical run.
@@ -150,6 +166,7 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         counters: NetCounters::default(),
         events: 0,
         budget_exhausted: false,
+        trace: None,
     };
     for o in outcomes {
         merged.entries.extend(o.entries);
@@ -158,6 +175,11 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         merged.counters.merge(o.counters);
         merged.events += o.events;
         merged.budget_exhausted |= o.budget_exhausted;
+        match (&mut merged.trace, o.trace) {
+            (Some(t), Some(other)) => t.merge(other),
+            (t @ None, Some(other)) => *t = Some(other),
+            _ => {}
+        }
     }
     canonical_sort(&mut merged.entries);
     merged.responses.sort_by_key(|r| (r.0, r.1));
@@ -219,6 +241,29 @@ mod tests {
         let parts = partition_schedule(&s, &asn_of, 1);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].queries, s.queries);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_distinct_destination_ases() {
+        // 500 queries over 17 distinct ASNs: asking for 64 shards must not
+        // produce 47 empty engines.
+        let (s, asn_of) = sched(500);
+        let parts = partition_schedule(&s, &asn_of, 64);
+        assert_eq!(parts.len(), 17);
+        assert_eq!(parts.iter().map(|p| p.queries.len()).sum::<usize>(), 500);
+        // Still grouped per AS.
+        for (sid, part) in parts.iter().enumerate() {
+            for q in &part.queries {
+                assert_eq!(shard_of_asn(asn_of[&q.target], 17), sid);
+            }
+        }
+        // An empty schedule clamps to a single (empty) shard.
+        let empty = Schedule {
+            queries: Vec::new(),
+            end: s.end,
+        };
+        let parts = partition_schedule(&empty, &asn_of, 8);
+        assert_eq!(parts.len(), 1);
     }
 
     #[test]

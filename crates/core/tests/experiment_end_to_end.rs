@@ -55,13 +55,11 @@ fn reachability_finds_most_responsive_direct_targets() {
         let as_ok = data.world.truly_lacks_dsav(meta.asn);
         let savi = data
             .world
-            .net
             .as_info(meta.asn)
             .map(|a| a.policy.subnet_savi)
             .unwrap_or(false);
         let mbx = data
             .world
-            .net
             .as_info(meta.asn)
             .map(|a| a.dns_interceptor.is_some())
             .unwrap_or(false);
@@ -103,7 +101,6 @@ fn open_closed_classification_matches_truth() {
         // paper's measurement would see the same.
         let mbx = data
             .world
-            .net
             .as_info(meta.asn)
             .map(|a| a.dns_interceptor.is_some())
             .unwrap_or(false);
@@ -178,7 +175,6 @@ fn forwarding_detection_matches_truth() {
         // targets whose queries surface from the proxy's upstream.
         let mbx = data
             .world
-            .net
             .as_info(meta.asn)
             .map(|a| a.dns_interceptor.is_some())
             .unwrap_or(false);
@@ -198,7 +194,6 @@ fn local_infiltration_respects_stack_models() {
     let local = LocalInfiltrationReport::compute(&reach);
     let behind_mbx = |asn| {
         data.world
-            .net
             .as_info(asn)
             .map(|a| a.dns_interceptor.is_some())
             .unwrap_or(false)

@@ -1,10 +1,18 @@
 //! Shard-count invariance (the sharding layer's contract).
 //!
 //! A sharded survey partitions probes by destination AS, runs one engine
-//! per shard, and merges the artifacts deterministically. These tests lock
-//! in the observable guarantee: the headline and the two most
-//! merge-sensitive tables render *byte-identically* for 1, 2, and 8 shards
-//! — across seeds, so the invariance is not an accident of one topology.
+//! per shard over the *same* shared world, and merges the artifacts
+//! deterministically. These tests lock in the observable guarantees:
+//!
+//! * the headline and the two most merge-sensitive tables render
+//!   *byte-identically* for 1, 2, and 8 shards — across seeds, so the
+//!   invariance is not an accident of one topology;
+//! * the *raw* merged log-entry count is *equal* at every shard count.
+//!   Entry counts are the sharpest invariant: the shared public-DNS hosts
+//!   relay queries from many ASes, and before their upstream draws were
+//!   derived from query identity (and pending queries demuxed by
+//!   `(txid, sport)`), rare txid collisions made one-in-a-thousand probes
+//!   retry — or not — depending on the shard layout.
 
 use bcd_core::analysis::categories::CategoryReport;
 use bcd_core::analysis::openclosed::OpenClosedReport;
@@ -12,7 +20,7 @@ use bcd_core::analysis::ports::PortReport;
 use bcd_core::analysis::reachability::Reachability;
 use bcd_core::{report, Experiment, ExperimentConfig};
 
-fn renders(seed: u64, shards: usize) -> [String; 3] {
+fn run(seed: u64, shards: usize) -> (usize, [String; 3]) {
     let mut cfg = ExperimentConfig::tiny(seed);
     cfg.shards = shards;
     let data = Experiment::run(cfg);
@@ -21,19 +29,27 @@ fn renders(seed: u64, shards: usize) -> [String; 3] {
     let cats = CategoryReport::compute(&reach);
     let oc = OpenClosedReport::compute(&input, &reach);
     let ports = PortReport::compute(&input, &oc);
-    [
-        report::render_headline(&data.targets, &reach),
-        report::render_table3(&cats),
-        report::render_table4(&ports),
-    ]
+    (
+        data.entries.len(),
+        [
+            report::render_headline(&data.targets, &reach),
+            report::render_table3(&cats),
+            report::render_table4(&ports),
+        ],
+    )
 }
 
 #[test]
-fn renders_are_shard_count_invariant() {
+fn renders_and_entry_counts_are_shard_count_invariant() {
     for seed in [11u64, 2019] {
-        let single = renders(seed, 1);
+        let (count1, single) = run(seed, 1);
+        assert!(count1 > 0, "seed {seed} produced an empty log");
         for shards in [2usize, 8] {
-            let sharded = renders(seed, shards);
+            let (count_n, sharded) = run(seed, shards);
+            assert_eq!(
+                count1, count_n,
+                "raw merged entry count differs between 1 and {shards} shards at seed {seed}"
+            );
             for (one, many) in single.iter().zip(sharded.iter()) {
                 assert_eq!(
                     one, many,

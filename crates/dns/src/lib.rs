@@ -18,6 +18,7 @@
 //! * [`StubClient`] — a lab client for the controlled experiments of §5.3.
 
 pub mod auth;
+pub mod blueprint;
 pub mod cache;
 pub mod interceptor;
 pub mod log;
@@ -26,6 +27,7 @@ pub mod stub;
 pub mod zone;
 
 pub use auth::{AuthServer, AuthServerConfig};
+pub use blueprint::NodeBlueprint;
 pub use interceptor::Interceptor;
 pub use log::{LogProto, QueryLog, QueryLogEntry, SharedLog};
 pub use resolver::{Acl, RecursiveResolver, ResolverConfig};

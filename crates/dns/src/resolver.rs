@@ -21,7 +21,9 @@
 
 use crate::cache::Cache;
 use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
-use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, TcpFlags, TcpSegment, Transport};
+use bcd_netsim::{
+    Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, TcpFlags, TcpSegment, Transport,
+};
 use bcd_osmodel::{p0f, Os, PortAllocator};
 use rand::Rng;
 use std::collections::HashMap;
@@ -53,6 +55,7 @@ impl Acl {
 }
 
 /// Resolver configuration.
+#[derive(Debug, Clone)]
 pub struct ResolverConfig {
     /// Addresses this resolver answers on (v4 and/or v6; must match the
     /// host's bound addresses).
@@ -82,6 +85,29 @@ pub struct ResolverConfig {
     /// Self-initiated background queries `(delay after start, name, type)` —
     /// these are what the root servers' DITL collection sees (§3.1).
     pub warmup: Vec<(SimDuration, Name, RType)>,
+    /// When set, upstream txid and source-port draws are derived from the
+    /// *identity* of the pending query (name, stage, attempt, client) mixed
+    /// with this salt, instead of consuming the host RNG stream in sequence.
+    ///
+    /// A resolver serving clients from many ASes (the shared public DNS
+    /// hosts) sees a different interleaving of queries under different
+    /// survey shardings; sequence-position draws would then give the same
+    /// query different ports in different runs. Identity-derived draws make
+    /// each relayed query's ephemeral port a pure function of the query
+    /// itself, which is what keeps the sharded survey's merged log identical
+    /// at every shard count. Only meaningful with a stateless (pool-style)
+    /// [`PortAllocator`]; sequential allocators would lose their sequence.
+    pub identity_draw_salt: Option<u64>,
+    /// Zone cuts `(apex, nameserver addresses)` installed in the cache at
+    /// start-up and never expiring.
+    ///
+    /// Complements `identity_draw_salt` for resolvers whose clients span
+    /// many ASes: which cuts a cache has *learned* at a given instant
+    /// otherwise depends on which client's query arrived first, so a
+    /// referral walk (and the queries it logs at the parent zone) would
+    /// appear or vanish with the traffic interleaving. Pre-warming models a
+    /// long-running public service whose popular cuts are permanently hot.
+    pub preload_cuts: Vec<(Name, Vec<IpAddr>)>,
 }
 
 impl ResolverConfig {
@@ -101,6 +127,8 @@ impl ResolverConfig {
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
+            identity_draw_salt: None,
+            preload_cuts: Vec::new(),
         }
     }
 }
@@ -158,7 +186,13 @@ pub struct RecursiveResolver {
     cfg: ResolverConfig,
     cache: Cache,
     pending: HashMap<u64, Pending>,
-    by_txid: HashMap<u16, u64>,
+    /// In-flight upstream queries, demuxed by `(txid, source port)` — each
+    /// query effectively has its own UDP socket, so a response is matched by
+    /// the socket it arrives on *and* the txid, like a real resolver. (Keying
+    /// by txid alone would let two co-pending queries that happen to draw the
+    /// same 16-bit txid evict each other's registration, turning a harmless
+    /// collision into a spurious timeout-and-retry.)
+    by_key: HashMap<(u16, u16), u64>,
     next_id: u64,
     ops_since_evict: u32,
     /// Public counters.
@@ -199,14 +233,46 @@ fn pick_server(addrs: &[IpAddr], servers: &[IpAddr], attempt: u8) -> Option<IpAd
     }
 }
 
+/// Throwaway RNG for one upstream transmission, seeded purely from the
+/// pending query's identity (see [`ResolverConfig::identity_draw_salt`]).
+/// Every input is a property of the query itself — never of when it arrived
+/// relative to other clients' traffic — so the draws are invariant under
+/// re-interleaving.
+fn identity_rng(salt: u64, p: &Pending) -> rand_chacha::ChaCha8Rng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(p.current_qname.to_string().as_bytes());
+    eat(&p.qtype.to_u16().to_le_bytes());
+    eat(&[p.attempts, p.tcp.is_some() as u8, p.forwarding as u8]);
+    match &p.client {
+        Some(c) => {
+            eat(c.addr.to_string().as_bytes());
+            eat(&c.port.to_le_bytes());
+            eat(&c.txid.to_le_bytes());
+        }
+        None => eat(b"warmup"),
+    }
+    rand_chacha::ChaCha8Rng::seed_from_u64(bcd_netsim::stream_seed(salt, h))
+}
+
 impl RecursiveResolver {
     /// Create the node.
     pub fn new(cfg: ResolverConfig) -> RecursiveResolver {
+        let mut cache = Cache::new();
+        for (apex, servers) in &cfg.preload_cuts {
+            cache.put_cut(apex.clone(), servers.clone(), SimTime::MAX);
+        }
         RecursiveResolver {
             cfg,
-            cache: Cache::new(),
+            cache,
             pending: HashMap::new(),
-            by_txid: HashMap::new(),
+            by_key: HashMap::new(),
             next_id: 0,
             ops_since_evict: 0,
             stats: ResolverStats::default(),
@@ -337,15 +403,21 @@ impl RecursiveResolver {
             return;
         };
 
-        let txid: u16 = ctx.rng().gen();
-        let sport = self.cfg.allocator.next_port(ctx.rng());
+        let (txid, sport) = if let Some(salt) = self.cfg.identity_draw_salt {
+            let mut rng = identity_rng(salt, self.pending.get(&id).unwrap());
+            let txid: u16 = rng.gen();
+            (txid, self.cfg.allocator.next_port(&mut rng))
+        } else {
+            let txid: u16 = ctx.rng().gen();
+            (txid, self.cfg.allocator.next_port(ctx.rng()))
+        };
         let p = self.pending.get_mut(&id).unwrap();
-        // Replace any previous txid registration.
-        self.by_txid.remove(&p.txid);
+        // Replace any previous registration for this pending query.
+        self.by_key.remove(&(p.txid, p.sport));
         p.txid = txid;
         p.sport = sport;
         p.server = Some(server);
-        self.by_txid.insert(txid, id);
+        self.by_key.insert((txid, sport), id);
 
         let qtype = if p.current_qname == p.qname {
             p.qtype
@@ -382,7 +454,7 @@ impl RecursiveResolver {
 
     fn finish_servfail(&mut self, ctx: &mut NodeCtx<'_>, id: u64) {
         if let Some(p) = self.pending.remove(&id) {
-            self.by_txid.remove(&p.txid);
+            self.by_key.remove(&(p.txid, p.sport));
             self.stats.servfail += 1;
             if let Some(client) = p.client {
                 self.respond_rcode(ctx, client, p.qname, p.qtype, RCode::ServFail, vec![]);
@@ -394,7 +466,7 @@ impl RecursiveResolver {
         let Some(p) = self.pending.remove(&id) else {
             return;
         };
-        self.by_txid.remove(&p.txid);
+        self.by_key.remove(&(p.txid, p.sport));
         let expires = ctx.now() + SimDuration::from_secs(ANSWER_TTL_SECS);
         match resp.header.rcode {
             RCode::NXDomain => {
@@ -565,15 +637,18 @@ impl RecursiveResolver {
     }
 
     fn handle_upstream_udp(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Packet, resp: Message) {
-        let Some(&id) = self.by_txid.get(&resp.header.id) else {
+        // Demux by (txid, the port the response arrived on) — the response
+        // must land on the socket the query left from *and* echo its txid,
+        // which is what makes port randomization a defence: an off-path
+        // attacker must hit both (§5.2).
+        let key = (resp.header.id, pkt.transport.dst_port());
+        let Some(&id) = self.by_key.get(&key) else {
             return; // unsolicited or stale
         };
         let Some(p) = self.pending.get(&id) else {
             return;
         };
-        // Source-port + server validation (what makes port randomization a
-        // defence — an off-path attacker must hit both txid and port).
-        if p.sport != pkt.transport.dst_port() || p.server != Some(pkt.src) {
+        if p.server != Some(pkt.src) {
             return;
         }
         self.process_response(ctx, id, resp);

@@ -1,9 +1,27 @@
 //! The discrete-event network engine.
 //!
-//! [`Network`] owns the topology (ASes + routes), the hosts with their
-//! [`Node`] behaviours, the event queue, and the deterministic RNG. The
-//! packet pipeline models exactly the two border crossings the paper cares
-//! about (§1):
+//! The simulated Internet is split into two layers:
+//!
+//! * [`Topology`] — the **immutable** world: registered ASes with their
+//!   border policies, announced prefixes (longest-prefix-match routing),
+//!   link profiles, and the static host table (addresses, AS membership,
+//!   stack policy). Built once through a [`TopologyBuilder`], then frozen
+//!   and shared across engines via `Arc` — a sharded survey pays for world
+//!   construction exactly once, and memory stays flat in the shard count
+//!   (the same separation of immutable target/route state from per-worker
+//!   probe state that high-rate scanners like ZMap rely on).
+//! * [`Runtime`] — the **mutable** run: per-host [`Node`] behaviours and
+//!   RNG streams, the event queue, clock, counters, and traces. A runtime
+//!   is cheap to instantiate from a shared topology; each shard gets its
+//!   own.
+//!
+//! [`Network`] bundles the two for the common single-engine case and keeps
+//! the classic build-then-run API (`add_as` / `announce` / `add_host` /
+//! `run`): it owns its topology exclusively, so construction mutates it in
+//! place with no copying.
+//!
+//! The packet pipeline models exactly the two border crossings the paper
+//! cares about (§1):
 //!
 //! ```text
 //!  node --send--> [origin AS border: OSAV?] --core link: delay/loss/dup-->
@@ -29,6 +47,7 @@ use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Global engine configuration.
 #[derive(Debug, Clone)]
@@ -69,7 +88,6 @@ pub struct HostConfig {
 }
 
 struct HostState {
-    cfg: HostConfig,
     node: Box<dyn Node>,
     /// Per-host RNG stream, seeded `stream_seed(cfg.seed, host_id)`.
     ///
@@ -136,14 +154,202 @@ impl Ord for QueuedEvent {
     }
 }
 
-/// The simulated Internet.
-pub struct Network {
+/// Deterministic per-(AS, source-subnet) permille bucket for partial
+/// internal SAV (FNV-1a over ASN and subnet bits).
+fn subnet_permille(asn: Asn, src: IpAddr) -> u64 {
+    let sub = Prefix::subprefix_of(src, if src.is_ipv6() { 64 } else { 24 });
+    let (key, _) = sub.key();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in asn.0.to_le_bytes().into_iter().chain(key.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h % 1000
+}
+
+fn fnv_str(h: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// The immutable half of a simulated Internet: ASes and their border
+/// policies, announced prefixes, and the static host table.
+///
+/// A `Topology` holds no run state — no clocks, queues, node behaviour, or
+/// RNGs — so it is `Send + Sync` and can back any number of concurrent
+/// [`Runtime`]s through an `Arc`. All accessors are read-only; the only way
+/// to shape a topology is through a [`TopologyBuilder`] (or a [`Network`],
+/// which owns its topology exclusively).
+#[derive(Debug)]
+pub struct Topology {
     cfg: NetworkConfig,
-    hosts: Vec<HostState>,
-    ip_index: HashMap<IpAddr, HostId>,
     ases: BTreeMap<u32, AsInfo>,
+    routes: PrefixTable,
+    hosts: Vec<HostConfig>,
+    ip_index: HashMap<IpAddr, HostId>,
+}
+
+impl Topology {
+    /// Start building a topology with the given engine configuration.
+    pub fn builder(cfg: NetworkConfig) -> TopologyBuilder {
+        TopologyBuilder {
+            topo: Topology {
+                cfg,
+                ases: BTreeMap::new(),
+                routes: PrefixTable::new(),
+                hosts: Vec::new(),
+                ip_index: HashMap::new(),
+            },
+        }
+    }
+
+    /// The engine configuration runtimes built on this topology will use.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The master seed (host RNG streams derive from it by host id).
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
     /// Announced routes (prefix → origin ASN).
-    pub routes: PrefixTable,
+    pub fn routes(&self) -> &PrefixTable {
+        &self.routes
+    }
+
+    /// The AS info for an ASN, if registered.
+    pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.ases.get(&asn.0)
+    }
+
+    /// All registered ASNs.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.ases.keys().map(|&n| Asn(n))
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Host configuration (addresses, AS, stack policy).
+    pub fn host_config(&self, id: HostId) -> &HostConfig {
+        &self.hosts[id]
+    }
+
+    /// The host bound to `addr`, if any.
+    pub fn host_for_ip(&self, addr: IpAddr) -> Option<HostId> {
+        self.ip_index.get(&addr).copied()
+    }
+
+    /// A stable FNV-1a fingerprint of the full topology contents (config,
+    /// ASes, routes, host table). Iteration orders are deterministic
+    /// (BTreeMap / announcement order / host-id order), so equal topologies
+    /// digest equally across runs and platforms. Tests use this to assert a
+    /// shared topology survives concurrent runtimes bit-identical.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        fnv_str(&mut h, &format!("{:?}", self.cfg));
+        for info in self.ases.values() {
+            fnv_str(&mut h, &format!("{info:?}"));
+        }
+        for (prefix, asn) in self.routes.iter() {
+            fnv_str(&mut h, &format!("{prefix}>{asn}"));
+        }
+        for hc in &self.hosts {
+            fnv_str(&mut h, &format!("{hc:?}"));
+        }
+        h
+    }
+
+    /// Register a host's static attributes; returns its id. Panics on a
+    /// duplicate address binding.
+    fn bind_host(&mut self, cfg: HostConfig) -> HostId {
+        let id = self.hosts.len();
+        for a in &cfg.addrs {
+            let prev = self.ip_index.insert(*a, id);
+            assert!(prev.is_none(), "address {a} bound twice");
+        }
+        self.hosts.push(cfg);
+        id
+    }
+}
+
+/// Write access to a [`Topology`] under construction. `finish` freezes it;
+/// after that the only handle is immutable.
+pub struct TopologyBuilder {
+    topo: Topology,
+}
+
+impl TopologyBuilder {
+    /// Register an AS. Panics if the ASN is already registered.
+    pub fn add_as(&mut self, info: AsInfo) {
+        let prev = self.topo.ases.insert(info.asn.0, info);
+        assert!(prev.is_none(), "duplicate AS registration");
+    }
+
+    /// Register an AS with the given policy (convenience).
+    pub fn add_simple_as(&mut self, asn: Asn, policy: BorderPolicy) {
+        self.add_as(AsInfo::new(asn, policy));
+    }
+
+    /// Announce a prefix as originated by an AS. The AS must exist.
+    pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
+        assert!(
+            self.topo.ases.contains_key(&asn.0),
+            "announce for unknown {asn}"
+        );
+        self.topo.routes.announce(prefix, asn);
+    }
+
+    /// Register a host slot (behaviour is supplied later, per runtime, as a
+    /// [`Node`]); returns its id. All its addresses become deliverable.
+    pub fn add_host(&mut self, cfg: HostConfig) -> HostId {
+        self.topo.bind_host(cfg)
+    }
+
+    /// Install a transparent DNS interceptor (middlebox) for an AS: UDP/53
+    /// packets entering the AS from outside are redirected to `host`.
+    pub fn set_dns_interceptor(&mut self, asn: Asn, host: HostId) {
+        self.topo
+            .ases
+            .get_mut(&asn.0)
+            .expect("interceptor for unknown AS")
+            .dns_interceptor = Some(host);
+    }
+
+    /// Read access to the topology built so far.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Freeze the topology.
+    pub fn finish(self) -> Topology {
+        self.topo
+    }
+}
+
+/// The mutable half of a simulation: node behaviours, RNG streams, event
+/// queue, clock, counters, and traces, all running over a shared immutable
+/// [`Topology`].
+///
+/// Instantiating a runtime is cheap relative to building a topology — it
+/// allocates per-host node state and RNG streams but reuses the AS table,
+/// routes, and host table through the `Arc`. Hosts may also be attached
+/// dynamically to one runtime only (e.g. each survey shard's scanner) via
+/// [`Runtime::add_host`]; they overlay the shared table without touching it.
+pub struct Runtime {
+    topo: Arc<Topology>,
+    /// Node + RNG state for every host: topology hosts first (same ids),
+    /// then dynamically added hosts.
+    hosts: Vec<HostState>,
+    /// Static attributes of dynamically added hosts (ids continue after the
+    /// topology's).
+    extra_cfgs: Vec<HostConfig>,
+    extra_ip_index: HashMap<IpAddr, HostId>,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     now: SimTime,
     seq: u64,
@@ -158,30 +364,34 @@ pub struct Network {
     pub budget_exhausted: bool,
 }
 
-/// Deterministic per-(AS, source-subnet) permille bucket for partial
-/// internal SAV (FNV-1a over ASN and subnet bits).
-fn subnet_permille(asn: Asn, src: IpAddr) -> u64 {
-    let sub = Prefix::subprefix_of(src, if src.is_ipv6() { 64 } else { 24 });
-    let (key, _) = sub.key();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in asn.0.to_le_bytes().into_iter().chain(key.to_le_bytes()) {
-        h ^= byte as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h % 1000
-}
-
-impl Network {
-    /// A new, empty network.
-    pub fn new(cfg: NetworkConfig) -> Network {
-        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let trace = cfg.trace_capacity.map(Trace::with_capacity);
-        Network {
-            cfg,
-            hosts: Vec::new(),
-            ip_index: HashMap::new(),
-            ases: BTreeMap::new(),
-            routes: PrefixTable::new(),
+impl Runtime {
+    /// Instantiate a runtime over a shared topology. `nodes` supplies the
+    /// behaviour for every topology host, in host-id order; host `i`'s RNG
+    /// stream is seeded `stream_seed(seed, i)` exactly as it would be on a
+    /// freshly built [`Network`], so a runtime over a rebuilt-equivalent
+    /// topology reproduces the same run byte for byte.
+    pub fn new(topo: Arc<Topology>, nodes: Vec<Box<dyn Node>>) -> Runtime {
+        assert_eq!(
+            nodes.len(),
+            topo.hosts.len(),
+            "one node per topology host, in host-id order"
+        );
+        let seed = topo.cfg.seed;
+        let rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = topo.cfg.trace_capacity.map(Trace::with_capacity);
+        let hosts = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(id, node)| HostState {
+                node,
+                rng: ChaCha8Rng::seed_from_u64(stream_seed(seed, id as u64)),
+            })
+            .collect();
+        Runtime {
+            topo,
+            hosts,
+            extra_cfgs: Vec::new(),
+            extra_ip_index: HashMap::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -194,33 +404,28 @@ impl Network {
         }
     }
 
-    /// Register an AS. Panics if the ASN is already registered.
-    pub fn add_as(&mut self, info: AsInfo) {
-        let prev = self.ases.insert(info.asn.0, info);
-        assert!(prev.is_none(), "duplicate AS registration");
+    /// The shared topology this runtime executes over.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
     }
 
-    /// Register an AS with the given policy (convenience).
-    pub fn add_simple_as(&mut self, asn: Asn, policy: BorderPolicy) {
-        self.add_as(AsInfo::new(asn, policy));
-    }
-
-    /// Announce a prefix as originated by an AS. The AS must exist.
-    pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
-        assert!(self.ases.contains_key(&asn.0), "announce for unknown {asn}");
-        self.routes.announce(prefix, asn);
-    }
-
-    /// Attach a host with its behaviour; returns its id. All its addresses
-    /// become deliverable. Panics on a duplicate address binding.
+    /// Attach a host with its behaviour to *this runtime only*; returns its
+    /// id (continuing after the topology's hosts). The shared topology is
+    /// not modified, so other runtimes over the same `Arc` are unaffected.
+    /// Panics on a duplicate address binding.
     pub fn add_host(&mut self, cfg: HostConfig, node: Box<dyn Node>) -> HostId {
         let id = self.hosts.len();
         for a in &cfg.addrs {
-            let prev = self.ip_index.insert(*a, id);
+            assert!(
+                !self.topo.ip_index.contains_key(a),
+                "address {a} bound twice"
+            );
+            let prev = self.extra_ip_index.insert(*a, id);
             assert!(prev.is_none(), "address {a} bound twice");
         }
-        let rng = ChaCha8Rng::seed_from_u64(stream_seed(self.cfg.seed, id as u64));
-        self.hosts.push(HostState { cfg, node, rng });
+        let rng = ChaCha8Rng::seed_from_u64(stream_seed(self.topo.cfg.seed, id as u64));
+        self.extra_cfgs.push(cfg);
+        self.hosts.push(HostState { node, rng });
         id
     }
 
@@ -230,15 +435,6 @@ impl Network {
     /// perturbing host behaviour.
     pub fn reseed_noise(&mut self, seed: u64) {
         self.rng = ChaCha8Rng::seed_from_u64(seed);
-    }
-
-    /// Install a transparent DNS interceptor (middlebox) for an AS: UDP/53
-    /// packets entering the AS from outside are redirected to `host`.
-    pub fn set_dns_interceptor(&mut self, asn: Asn, host: HostId) {
-        self.ases
-            .get_mut(&asn.0)
-            .expect("interceptor for unknown AS")
-            .dns_interceptor = Some(host);
     }
 
     /// Current simulated time.
@@ -251,9 +447,20 @@ impl Network {
         self.events_processed
     }
 
-    /// Host configuration (addresses, AS, stack policy).
+    /// Host configuration (addresses, AS, stack policy) — topology hosts
+    /// and dynamically added ones alike.
     pub fn host_config(&self, id: HostId) -> &HostConfig {
-        &self.hosts[id].cfg
+        let n = self.topo.hosts.len();
+        if id < n {
+            &self.topo.hosts[id]
+        } else {
+            &self.extra_cfgs[id - n]
+        }
+    }
+
+    /// Announced routes (prefix → origin ASN), from the shared topology.
+    pub fn routes(&self) -> &PrefixTable {
+        &self.topo.routes
     }
 
     /// Mutable access to a host's node, downcast to a concrete type.
@@ -273,22 +480,25 @@ impl Network {
 
     /// The AS info for an ASN, if registered.
     pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
-        self.ases.get(&asn.0)
-    }
-
-    /// Mutable AS info (e.g. to flip a policy mid-run in tests).
-    pub fn as_info_mut(&mut self, asn: Asn) -> Option<&mut AsInfo> {
-        self.ases.get_mut(&asn.0)
+        self.topo.as_info(asn)
     }
 
     /// All registered ASNs.
     pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.ases.keys().map(|&n| Asn(n))
+        self.topo.asns()
     }
 
-    /// Number of hosts.
+    /// Number of hosts (topology + dynamically added).
     pub fn host_count(&self) -> usize {
         self.hosts.len()
+    }
+
+    fn host_for_ip(&self, addr: IpAddr) -> Option<HostId> {
+        self.topo
+            .ip_index
+            .get(&addr)
+            .or_else(|| self.extra_ip_index.get(&addr))
+            .copied()
     }
 
     /// Schedule an external timer for a host at an absolute time.
@@ -335,8 +545,8 @@ impl Network {
         self.counters.sent += 1;
         self.record(TracePoint::Sent, &pkt);
 
-        let origin_asn = self.hosts[from].cfg.asn;
-        let Some(dst_asn) = self.routes.origin(pkt.dst) else {
+        let origin_asn = self.host_config(from).asn;
+        let Some(dst_asn) = self.topo.routes.origin(pkt.dst) else {
             self.counters.drop(DropReason::NoRoute);
             self.record(TracePoint::Dropped(DropReason::NoRoute), &pkt);
             return;
@@ -346,11 +556,12 @@ impl Network {
         // Origin-side SAV (BCP 38): applies only when leaving the AS.
         if crossing {
             let policy = self
+                .topo
                 .ases
                 .get(&origin_asn.0)
                 .map(|a| a.policy)
                 .unwrap_or_else(BorderPolicy::open);
-            if policy.osav && self.routes.origin(pkt.src) != Some(origin_asn) {
+            if policy.osav && self.topo.routes.origin(pkt.src) != Some(origin_asn) {
                 self.counters.drop(DropReason::Osav);
                 self.record(TracePoint::Dropped(DropReason::Osav), &pkt);
                 return;
@@ -359,9 +570,9 @@ impl Network {
 
         // Link traversal with fault injection.
         let profile = if crossing {
-            self.cfg.core_link
+            self.topo.cfg.core_link
         } else {
-            self.cfg.intra_link
+            self.topo.cfg.intra_link
         };
         let Some((delay, dup)) = profile.sample(&mut self.rng) else {
             self.counters.drop(DropReason::LinkLoss);
@@ -400,7 +611,7 @@ impl Network {
     /// Run the destination-side pipeline and deliver to the node.
     fn dispatch_deliver(&mut self, pkt: Packet, from_asn: Asn) {
         // Destination AS is re-derived (routes are static during a run).
-        let Some(dst_asn) = self.routes.origin(pkt.dst) else {
+        let Some(dst_asn) = self.topo.routes.origin(pkt.dst) else {
             self.counters.drop(DropReason::NoRoute);
             self.record(TracePoint::Dropped(DropReason::NoRoute), &pkt);
             return;
@@ -409,8 +620,9 @@ impl Network {
         let mut deliver_to: Option<HostId> = None;
 
         if crossing {
-            let info = self.ases.get(&dst_asn.0);
+            let info = self.topo.ases.get(&dst_asn.0);
             let policy = info.map(|a| a.policy).unwrap_or_else(BorderPolicy::open);
+            let interceptor = info.and_then(|a| a.dns_interceptor);
 
             let lb_filtered = if pkt.is_v6() {
                 policy.filter_loopback_ingress_v6
@@ -433,7 +645,7 @@ impl Network {
                 return;
             }
             // DSAV: inbound packet claiming an internal source.
-            if policy.dsav && self.routes.origin(pkt.src) == Some(dst_asn) {
+            if policy.dsav && self.topo.routes.origin(pkt.src) == Some(dst_asn) {
                 self.counters.drop(DropReason::Dsav);
                 self.record(TracePoint::Dropped(DropReason::Dsav), &pkt);
                 return;
@@ -453,7 +665,7 @@ impl Network {
             // threshold (deterministic per AS+subnet). The destination's
             // own subnet is always feasible.
             if policy.internal_pass_permille < 1000
-                && self.routes.origin(pkt.src) == Some(dst_asn)
+                && self.topo.routes.origin(pkt.src) == Some(dst_asn)
                 && pkt.src.is_ipv6() == pkt.dst.is_ipv6()
                 && !Prefix::subprefix_of(pkt.dst, if pkt.dst.is_ipv6() { 64 } else { 24 })
                     .contains(pkt.src)
@@ -464,7 +676,7 @@ impl Network {
                 return;
             }
             // Transparent DNS middlebox: UDP/53 entering the AS is grabbed.
-            if let Some(mbx) = info.and_then(|a| a.dns_interceptor) {
+            if let Some(mbx) = interceptor {
                 if matches!(&pkt.transport, Transport::Udp(u) if u.dst_port == 53) {
                     self.counters.intercepted += 1;
                     self.record(TracePoint::Intercepted, &pkt);
@@ -476,7 +688,7 @@ impl Network {
         let host = match deliver_to {
             Some(h) => h,
             None => {
-                let Some(&h) = self.ip_index.get(&pkt.dst) else {
+                let Some(h) = self.host_for_ip(pkt.dst) else {
                     self.counters.drop(DropReason::NoHost);
                     self.record(TracePoint::Dropped(DropReason::NoHost), &pkt);
                     return;
@@ -484,7 +696,7 @@ impl Network {
                 // Host network-stack acceptance (paper Table 6). Middlebox
                 // deliveries bypass this: an in-path interceptor is not the
                 // packet's addressee.
-                let stack = self.hosts[h].cfg.stack;
+                let stack = self.host_config(h).stack;
                 let ds = pkt.is_dst_as_src();
                 let lb = pkt.has_loopback_src();
                 if !stack.accepts(ds, lb, pkt.is_v6()) {
@@ -550,7 +762,7 @@ impl Network {
     /// `None` if the queue is empty or the budget is exhausted.
     pub fn step(&mut self) -> Option<SimTime> {
         self.start_if_needed();
-        if self.events_processed >= self.cfg.max_events {
+        if self.events_processed >= self.topo.cfg.max_events {
             if !self.queue.is_empty() {
                 self.budget_exhausted = true;
                 for _ in 0..self.queue.len() {
@@ -599,6 +811,101 @@ impl Network {
     pub fn run_for(&mut self, d: SimDuration) {
         let until = self.now + d;
         self.run_until(until);
+    }
+}
+
+/// The simulated Internet: one [`Topology`] plus one [`Runtime`], with the
+/// classic build-then-run API.
+///
+/// `Network` owns its topology exclusively (its `Arc` is never shared), so
+/// the mutating builder methods (`add_as`, `announce`, `add_host`, ...)
+/// edit it in place at zero cost. Everything else — running, counters,
+/// node access — comes from the embedded [`Runtime`] via `Deref`.
+///
+/// To share one world across engines, build the topology with a
+/// [`TopologyBuilder`] instead and spawn [`Runtime`]s from the `Arc`.
+pub struct Network {
+    rt: Runtime,
+}
+
+impl Network {
+    /// A new, empty network.
+    pub fn new(cfg: NetworkConfig) -> Network {
+        let topo = Arc::new(Topology::builder(cfg).finish());
+        Network {
+            rt: Runtime::new(topo, Vec::new()),
+        }
+    }
+
+    fn topo_mut(&mut self) -> &mut Topology {
+        Arc::get_mut(&mut self.rt.topo)
+            .expect("Network topology is shared; mutate before sharing the Arc")
+    }
+
+    /// The topology, for sharing with further [`Runtime`]s. Mutating this
+    /// network after cloning the returned `Arc` panics.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.rt.topo
+    }
+
+    /// Register an AS. Panics if the ASN is already registered.
+    pub fn add_as(&mut self, info: AsInfo) {
+        let prev = self.topo_mut().ases.insert(info.asn.0, info);
+        assert!(prev.is_none(), "duplicate AS registration");
+    }
+
+    /// Register an AS with the given policy (convenience).
+    pub fn add_simple_as(&mut self, asn: Asn, policy: BorderPolicy) {
+        self.add_as(AsInfo::new(asn, policy));
+    }
+
+    /// Announce a prefix as originated by an AS. The AS must exist.
+    pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
+        let topo = self.topo_mut();
+        assert!(topo.ases.contains_key(&asn.0), "announce for unknown {asn}");
+        topo.routes.announce(prefix, asn);
+    }
+
+    /// Attach a host with its behaviour; returns its id. All its addresses
+    /// become deliverable. Panics on a duplicate address binding.
+    pub fn add_host(&mut self, cfg: HostConfig, node: Box<dyn Node>) -> HostId {
+        assert!(
+            self.rt.extra_cfgs.is_empty(),
+            "topology hosts must be added before runtime-dynamic hosts"
+        );
+        let seed = self.rt.topo.cfg.seed;
+        let id = self.topo_mut().bind_host(cfg);
+        let rng = ChaCha8Rng::seed_from_u64(stream_seed(seed, id as u64));
+        self.rt.hosts.push(HostState { node, rng });
+        id
+    }
+
+    /// Install a transparent DNS interceptor (middlebox) for an AS: UDP/53
+    /// packets entering the AS from outside are redirected to `host`.
+    pub fn set_dns_interceptor(&mut self, asn: Asn, host: HostId) {
+        self.topo_mut()
+            .ases
+            .get_mut(&asn.0)
+            .expect("interceptor for unknown AS")
+            .dns_interceptor = Some(host);
+    }
+
+    /// Mutable AS info (e.g. to flip a policy mid-run in tests).
+    pub fn as_info_mut(&mut self, asn: Asn) -> Option<&mut AsInfo> {
+        self.topo_mut().ases.get_mut(&asn.0)
+    }
+}
+
+impl std::ops::Deref for Network {
+    type Target = Runtime;
+    fn deref(&self) -> &Runtime {
+        &self.rt
+    }
+}
+
+impl std::ops::DerefMut for Network {
+    fn deref_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
     }
 }
 
@@ -975,5 +1282,77 @@ mod tests {
             trace.filter(|e| e.point == TracePoint::Delivered).count(),
             1
         );
+    }
+
+    /// One shared topology, many runtimes: the topology stays bit-identical
+    /// across runs, a shared runtime reproduces a rebuilt network's run
+    /// exactly, and dynamic hosts stay runtime-local.
+    #[test]
+    fn shared_topology_runtimes_match_rebuilt_networks() {
+        // Build the same two-AS world as a bare (frozen) topology.
+        let mut b = Topology::builder(NetworkConfig {
+            core_link: LinkProfile::ideal(),
+            ..Default::default()
+        });
+        b.add_simple_as(Asn(100), BorderPolicy::open());
+        b.add_simple_as(Asn(200), BorderPolicy::open());
+        b.announce(pre("192.0.2.0/24"), Asn(100));
+        b.announce(pre("198.51.100.0/24"), Asn(200));
+        let sink = b.add_host(HostConfig {
+            addrs: vec![ip("198.51.100.10")],
+            asn: Asn(200),
+            stack: StackPolicy::permissive(),
+        });
+        let shooter = b.add_host(HostConfig {
+            addrs: vec![ip("192.0.2.1")],
+            asn: Asn(100),
+            stack: StackPolicy::permissive(),
+        });
+        let topo = Arc::new(b.finish());
+        let digest_before = topo.digest();
+
+        let spawn_nodes = || -> Vec<Box<dyn Node>> {
+            vec![
+                Box::new(SinkNode::default()),
+                Box::new(Shooter {
+                    src: ip("192.0.2.1"),
+                    dst: ip("198.51.100.10"),
+                }),
+            ]
+        };
+
+        // Two runtimes off one Arc, run back to back.
+        for _ in 0..2 {
+            let mut rt = Runtime::new(Arc::clone(&topo), spawn_nodes());
+            // A runtime-local extra host must not leak into the topology.
+            let extra = rt.add_host(
+                HostConfig {
+                    addrs: vec![ip("198.51.100.99")],
+                    asn: Asn(200),
+                    stack: StackPolicy::permissive(),
+                },
+                Box::new(SinkNode::default()),
+            );
+            assert_eq!(extra, topo.host_count());
+            rt.run();
+            assert_eq!(rt.counters.delivered, 1);
+            assert_eq!(rt.node::<SinkNode>(sink).unwrap().received, 1);
+            assert_eq!(rt.node::<SinkNode>(extra).unwrap().received, 0);
+        }
+        assert_eq!(topo.digest(), digest_before, "topology mutated by a run");
+        assert_eq!(topo.host_count(), 2, "dynamic host leaked into topology");
+
+        // The shared-topology run matches a rebuilt Network's run.
+        let (mut net, sink2) = two_as_net(BorderPolicy::open(), BorderPolicy::open());
+        add_shooter(&mut net, "192.0.2.1", "198.51.100.10");
+        net.run();
+        assert_eq!(net.node::<SinkNode>(sink2).unwrap().received, 1);
+        let _ = shooter;
+    }
+
+    #[test]
+    fn topology_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Topology>();
     }
 }

@@ -5,8 +5,11 @@
 //! the paper's experiment observes:
 //!
 //! * **virtual time** with nanosecond resolution ([`SimTime`], [`SimDuration`]),
-//! * an **event engine** ([`Network`]) driving host nodes ([`Node`]) with
-//!   packet deliveries and timers, fully deterministic for a given seed,
+//! * an **event engine** split into an immutable, `Arc`-shareable world
+//!   ([`Topology`]) and a cheap per-run execution state ([`Runtime`]) driving
+//!   host nodes ([`Node`]) with packet deliveries and timers, fully
+//!   deterministic for a given seed ([`Network`] bundles the two for the
+//!   single-engine case),
 //! * **IPv4/IPv6 packets** carrying UDP datagrams or a simplified-but-
 //!   fingerprintable TCP ([`Packet`], [`TcpSegment`]),
 //! * **autonomous systems** announcing prefixes, with per-AS border policies:
@@ -45,10 +48,12 @@ pub mod topology;
 pub mod trace;
 
 pub use counters::{DropReason, NetCounters};
-pub use engine::{splitmix64, stream_seed, HostConfig, Network, NetworkConfig};
+pub use engine::{
+    splitmix64, stream_seed, HostConfig, Network, NetworkConfig, Runtime, Topology, TopologyBuilder,
+};
 pub use link::LinkProfile;
 pub use merge::Merge;
-pub use node::{Node, NodeCtx};
+pub use node::{HostId, Node, NodeCtx};
 pub use packet::{Packet, TcpFlags, TcpOptions, TcpSegment, Transport, UdpDatagram};
 pub use prefix::Prefix;
 pub use routing::{PrefixMap, PrefixTable};

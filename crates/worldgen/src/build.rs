@@ -1,5 +1,8 @@
-//! World construction: turn a [`WorldConfig`] into a populated [`Network`]
-//! plus the ground-truth registry and DITL traces.
+//! World construction: turn a [`WorldConfig`] into an immutable, shareable
+//! [`Topology`] + node-blueprint table plus the ground-truth registry and
+//! DITL traces. Engines are spawned from the built [`World`] with
+//! [`World::spawn`] — one world build can back any number of concurrent
+//! shard runtimes.
 
 use crate::addressing::{carve_v4_24s, carve_v6_64s, AddressAllocator};
 use crate::config::WorldConfig;
@@ -9,21 +12,19 @@ use crate::profile::{
     PortClass, ResolverMeta,
 };
 use bcd_dns::log::shared_log;
-use bcd_dns::{
-    Acl, AuthServer, AuthServerConfig, Interceptor, RecursiveResolver, ResolverConfig, SharedLog,
-    Zone, ZoneMode,
-};
+use bcd_dns::{Acl, NodeBlueprint, ResolverConfig, SharedLog, Zone, ZoneMode};
 use bcd_dnswire::Name;
 use bcd_geo::{sample_country, Country, CountryProfile, GeoDb, COUNTRIES};
 use bcd_netsim::{
-    Asn, BorderPolicy, HostConfig, LinkProfile, Network, NetworkConfig, Prefix, SimDuration,
-    StackPolicy,
+    stream_seed, Asn, BorderPolicy, HostConfig, HostId, LinkProfile, NetworkConfig, Prefix,
+    Runtime, SimDuration, StackPolicy, Topology,
 };
 use bcd_osmodel::{DnsSoftware, Os};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Where the experiment's own DNS estate lives.
 #[derive(Debug, Clone)]
@@ -52,14 +53,25 @@ pub struct ScannerSlot {
     pub v6: IpAddr,
 }
 
-/// A fully built world.
+/// Log-slot index of the experiment estate's query log (`dns-lab.org` +
+/// follow-up zones) in a [`WorldRuntime`].
+pub const LOG_EXPERIMENT: usize = 0;
+/// Log-slot index of the root servers' query log (the DITL instrument).
+pub const LOG_ROOT: usize = 1;
+
+/// A fully built world: the immutable topology, the behaviour blueprint for
+/// every host, and the ground-truth registry.
+///
+/// A `World` holds no engine state and no logs — it is `Send + Sync` and is
+/// shared across shard threads behind one `Arc`. Each thread turns it into a
+/// live engine with [`World::spawn`].
 pub struct World {
-    pub net: Network,
+    /// The immutable network world (ASes, routes, host table), shared by
+    /// every runtime spawned from this world.
+    pub topo: Arc<Topology>,
+    /// Behaviour recipe per topology host, in host-id order.
+    pub blueprints: Vec<NodeBlueprint>,
     pub cfg: WorldConfig,
-    /// Query log of the experiment estate (`dns-lab.org` + follow-up zones).
-    pub log: SharedLog,
-    /// Query log of the root servers (the DITL instrument).
-    pub root_log: SharedLog,
     pub geo: GeoDb,
     /// Ground truth for every target address.
     pub resolvers: Vec<ResolverMeta>,
@@ -84,18 +96,54 @@ pub struct World {
     pub v6_hitlist: Vec<Prefix>,
 }
 
+/// A live engine spawned from a [`World`]: a [`Runtime`] over the shared
+/// topology plus this runtime's own (thread-local) query logs.
+pub struct WorldRuntime {
+    pub net: Runtime,
+    /// Query log of the experiment estate (`dns-lab.org` + follow-up zones).
+    pub log: SharedLog,
+    /// Query log of the root servers (the DITL instrument).
+    pub root_log: SharedLog,
+}
+
 impl World {
     /// Ground truth for a target address.
     pub fn meta_of(&self, addr: IpAddr) -> Option<&ResolverMeta> {
         self.by_addr.get(&addr).map(|&i| &self.resolvers[i])
     }
 
+    /// The AS info for an ASN, if registered.
+    pub fn as_info(&self, asn: Asn) -> Option<&bcd_netsim::AsInfo> {
+        self.topo.as_info(asn)
+    }
+
     /// True ground-truth answer: does this AS lack DSAV?
     pub fn truly_lacks_dsav(&self, asn: Asn) -> bool {
-        self.net
+        self.topo
             .as_info(asn)
             .map(|a| !a.policy.dsav)
             .unwrap_or(false)
+    }
+
+    /// Instantiate a live engine over the shared topology: fresh query logs,
+    /// fresh nodes from the blueprints, fresh per-host RNG streams. Nodes are
+    /// constructed in host-id order from the same configs `build` produced,
+    /// so every spawn behaves exactly like a freshly built world — without
+    /// paying for world generation again.
+    pub fn spawn(&self) -> WorldRuntime {
+        let log = shared_log();
+        let root_log = shared_log();
+        let logs = [log.clone(), root_log.clone()];
+        let nodes = self
+            .blueprints
+            .iter()
+            .map(|b| b.instantiate(&logs))
+            .collect();
+        WorldRuntime {
+            net: Runtime::new(Arc::clone(&self.topo), nodes),
+            log,
+            root_log,
+        }
     }
 }
 
@@ -103,6 +151,44 @@ const INFRA_ASN: Asn = Asn(64_500);
 const PUBLIC_DNS_ASN: Asn = Asn(64_501);
 const SCANNER_ASN: Asn = Asn(64_502);
 const FIRST_MEASURED_ASN: u32 = 1_000;
+/// Stream id for the public DNS hosts' identity-draw salts (see
+/// [`ResolverConfig::identity_draw_salt`]).
+const PUBLIC_DNS_SALT_STREAM: u64 = 0x5055_424C_4943_4453;
+
+/// Pairs the topology under construction with one [`NodeBlueprint`] per
+/// host, so host-id order stays authoritative for both.
+struct WorldBuilder {
+    tb: bcd_netsim::TopologyBuilder,
+    blueprints: Vec<NodeBlueprint>,
+}
+
+impl WorldBuilder {
+    fn new(cfg: NetworkConfig) -> WorldBuilder {
+        WorldBuilder {
+            tb: Topology::builder(cfg),
+            blueprints: Vec::new(),
+        }
+    }
+
+    fn add_simple_as(&mut self, asn: Asn, policy: BorderPolicy) {
+        self.tb.add_simple_as(asn, policy);
+    }
+
+    fn announce(&mut self, prefix: Prefix, asn: Asn) {
+        self.tb.announce(prefix, asn);
+    }
+
+    fn add_host(&mut self, cfg: HostConfig, blueprint: NodeBlueprint) -> HostId {
+        let id = self.tb.add_host(cfg);
+        debug_assert_eq!(id, self.blueprints.len());
+        self.blueprints.push(blueprint);
+        id
+    }
+
+    fn set_dns_interceptor(&mut self, asn: Asn, host: HostId) {
+        self.tb.set_dns_interceptor(asn, host);
+    }
+}
 
 struct AsPlan {
     asn: Asn,
@@ -119,7 +205,7 @@ struct AsPlan {
 pub fn build(cfg: WorldConfig) -> World {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut alloc = AddressAllocator::new();
-    let mut net = Network::new(NetworkConfig {
+    let mut net = WorldBuilder::new(NetworkConfig {
         seed: cfg.seed.wrapping_add(1),
         core_link: LinkProfile {
             loss: cfg.link_loss,
@@ -130,8 +216,6 @@ pub fn build(cfg: WorldConfig) -> World {
         max_events: cfg.max_events,
     });
     let mut geo = GeoDb::new();
-    let log = shared_log();
-    let root_log = shared_log();
 
     // ---------------- infrastructure ----------------
     net.add_simple_as(INFRA_ASN, BorderPolicy::strict());
@@ -165,11 +249,11 @@ pub fn build(cfg: WorldConfig) -> World {
             asn: INFRA_ASN,
             stack: StackPolicy::strict(),
         },
-        Box::new(AuthServer::new(AuthServerConfig {
+        NodeBlueprint::Auth {
             zones: vec![root_zone],
-            log: root_log.clone(),
+            log: LOG_ROOT,
             log_queries: true,
-        })),
+        },
     );
 
     // org TLD.
@@ -183,11 +267,11 @@ pub fn build(cfg: WorldConfig) -> World {
             asn: INFRA_ASN,
             stack: StackPolicy::strict(),
         },
-        Box::new(AuthServer::new(AuthServerConfig {
+        NodeBlueprint::Auth {
             zones: vec![org_zone],
-            log: root_log.clone(),
+            log: LOG_ROOT,
             log_queries: false,
-        })),
+        },
     );
 
     // Experiment zone with the three follow-up delegations.
@@ -210,11 +294,11 @@ pub fn build(cfg: WorldConfig) -> World {
             asn: INFRA_ASN,
             stack: StackPolicy::strict(),
         },
-        Box::new(AuthServer::new(AuthServerConfig {
+        NodeBlueprint::Auth {
             zones: vec![lab_zone],
-            log: log.clone(),
+            log: LOG_EXPERIMENT,
             log_queries: true,
-        })),
+        },
     );
     // f4: IPv4-only server; f6: IPv6-only; tcp: dual-stack TC zone.
     let mut follow_hosts = Vec::new();
@@ -238,16 +322,30 @@ pub fn build(cfg: WorldConfig) -> World {
                 asn: INFRA_ASN,
                 stack: StackPolicy::strict(),
             },
-            Box::new(AuthServer::new(AuthServerConfig {
+            NodeBlueprint::Auth {
                 zones: vec![zone],
-                log: log.clone(),
+                log: LOG_EXPERIMENT,
                 log_queries: true,
-            })),
+            },
         ));
     }
     let experiment_hosts = (lab_host, follow_hosts[0], follow_hosts[1]);
 
     let root_hints = vec![root_v4, root_v6];
+    // The estate's zone cuts, pre-installed in the shared public resolvers
+    // below. A cache that *learns* a cut on first contact logs a referral
+    // walk whose presence depends on which client got there first — state
+    // that spans ASes and therefore shards. Permanently-hot cuts (how a
+    // long-running public service actually behaves) make the walk vanish
+    // identically everywhere. In-AS resolvers stay cache-cold: their
+    // clients never span shards, and their root walks are what the DITL
+    // capture is for.
+    let estate_cuts = vec![
+        (apex.clone(), vec![lab_v4, lab_v6]),
+        (f4_apex.clone(), vec![f4_addr]),
+        (f6_apex.clone(), vec![f6_addr]),
+        (tcp_apex.clone(), vec![tcp_v4, tcp_v6]),
+    ];
 
     // ---------------- public DNS services ----------------
     net.add_simple_as(PUBLIC_DNS_ASN, BorderPolicy::strict());
@@ -268,7 +366,7 @@ pub fn build(cfg: WorldConfig) -> World {
                 asn: PUBLIC_DNS_ASN,
                 stack: Os::LinuxModern.stack_policy(),
             },
-            Box::new(RecursiveResolver::new(ResolverConfig {
+            NodeBlueprint::Resolver(ResolverConfig {
                 addrs: vec![a4, a6],
                 acl: Acl::Open,
                 forward_to: None,
@@ -281,7 +379,14 @@ pub fn build(cfg: WorldConfig) -> World {
                 timeout: SimDuration::from_secs(2),
                 max_attempts: 3,
                 warmup: Vec::new(),
-            })),
+                // The public services relay queries from *every* measured
+                // AS, so under AS-sharding their traffic interleaving
+                // depends on the shard layout. Identity-derived draws keep
+                // each relayed query's txid/port — and therefore the whole
+                // merged survey log — invariant across shard counts.
+                identity_draw_salt: Some(stream_seed(cfg.seed, PUBLIC_DNS_SALT_STREAM ^ i as u64)),
+                preload_cuts: estate_cuts.clone(),
+            }),
         );
     }
 
@@ -392,7 +497,10 @@ pub fn build(cfg: WorldConfig) -> World {
                     asn: plan.asn,
                     stack: StackPolicy::permissive(),
                 },
-                Box::new(Interceptor::new(mbx_addr, upstream)),
+                NodeBlueprint::Interceptor {
+                    addr: mbx_addr,
+                    upstream,
+                },
             );
             net.set_dns_interceptor(plan.asn, host);
         }
@@ -522,11 +630,11 @@ pub fn build(cfg: WorldConfig) -> World {
         lab_v6,
     };
 
+    let WorldBuilder { tb, blueprints } = net;
     World {
-        net,
+        topo: Arc::new(tb.finish()),
+        blueprints,
         cfg,
-        log,
-        root_log,
         geo,
         resolvers,
         by_addr,
@@ -556,11 +664,16 @@ pub fn set_experiment_zone_wildcard(world: &mut World) {
         world.auth.f6_apex.clone(),
     ];
     for (host, apex) in [main, f4, f6].into_iter().zip(apexes) {
-        world
-            .net
-            .node_mut::<AuthServer>(host)
-            .expect("experiment host is an AuthServer")
-            .set_zone_mode(&apex, ZoneMode::Wildcard);
+        // The flip edits the *blueprint*, before any runtime is spawned, so
+        // every shard's auth servers come up in wildcard mode.
+        let NodeBlueprint::Auth { zones, .. } = &mut world.blueprints[host] else {
+            panic!("experiment host is an AuthServer");
+        };
+        zones
+            .iter_mut()
+            .find(|z| z.apex == apex)
+            .expect("zone not served by this host")
+            .mode = ZoneMode::Wildcard;
     }
 }
 
@@ -569,7 +682,7 @@ pub fn set_experiment_zone_wildcard(world: &mut World) {
 fn build_resolver(
     cfg: &WorldConfig,
     rng: &mut ChaCha8Rng,
-    net: &mut Network,
+    net: &mut WorldBuilder,
     plan: &AsPlan,
     addr: IpAddr,
     v6_family: bool,
@@ -596,6 +709,8 @@ fn build_resolver(
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
+            identity_draw_salt: None,
+            preload_cuts: Vec::new(),
         };
         net.add_host(
             HostConfig {
@@ -603,7 +718,7 @@ fn build_resolver(
                 asn: plan.asn,
                 stack: identity.os.stack_policy(),
             },
-            Box::new(RecursiveResolver::new(resolver_cfg)),
+            NodeBlueprint::Resolver(resolver_cfg),
         );
         return ResolverMeta {
             addr,
@@ -696,6 +811,8 @@ fn build_resolver(
         timeout: SimDuration::from_secs(2),
         max_attempts: 3,
         warmup: Vec::new(),
+        identity_draw_salt: None,
+        preload_cuts: Vec::new(),
     };
     net.add_host(
         HostConfig {
@@ -703,7 +820,7 @@ fn build_resolver(
             asn: plan.asn,
             stack: identity.os.stack_policy(),
         },
-        Box::new(RecursiveResolver::new(resolver_cfg)),
+        NodeBlueprint::Resolver(resolver_cfg),
     );
 
     ResolverMeta {
@@ -766,7 +883,7 @@ fn materialize_acl(kind: AclKind, addr: IpAddr, plan: &AsPlan) -> Acl {
 #[allow(clippy::too_many_arguments)]
 fn pick_upstream(
     rng: &mut ChaCha8Rng,
-    net: &mut Network,
+    net: &mut WorldBuilder,
     plan: &AsPlan,
     v6_family: bool,
     root_hints: &[IpAddr],
@@ -799,6 +916,8 @@ fn pick_upstream(
         timeout: SimDuration::from_secs(2),
         max_attempts: 3,
         warmup: Vec::new(),
+        identity_draw_salt: None,
+        preload_cuts: Vec::new(),
     };
     net.add_host(
         HostConfig {
@@ -806,7 +925,7 @@ fn pick_upstream(
             asn: plan.asn,
             stack: Os::LinuxModern.stack_policy(),
         },
-        Box::new(RecursiveResolver::new(cfg)),
+        NodeBlueprint::Resolver(cfg),
     );
     *isp_upstream = Some(addr);
     addr
@@ -834,16 +953,16 @@ mod tests {
     fn world_has_required_infrastructure() {
         let w = build(WorldConfig::tiny(3));
         // Roots, org, lab, f4, f6, tcp, 5 public resolvers at minimum.
-        assert!(w.net.host_count() > 11);
+        assert!(w.topo.host_count() > 11);
         assert_eq!(w.public_dns_v4.len(), 5);
         // Scanner slot routes to the scanner AS.
-        assert_eq!(w.net.routes.origin(w.scanner.v4), Some(w.scanner.asn));
-        assert_eq!(w.net.routes.origin(w.scanner.v6), Some(w.scanner.asn));
+        assert_eq!(w.topo.routes().origin(w.scanner.v4), Some(w.scanner.asn));
+        assert_eq!(w.topo.routes().origin(w.scanner.v6), Some(w.scanner.asn));
         // The scanner AS must lack OSAV (the vantage requirement, §3.4).
-        assert!(!w.net.as_info(w.scanner.asn).unwrap().policy.osav);
+        assert!(!w.topo.as_info(w.scanner.asn).unwrap().policy.osav);
         // Auth addresses route to infrastructure.
-        assert_eq!(w.net.routes.origin(w.auth.root_v4), Some(INFRA_ASN));
-        assert_eq!(w.net.routes.origin(w.auth.lab_v6), Some(INFRA_ASN));
+        assert_eq!(w.topo.routes().origin(w.auth.root_v4), Some(INFRA_ASN));
+        assert_eq!(w.topo.routes().origin(w.auth.lab_v6), Some(INFRA_ASN));
     }
 
     #[test]
@@ -866,7 +985,7 @@ mod tests {
         let w = build(WorldConfig::tiny(7));
         for (i, r) in w.resolvers.iter().enumerate() {
             assert_eq!(w.by_addr.get(&r.addr), Some(&i));
-            assert_eq!(w.net.routes.origin(r.addr), Some(r.asn));
+            assert_eq!(w.topo.routes().origin(r.addr), Some(r.asn));
         }
     }
 

@@ -195,9 +195,10 @@ mod tests {
             "special-purpose noise expected"
         );
         assert!(
-            trace.iter().any(
-                |r| !special::is_special_purpose(r.src) && w.net.routes.origin(r.src).is_none()
-            ),
+            trace
+                .iter()
+                .any(|r| !special::is_special_purpose(r.src)
+                    && w.topo.routes().origin(r.src).is_none()),
             "unrouted noise expected"
         );
         // Sorted by time, inside the 48h window.

@@ -103,7 +103,7 @@ fn acl_kinds_follow_the_open_closed_split() {
 fn stale_targets_have_no_hosts_and_live_ones_do() {
     let w = big_world();
     for r in w.resolvers.iter().take(2_000) {
-        let routed = w.net.routes.origin(r.addr);
+        let routed = w.topo.routes().origin(r.addr);
         assert_eq!(routed, Some(r.asn), "target routing broken for {}", r.addr);
     }
     let stale = w.resolvers.iter().filter(|r| !r.live).count();
@@ -136,7 +136,7 @@ fn geo_covers_every_measured_prefix() {
 fn middleboxes_only_in_no_dsav_ases() {
     let w = big_world();
     for &asn in &w.measured_asns {
-        if let Some(info) = w.net.as_info(asn) {
+        if let Some(info) = w.topo.as_info(asn) {
             if info.dns_interceptor.is_some() {
                 assert!(
                     !info.policy.dsav,
@@ -153,7 +153,7 @@ fn dsav_ases_filter_bogons_too() {
     // loopback sources, or the reachability ⇒ no-DSAV implication breaks.
     let w = big_world();
     for &asn in &w.measured_asns {
-        let p = w.net.as_info(asn).unwrap().policy;
+        let p = w.topo.as_info(asn).unwrap().policy;
         if p.dsav {
             assert!(p.filter_private_ingress, "{asn}");
             assert!(p.filter_loopback_ingress, "{asn}");

@@ -36,7 +36,7 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         data.scanner_stats.spoofed_sent,
         data.entries.len(),
-        data.world.net.events_processed()
+        data.events
     );
 
     let input = data.input();

@@ -90,7 +90,7 @@ fn warmup_through_real_root_servers_yields_extractable_targets() {
     );
 
     // The extraction pipeline finds exactly the three resolvers.
-    let targets = TargetSet::extract(&trace, &net.routes);
+    let targets = TargetSet::extract(&trace, net.routes());
     let mut found: Vec<IpAddr> = targets.v4.iter().map(|t| t.addr).collect();
     found.sort();
     let mut expected = resolver_addrs.clone();

@@ -96,7 +96,7 @@ fn survey_trace_exports_as_valid_pcap() {
     cfg.world.target_scale = 0.02;
     cfg.world.trace_capacity = Some(50_000);
     let data = Experiment::run(cfg);
-    let trace = data.world.net.trace.as_ref().expect("trace enabled");
+    let trace = data.trace.as_ref().expect("trace enabled");
     assert!(!trace.entries().is_empty());
 
     let bytes = pcap::pcap_bytes(trace, true);
