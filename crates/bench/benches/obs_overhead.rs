@@ -1,0 +1,171 @@
+//! Observability overhead: the survey with `bcd-obs` sinks disabled must
+//! cost the same as one with them enabled — and, more importantly, the
+//! same as the pre-instrumentation pipeline (the registry is only ever
+//! assembled at phase boundaries; hot paths see one untaken branch per
+//! probe). `crates/bench/results/BENCH_survey.json` commits a measured
+//! baseline; regenerate it with (the path resolves relative to this
+//! crate — cargo runs benches from the package directory):
+//!
+//! ```sh
+//! BCD_BENCH_JSON=results/BENCH_survey.json \
+//!     cargo bench -p bcd-bench --bench obs_overhead
+//! # add BCD_BENCH_PAPER=1 for the (slow) paper-shape measurement and
+//! # BCD_BENCH_N=<samples> to raise the per-config sample count
+//! ```
+
+use bcd_core::{Experiment, ExperimentConfig};
+use bcd_obs::ObsEnv;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn run_survey(cfg: &ExperimentConfig, env: &ObsEnv) -> usize {
+    let data = Experiment::run_observed(cfg.clone(), env);
+    data.entries.len()
+}
+
+fn timed(f: &mut impl FnMut() -> usize) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_secs_f64()
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The "enabled" configuration: JSONL export armed, heartbeat branch armed
+/// (with an interval no tiny run reaches, so stderr stays quiet and the
+/// measured cost is the branch itself plus the end-of-run export).
+fn enabled_env() -> ObsEnv {
+    ObsEnv {
+        jsonl_path: Some(std::env::temp_dir().join("bcd-obs-overhead.jsonl")),
+        progress_every: Some(u64::MAX),
+    }
+}
+
+struct Measured {
+    name: &'static str,
+    disabled_s: f64,
+    enabled_s: f64,
+}
+
+impl Measured {
+    fn overhead_pct(&self) -> f64 {
+        100.0 * (self.enabled_s - self.disabled_s) / self.disabled_s
+    }
+}
+
+/// Paired measurement: `n` samples of each configuration, *interleaved*
+/// (disabled, enabled, disabled, enabled, ...) after one warm-up apiece,
+/// so slow drift in machine load lands on both sides of the comparison
+/// instead of biasing whichever configuration ran last.
+fn measure(name: &'static str, cfg: &ExperimentConfig, n: usize) -> Measured {
+    // BCD_BENCH_MODE picks the B side of the pairing: `full` (default,
+    // JSONL + heartbeat), `jsonl` / `progress` (one sink at a time, to
+    // attribute a measured delta), or `aa` (disabled vs disabled — any
+    // "overhead" an A/A run reports is the host's noise floor; compare the
+    // full-mode number against it before believing a regression).
+    let mode = std::env::var("BCD_BENCH_MODE").unwrap_or_default();
+    let mut run_disabled = || run_survey(cfg, &ObsEnv::disabled());
+    let mut run_enabled = || {
+        let env = match mode.as_str() {
+            "aa" => ObsEnv::disabled(),
+            "jsonl" => ObsEnv {
+                progress_every: None,
+                ..enabled_env()
+            },
+            "progress" => ObsEnv {
+                jsonl_path: None,
+                ..enabled_env()
+            },
+            _ => enabled_env(),
+        };
+        run_survey(cfg, &env)
+    };
+    black_box(run_disabled());
+    black_box(run_enabled());
+    let mut disabled = Vec::with_capacity(n);
+    let mut enabled = Vec::with_capacity(n);
+    for _ in 0..n {
+        disabled.push(timed(&mut run_disabled));
+        enabled.push(timed(&mut run_enabled));
+    }
+    Measured {
+        name,
+        disabled_s: median(disabled),
+        enabled_s: median(enabled),
+    }
+}
+
+fn write_json(path: &str, rows: &[Measured]) {
+    let mut s = String::from(
+        "{\n  \"bench\": \"obs_overhead\",\n  \"unit\": \"seconds_median\",\n  \"surveys\": {\n",
+    );
+    for (i, m) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"obs_disabled\": {:.6}, \"obs_enabled\": {:.6}, \"overhead_pct\": {:.3}}}{}\n",
+            m.name,
+            m.disabled_s,
+            m.enabled_s,
+            m.overhead_pct(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(path, s) {
+        eprintln!("BCD_BENCH_JSON write to {path} failed: {e}");
+    } else {
+        println!("obs_overhead: baseline written to {path}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Criterion group for the per-config medians (skipped in the
+    // attribution modes, which only want the paired numbers)...
+    let tiny = ExperimentConfig::tiny(1);
+    if std::env::var("BCD_BENCH_MODE").is_err() {
+        let mut g = c.benchmark_group("obs_overhead");
+        g.sample_size(10);
+        g.bench_function("tiny_survey_obs_disabled", |b| {
+            b.iter(|| run_survey(&tiny, &ObsEnv::disabled()))
+        });
+        g.bench_function("tiny_survey_obs_enabled", |b| {
+            b.iter(|| run_survey(&tiny, &enabled_env()))
+        });
+        g.finish();
+    }
+
+    // ...and a paired measurement for the headline overhead number (the
+    // acceptance bar is <3% with sinks disabled; paired runs on one core
+    // keep the comparison honest).
+    let mut rows = vec![measure("tiny_seed1", &tiny, 7)];
+    if std::env::var("BCD_BENCH_PAPER").is_ok() {
+        // Samples per configuration (BCD_BENCH_N to raise on noisy hosts;
+        // each paper-shape sample is a ~30s full survey).
+        let n = std::env::var("BCD_BENCH_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        let paper = ExperimentConfig::paper_shape(2019);
+        rows.push(measure("paper_shape_seed2019", &paper, n));
+    }
+    for m in &rows {
+        println!(
+            "obs_overhead/{}: disabled {:.3}s enabled {:.3}s overhead {:+.2}%",
+            m.name,
+            m.disabled_s,
+            m.enabled_s,
+            m.overhead_pct()
+        );
+    }
+    if let Ok(path) = std::env::var("BCD_BENCH_JSON") {
+        write_json(&path, &rows);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,9 +10,11 @@ use bcd_core::analysis::ports::PortReport;
 use bcd_core::analysis::qmin::QminReport;
 use bcd_core::analysis::reachability::{MiddleboxReport, Reachability};
 use bcd_core::{lab, report};
+use std::time::Instant;
 
 fn main() {
-    let data = bcd_bench::standard_data();
+    let mut data = bcd_bench::standard_data();
+    let t0 = Instant::now();
     let input = data.input();
     let reach = Reachability::compute(&input);
     let countries = CountryReport::compute(&input, &reach);
@@ -24,6 +26,8 @@ fn main() {
     let qmin = QminReport::compute(&input, &reach);
     let mbx = MiddleboxReport::compute(&input, &reach);
     let passive = PassiveReport::compute(&ports, &data.world.ditl2018);
+    data.obs.profile.record("analysis", t0.elapsed());
+    let t0 = Instant::now();
 
     println!("{}", report::render_headline(&data.targets, &reach));
     println!("{}", report::render_table1(&countries, 10));
@@ -45,4 +49,18 @@ fn main() {
     println!("{}", report::render_local(&local));
     println!("{}", report::render_methodology(&reach, &qmin, &mbx));
     println!("{}", report::render_passive(&passive));
+    println!("{}", report::render_engine_totals(&data.counters));
+    data.obs.profile.record("report", t0.elapsed());
+
+    // The run report goes to stderr (it is run metadata, not a paper
+    // artifact); a BCD_OBS export is rewritten to include the analysis and
+    // report phases appended above.
+    eprintln!("{}", bcd_obs::report::render_run_report(&data.obs));
+    if let Some(path) = &bcd_obs::ObsEnv::from_env().jsonl_path {
+        if let Err(e) = data.obs.write_jsonl(path) {
+            eprintln!("# BCD_OBS export to {} failed: {e}", path.display());
+        } else {
+            eprintln!("# metrics JSONL written to {}", path.display());
+        }
+    }
 }

@@ -5,6 +5,7 @@
 //! generated world and returns an [`ExperimentData`] from which every §4–§5
 //! analysis can be computed via [`ExperimentData::input`].
 
+use crate::observe;
 use crate::qname::QnameCodec;
 use crate::scanner::{HumanNoise, Scanner, ScannerConfig, ScannerStats};
 use crate::schedule::Schedule;
@@ -14,12 +15,14 @@ use crate::targets::TargetSet;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
 use bcd_netsim::{stream_seed, HostConfig, NetCounters, SimDuration, SimTime, StackPolicy, Trace};
+use bcd_obs::{ObsEnv, RunObservation, RunProfile};
 use bcd_worldgen::{World, WorldConfig, WorldRuntime};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Experiment parameters (§3.4–§3.5 knobs).
 #[derive(Debug, Clone)]
@@ -115,6 +118,10 @@ pub struct ExperimentData {
     pub budget_exhausted: bool,
     /// Merged packet capture, when the world config enables one.
     pub trace: Option<Trace>,
+    /// The run's observability artifact: phase profile, deterministic
+    /// aggregate metrics, per-shard slices (see [`bcd_obs`]). Callers may
+    /// append their own phases (analysis, report) before exporting.
+    pub obs: RunObservation,
     pub cfg: ExperimentConfig,
 }
 
@@ -154,10 +161,26 @@ impl Experiment {
     /// deterministically, so the returned data — and everything rendered
     /// from it — is byte-identical to a single-shard run.
     pub fn run(cfg: ExperimentConfig) -> ExperimentData {
+        Experiment::run_observed(cfg, &ObsEnv::from_env())
+    }
+
+    /// [`Experiment::run`] with explicit observability switches (tests and
+    /// benches pass [`ObsEnv::disabled`] to stay environment-independent).
+    ///
+    /// The returned data always carries a populated
+    /// [`ExperimentData::obs`] — assembling it is a per-run-boundary cost,
+    /// not a hot-path one. `env` only controls the *sinks*: the JSONL
+    /// export (written here when `BCD_OBS` names a path) and the scanner's
+    /// stderr heartbeat.
+    pub fn run_observed(cfg: ExperimentConfig, env: &ObsEnv) -> ExperimentData {
+        let mut profile = RunProfile::new();
+        let t0 = Instant::now();
         let mut world = bcd_worldgen::build::build(cfg.world.clone());
         if cfg.wildcard_zone {
             bcd_worldgen::build::set_experiment_zone_wildcard(&mut world);
         }
+        profile.record("worldgen-build", t0.elapsed());
+        let t0 = Instant::now();
 
         // §3.1: extract targets from the DITL trace.
         let targets = TargetSet::extract(&world.ditl2019, world.topo.routes());
@@ -202,12 +225,14 @@ impl Experiment {
         // horizon.
         let mut parts = shard::partition_schedule(&schedule, &asn_of, cfg.shards.max(1));
         let shards = parts.len();
+        profile.record("schedule-build", t0.elapsed());
 
         // Worldgen ran once; from here on the world is frozen and shared.
         let world = Arc::new(world);
 
         // Shards 1.. run on worker threads, each spawning its own runtime
         // (fresh nodes + logs) over the shared topology. Shard 0 runs here.
+        let progress = env.progress_every;
         let workers: Vec<std::thread::JoinHandle<ShardOutcome>> = (1..shards)
             .map(|sid| {
                 let cfg = cfg.clone();
@@ -216,19 +241,54 @@ impl Experiment {
                 let world = Arc::clone(&world);
                 std::thread::Builder::new()
                     .name(format!("bcd-shard-{sid}"))
-                    .spawn(move || run_shard(&world, &cfg, sid, part, asn_of, run_until))
+                    .spawn(move || run_shard(&world, &cfg, sid, part, asn_of, run_until, progress))
                     .expect("spawn shard thread")
             })
             .collect();
         let part0 = std::mem::take(&mut parts[0]);
-        let shard0 = run_shard(&world, &cfg, 0, part0, asn_of, run_until);
+        let shard0 = run_shard(&world, &cfg, 0, part0, asn_of, run_until, progress);
 
         // Deterministic merge, always in shard-id order.
         let mut outcomes = vec![shard0];
         for w in workers {
             outcomes.push(w.join().expect("shard thread panicked"));
         }
+        for (sid, o) in outcomes.iter().enumerate() {
+            profile.record_shard("shard-run", sid, o.wall, run_until);
+        }
+        let per_shard: Vec<bcd_obs::MetricsRegistry> =
+            outcomes.iter().map(|o| o.metrics.clone()).collect();
+        let t0 = Instant::now();
         let merged = shard::merge_outcomes(outcomes);
+        profile.record("merge", t0.elapsed());
+
+        // Deterministic aggregate from the *merged* artifacts; the fold of
+        // the per-shard layout slices fills in whatever the stable side
+        // does not claim. Drops are only deterministic when no stochastic
+        // link faults ran (see `observe::stable_aggregate`).
+        let loss_free = cfg.world.link_loss == 0.0;
+        let mut aggregate = observe::stable_aggregate(
+            &merged.entries,
+            &merged.scanner_stats,
+            &merged.responses,
+            &merged.dns,
+            &world,
+            &targets,
+            loss_free.then_some(&merged.counters),
+        );
+        aggregate.absorb_new(&merged.metrics);
+        let obs = RunObservation {
+            seed: cfg.world.seed,
+            shards,
+            profile,
+            aggregate,
+            per_shard,
+        };
+        if let Some(path) = &env.jsonl_path {
+            if let Err(e) = obs.write_jsonl(path) {
+                eprintln!("[bcd] BCD_OBS export to {} failed: {e}", path.display());
+            }
+        }
 
         let public_dns: Vec<IpAddr> = world
             .public_dns_v4
@@ -249,6 +309,7 @@ impl Experiment {
             counters: merged.counters,
             budget_exhausted: merged.budget_exhausted,
             trace: merged.trace,
+            obs,
             cfg,
         }
     }
@@ -266,7 +327,9 @@ fn run_shard(
     schedule: Schedule,
     asn_of: HashMap<IpAddr, u32>,
     run_until: SimTime,
+    progress: Option<u64>,
 ) -> ShardOutcome {
+    let wall_start = Instant::now();
     let mut wrt: WorldRuntime = world.spawn();
     let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
     let human_noise = if cfg.world.human_lookup_fraction > 0.0 {
@@ -292,6 +355,7 @@ fn run_shard(
         noise_salt: stream_seed(cfg.world.seed, NOISE_SALT_STREAM),
         opt_outs: cfg.opt_outs.clone(),
         outages: cfg.outages.clone(),
+        progress: progress.map(|every| (every, shard_id)),
     };
     // The scanner is a runtime-local host: it rides on top of the shared
     // topology (same host id and RNG stream in every shard) without
@@ -317,13 +381,26 @@ fn run_shard(
     let scanner = wrt.net.node::<Scanner>(scanner_host).expect("scanner node");
     let scanner_stats = scanner.stats.clone();
     let responses = scanner.responses.clone();
+    let dns = observe::dns_totals(&wrt.net);
+    let events = wrt.net.events_processed();
+    let trace = wrt.net.trace.take();
+    let metrics = observe::shard_registry(
+        &wrt.net.counters,
+        events,
+        &dns,
+        &scanner_stats,
+        trace.as_ref(),
+    );
     ShardOutcome {
         entries,
         scanner_stats,
         responses,
         counters: wrt.net.counters.clone(),
-        events: wrt.net.events_processed(),
+        events,
         budget_exhausted: wrt.net.budget_exhausted,
-        trace: wrt.net.trace.take(),
+        trace,
+        dns,
+        metrics,
+        wall: wall_start.elapsed(),
     }
 }

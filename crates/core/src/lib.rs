@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod attack;
 pub mod experiment;
 pub mod lab;
+pub mod observe;
 pub mod outreach;
 pub mod qname;
 pub mod report;
@@ -45,6 +46,7 @@ pub mod sources;
 pub mod targets;
 
 pub use experiment::{Experiment, ExperimentConfig, ExperimentData};
+pub use observe::{dns_totals, shard_registry, stable_aggregate, DnsTotals};
 pub use qname::{ExperimentTag, QnameCodec, SuffixKind};
 pub use scanner::Scanner;
 pub use schedule::{Schedule, ScheduledQuery};

@@ -18,6 +18,38 @@ use crate::targets::TargetSet;
 use bcd_stats::{Beta, StackedHistogram};
 use std::fmt::Write;
 
+/// Engine traffic accounting: merged packet totals and the per-reason
+/// drop breakdown. Not a paper artifact — a sanity surface for survey runs
+/// (`bcd-bench all`, the `dsav_survey` example), answering "where did the
+/// probes go?" at a glance. Deliberately omits the engine event counter:
+/// that is per-engine bookkeeping that varies with the shard layout, and
+/// this render goes to stdout, which must stay byte-identical across
+/// `BCD_SHARDS` (events appear in the stderr run report instead).
+pub fn render_engine_totals(counters: &bcd_netsim::NetCounters) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== engine traffic totals ==");
+    let _ = writeln!(
+        s,
+        "packets: {} sent, {} delivered, {} duplicated, {} intercepted",
+        counters.sent, counters.delivered, counters.duplicated, counters.intercepted
+    );
+    let total: u64 = counters.drops.values().sum();
+    if total == 0 {
+        let _ = writeln!(s, "drops: none");
+    } else {
+        let _ = writeln!(s, "drops by reason ({total} total):");
+        for (reason, n) in &counters.drops {
+            let _ = writeln!(
+                s,
+                "  {:<22} {n:>10}  ({:.1}%)",
+                reason.to_string(),
+                100.0 * *n as f64 / total as f64
+            );
+        }
+    }
+    s
+}
+
 /// `n (p%)` formatting helper.
 pub fn pct(n: usize, d: usize) -> String {
     if d == 0 {

@@ -108,6 +108,10 @@ pub struct ScannerConfig {
     /// leave; the schedule resumes afterwards so *every* prepared query is
     /// still issued — "albeit behind schedule".
     pub outages: Vec<(SimTime, SimDuration)>,
+    /// Opt-in progress heartbeat (`BCD_PROGRESS=N`): `(every N probes,
+    /// shard id)`. Emits one stderr line per interval; `None` (the
+    /// default) costs a single untaken branch per probe.
+    pub progress: Option<(u64, usize)>,
 }
 
 /// Counters for tests and reports.
@@ -213,6 +217,15 @@ impl Scanner {
                 .codec
                 .encode(now, q.source, q.target, asn, SuffixKind::Main);
             self.stats.spoofed_sent += 1;
+            if let Some((every, sid)) = self.cfg.progress {
+                if self.stats.spoofed_sent.is_multiple_of(every) {
+                    eprintln!(
+                        "[bcd] shard {sid}: {}/{} probes, sim t={now}",
+                        self.stats.spoofed_sent,
+                        self.cfg.schedule.queries.len(),
+                    );
+                }
+            }
 
             // §3.6.3: with small probability an IDS logs this probe and a
             // human later resolves the name from inside the target network.

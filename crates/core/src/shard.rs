@@ -24,13 +24,16 @@
 //! `S = N` (the equivalence suite in `tests/shard_equivalence.rs` locks
 //! this in).
 
+use crate::observe::DnsTotals;
 use crate::scanner::ScannerStats;
 use crate::schedule::Schedule;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
 use bcd_netsim::{Merge, NetCounters, SimTime, Trace};
+use bcd_obs::MetricsRegistry;
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::time::Duration;
 
 /// Shard count requested via the `BCD_SHARDS` environment variable, if any.
 pub fn shards_from_env() -> Option<usize> {
@@ -152,6 +155,14 @@ pub struct ShardOutcome {
     pub budget_exhausted: bool,
     /// Packet capture, when the world config enables one.
     pub trace: Option<Trace>,
+    /// Resolver counter totals harvested from this shard's runtime.
+    pub dns: DnsTotals,
+    /// This shard's layout-class metric slice (see [`crate::observe`]).
+    pub metrics: MetricsRegistry,
+    /// Wall-clock time the shard's engine run took (merge: summed — the
+    /// aggregate is total engine CPU time; per-shard walls live in the run
+    /// profile).
+    pub wall: Duration,
 }
 
 /// Fold shard outcomes (in shard-id order) into one logical run.
@@ -167,6 +178,9 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         events: 0,
         budget_exhausted: false,
         trace: None,
+        dns: DnsTotals::default(),
+        metrics: MetricsRegistry::new(),
+        wall: Duration::ZERO,
     };
     for o in outcomes {
         merged.entries.extend(o.entries);
@@ -175,6 +189,9 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         merged.counters.merge(o.counters);
         merged.events += o.events;
         merged.budget_exhausted |= o.budget_exhausted;
+        merged.dns.merge(o.dns);
+        merged.metrics.merge(o.metrics);
+        merged.wall += o.wall;
         match (&mut merged.trace, o.trace) {
             (Some(t), Some(other)) => t.merge(other),
             (t @ None, Some(other)) => *t = Some(other),

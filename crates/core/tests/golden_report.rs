@@ -22,6 +22,7 @@ use bcd_core::analysis::ports::PortReport;
 use bcd_core::analysis::qmin::QminReport;
 use bcd_core::analysis::reachability::{MiddleboxReport, Reachability};
 use bcd_core::{lab, report, Experiment, ExperimentConfig};
+use bcd_obs::ObsEnv;
 use std::path::PathBuf;
 
 const SEED: u64 = 2019;
@@ -51,7 +52,7 @@ fn check(name: &str, actual: &str) {
 
 #[test]
 fn all_renderers_match_golden_snapshots() {
-    let data = Experiment::run(ExperimentConfig::tiny(SEED));
+    let data = Experiment::run_observed(ExperimentConfig::tiny(SEED), &ObsEnv::disabled());
     let input = data.input();
     let reach = Reachability::compute(&input);
     let countries = CountryReport::compute(&input, &reach);
@@ -88,4 +89,12 @@ fn all_renderers_match_golden_snapshots() {
         &report::render_methodology(&reach, &qmin, &mbx),
     );
     check("passive", &report::render_passive(&passive));
+    // The observability surface: only the *deterministic* renders can be
+    // snapshots — they are shard-count-invariant (obs_invariance.rs), so
+    // the same golden holds under any BCD_SHARDS.
+    check(
+        "run_report",
+        &bcd_obs::report::render_run_report_deterministic(&data.obs),
+    );
+    check("metrics_jsonl", &bcd_obs::deterministic_jsonl(&data.obs));
 }

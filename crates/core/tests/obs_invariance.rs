@@ -1,0 +1,86 @@
+//! Shard-count invariance of the observability layer itself.
+//!
+//! The `bcd-obs` contract (ISSUE acceptance): the deterministic metric
+//! export and the deterministic run report are **byte-identical** for
+//! `BCD_SHARDS` ∈ {1, 4, 8} at the same seed — wall-clock and layout-class
+//! records are excluded by construction, so what remains must not betray
+//! how the run was split. This is the metrics-side companion of
+//! `shard_equivalence.rs` (which pins the analysis renders).
+
+use bcd_core::{Experiment, ExperimentConfig};
+use bcd_obs::report::{names, render_run_report_deterministic};
+use bcd_obs::{deterministic_jsonl, full_jsonl, ObsEnv};
+
+fn run(seed: u64, shards: usize) -> (String, String, bcd_core::ExperimentData) {
+    let mut cfg = ExperimentConfig::tiny(seed);
+    cfg.shards = shards;
+    let data = Experiment::run_observed(cfg, &ObsEnv::disabled());
+    (
+        deterministic_jsonl(&data.obs),
+        render_run_report_deterministic(&data.obs),
+        data,
+    )
+}
+
+#[test]
+fn deterministic_jsonl_and_report_are_shard_count_invariant() {
+    for seed in [11u64, 2019] {
+        let (jsonl1, report1, data1) = run(seed, 1);
+        // The run actually measured something.
+        let agg = &data1.obs.aggregate;
+        assert!(agg.counter(names::SCANNER_SPOOFED, &[]) > 0);
+        assert!(agg.counter(names::LOG_ENTRIES, &[]) > 0);
+        assert!(agg.counter(names::DNS_CLIENT_QUERIES, &[]) > 0);
+        assert!(agg.gauge(names::WORLD_HOSTS, &[]) > 0);
+        assert!(jsonl1.lines().count() > 10, "suspiciously thin export");
+        for line in jsonl1.lines() {
+            assert!(
+                line.contains("\"det\":true"),
+                "non-deterministic record leaked into the deterministic export: {line}"
+            );
+        }
+        for shards in [4usize, 8] {
+            let (jsonl_n, report_n, data_n) = run(seed, shards);
+            assert_eq!(
+                jsonl1, jsonl_n,
+                "deterministic JSONL differs between 1 and {shards} shards at seed {seed}"
+            );
+            assert_eq!(
+                report1, report_n,
+                "deterministic run report differs between 1 and {shards} shards at seed {seed}"
+            );
+            // The layout surface, by contrast, really is per-shard: the
+            // full export records one slice per effective shard.
+            assert_eq!(data_n.obs.per_shard.len(), data_n.obs.shards);
+            assert!(data_n.obs.shards > 1, "tiny world clamped to one shard");
+            assert!(full_jsonl(&data_n.obs).lines().count() > jsonl_n.lines().count());
+        }
+    }
+}
+
+#[test]
+fn profile_records_every_pipeline_phase() {
+    let (_, _, data) = run(11, 4);
+    let phases: Vec<&str> = data
+        .obs
+        .profile
+        .phases
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
+    for expect in ["worldgen-build", "schedule-build", "shard-run", "merge"] {
+        assert!(
+            phases.contains(&expect),
+            "missing phase {expect}: {phases:?}"
+        );
+    }
+    let shard_runs = data
+        .obs
+        .profile
+        .phases
+        .iter()
+        .filter(|p| p.name == "shard-run")
+        .count();
+    assert_eq!(shard_runs, data.obs.shards);
+    assert!(data.obs.profile.sim_horizon().is_some());
+}

@@ -143,6 +143,10 @@ pub struct ResolverStats {
     pub upstream_queries: u64,
     pub tcp_retries: u64,
     pub cache_hits: u64,
+    /// Client queries that missed the cache and started a resolution (the
+    /// complement of `cache_hits` among permitted queries; REFUSED queries
+    /// count as neither).
+    pub cache_misses: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -626,6 +630,7 @@ impl RecursiveResolver {
             self.respond_rcode(ctx, client, q.name, q.rtype, hit.rcode, hit.answers);
             return;
         }
+        self.stats.cache_misses += 1;
 
         self.ops_since_evict += 1;
         if self.ops_since_evict >= 256 {

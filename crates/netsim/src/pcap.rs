@@ -192,7 +192,7 @@ pub fn pcap_bytes(trace: &Trace, include_drops: bool) -> Vec<u8> {
     out.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
     out.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
 
-    for entry in trace.entries() {
+    for entry in trace.iter() {
         let keep = match entry.point {
             TracePoint::Delivered | TracePoint::Intercepted => true,
             TracePoint::Sent => false, // avoid duplicating delivered packets

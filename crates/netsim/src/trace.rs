@@ -3,6 +3,13 @@
 //! Disabled by default (the full survey moves tens of millions of packets);
 //! tests and examples enable it to assert on exact packet flows or to dump a
 //! human-readable trace.
+//!
+//! The buffer is a *ring*: once `capacity` entries are held, each new record
+//! evicts the oldest one. Enabling tracing on a full survey therefore costs
+//! bounded memory and keeps the most recent traffic — the part a debugging
+//! session almost always wants — while [`Trace::evicted`] counts what was
+//! lost (surfaced as the `trace.evicted` metric by the observability
+//! layer).
 
 use crate::counters::DropReason;
 use crate::packet::{Packet, Transport};
@@ -65,41 +72,70 @@ impl fmt::Display for TraceEntry {
     }
 }
 
-/// A bounded in-memory capture buffer.
+/// A bounded ring-buffer capture: at most `capacity` entries are held, and
+/// recording past capacity evicts the *oldest* entry.
 #[derive(Debug)]
 pub struct Trace {
-    entries: Vec<TraceEntry>,
+    /// Ring storage; once full, `head` is the oldest entry and the ring
+    /// wraps.
+    ring: Vec<TraceEntry>,
+    /// Index of the oldest entry (0 until the ring first fills).
+    head: usize,
     capacity: usize,
-    /// Number of entries discarded after the buffer filled.
-    pub overflowed: u64,
+    /// Number of entries evicted to make room after the buffer filled.
+    pub evicted: u64,
 }
 
 impl Trace {
-    /// A trace keeping at most `capacity` entries (oldest kept).
+    /// A trace keeping the most recent `capacity` entries.
     pub fn with_capacity(capacity: usize) -> Trace {
         Trace {
-            entries: Vec::new(),
+            ring: Vec::new(),
+            head: 0,
             capacity,
-            overflowed: 0,
+            evicted: 0,
         }
     }
 
-    /// Record one observation.
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of captured entries currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Record one observation, evicting the oldest entry when full.
     pub fn record(&mut self, time: SimTime, point: TracePoint, packet: &Packet) {
-        if self.entries.len() >= self.capacity {
-            self.overflowed += 1;
-            return;
-        }
-        self.entries.push(TraceEntry {
+        let entry = TraceEntry {
             time,
             point,
             packet: packet.clone(),
-        });
+        };
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.ring.len() < self.capacity {
+            self.ring.push(entry);
+        } else {
+            self.ring[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            self.evicted += 1;
+        }
     }
 
-    /// All captured entries, oldest first.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// Captured entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring[self.head..]
+            .iter()
+            .chain(self.ring[..self.head].iter())
     }
 
     /// Entries matching a predicate.
@@ -107,42 +143,49 @@ impl Trace {
         &'a self,
         pred: impl Fn(&TraceEntry) -> bool + 'a,
     ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| pred(e))
+        self.iter().filter(move |e| pred(e))
     }
 
     /// Fold another capture into this one: entries are interleaved by
     /// timestamp (stable — at equal times `self` entries come first), the
-    /// larger capacity wins, and everything beyond it counts as overflow.
+    /// larger capacity wins, and when the union exceeds it the *oldest*
+    /// entries are evicted (ring semantics, same as [`Trace::record`]).
     pub fn absorb(&mut self, other: Trace) {
-        self.capacity = self.capacity.max(other.capacity);
-        self.overflowed += other.overflowed;
-        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
-        let mut rhs = other.entries.into_iter().peekable();
-        for e in self.entries.drain(..) {
+        let capacity = self.capacity.max(other.capacity);
+        let mut evicted = self.evicted + other.evicted;
+        let mut merged: Vec<TraceEntry> = Vec::with_capacity(self.len() + other.len());
+        let mut rhs = other.iter().cloned().peekable();
+        for e in self.iter().cloned() {
             while rhs.peek().is_some_and(|r| r.time < e.time) {
                 merged.push(rhs.next().unwrap());
             }
             merged.push(e);
         }
         merged.extend(rhs);
-        if merged.len() > self.capacity {
-            self.overflowed += (merged.len() - self.capacity) as u64;
-            merged.truncate(self.capacity);
+        if merged.len() > capacity {
+            let excess = merged.len() - capacity;
+            evicted += excess as u64;
+            merged.drain(..excess);
         }
-        self.entries = merged;
+        *self = Trace {
+            ring: merged,
+            head: 0,
+            capacity,
+            evicted,
+        };
     }
 
     /// Render the whole capture as text, one line per record.
     pub fn dump(&self) -> String {
         let mut s = String::new();
-        for e in &self.entries {
+        for e in self.iter() {
             s.push_str(&e.to_string());
             s.push('\n');
         }
-        if self.overflowed > 0 {
+        if self.evicted > 0 {
             s.push_str(&format!(
-                "... {} entries not captured (buffer full)\n",
-                self.overflowed
+                "... {} older entries evicted (ring capacity {})\n",
+                self.evicted, self.capacity
             ));
         }
         s
@@ -161,14 +204,36 @@ mod tests {
     }
 
     #[test]
-    fn records_until_capacity() {
+    fn ring_keeps_newest_and_counts_evictions() {
         let mut t = Trace::with_capacity(2);
         t.record(SimTime::ZERO, TracePoint::Sent, &pkt());
         t.record(SimTime::from_secs(1), TracePoint::Delivered, &pkt());
         t.record(SimTime::from_secs(2), TracePoint::Delivered, &pkt());
-        assert_eq!(t.entries().len(), 2);
-        assert_eq!(t.overflowed, 1);
-        assert!(t.dump().contains("not captured"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted, 1);
+        let times: Vec<u64> = t.iter().map(|e| e.time.as_secs()).collect();
+        assert_eq!(times, vec![1, 2], "oldest entry evicted, newest kept");
+        assert!(t.dump().contains("evicted"));
+    }
+
+    #[test]
+    fn ring_wraps_in_order_under_sustained_overflow() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..10 {
+            t.record(SimTime::from_secs(i), TracePoint::Sent, &pkt());
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted, 7);
+        let times: Vec<u64> = t.iter().map(|e| e.time.as_secs()).collect();
+        assert_eq!(times, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_evicted() {
+        let mut t = Trace::with_capacity(0);
+        t.record(SimTime::ZERO, TracePoint::Sent, &pkt());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.evicted, 1);
     }
 
     #[test]
@@ -186,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn absorb_interleaves_by_time_and_caps() {
+    fn absorb_interleaves_by_time_and_keeps_newest() {
         let mut a = Trace::with_capacity(3);
         a.record(SimTime::from_secs(1), TracePoint::Sent, &pkt());
         a.record(SimTime::from_secs(3), TracePoint::Delivered, &pkt());
@@ -194,9 +259,25 @@ mod tests {
         b.record(SimTime::from_secs(2), TracePoint::Sent, &pkt());
         b.record(SimTime::from_secs(4), TracePoint::Sent, &pkt());
         a.absorb(b);
-        let times: Vec<u64> = a.entries().iter().map(|e| e.time.as_secs()).collect();
+        let times: Vec<u64> = a.iter().map(|e| e.time.as_secs()).collect();
+        // Ring semantics: capacity 3 keeps the *newest* three of {1,2,3,4}.
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(a.evicted, 1); // the t=1 entry was evicted
+        assert_eq!(a.capacity(), 3);
+    }
+
+    #[test]
+    fn absorb_flattens_a_wrapped_ring() {
+        let mut a = Trace::with_capacity(2);
+        for i in 0..4 {
+            a.record(SimTime::from_secs(i), TracePoint::Sent, &pkt());
+        }
+        let mut b = Trace::with_capacity(4);
+        b.record(SimTime::from_secs(1), TracePoint::Delivered, &pkt());
+        b.absorb(a);
+        let times: Vec<u64> = b.iter().map(|e| e.time.as_secs()).collect();
         assert_eq!(times, vec![1, 2, 3]);
-        assert_eq!(a.overflowed, 1); // entry at t=4 fell past capacity 3
+        assert_eq!(b.evicted, 2);
     }
 
     #[test]

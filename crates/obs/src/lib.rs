@@ -1,0 +1,159 @@
+//! # bcd-obs — deterministic observability for the survey pipeline
+//!
+//! The paper's survey (§3) is a multi-phase instrument: build a world, run
+//! the spoofed scan (possibly sharded by destination AS), merge the
+//! per-shard artifacts, analyse, render. Auditing such an instrument needs
+//! two kinds of visibility with *opposite* determinism requirements:
+//!
+//! * **what the run measured** — probe/drop accounting, resolver cache
+//!   behaviour, scanner progress. These must be *deterministic*: the same
+//!   seed must produce byte-identical numbers at any shard count, or the
+//!   observability layer itself would cast doubt on the sharding contract.
+//! * **what the run cost** — wall-clock phase timings, per-shard work
+//!   split. These are inherently machine- and layout-dependent.
+//!
+//! The crate keeps the two rigorously separated. Every metric and every
+//! exported record carries a determinism class ([`Det`]):
+//!
+//! * [`Det::Stable`] values derive from *merged* run artifacts (the query
+//!   log, scanner stats, client-path resolver counters) and are
+//!   shard-count-invariant; the equivalence suite byte-compares their JSONL
+//!   across `BCD_SHARDS` ∈ {1, 4, 8}.
+//! * [`Det::Layout`] values (engine event counts, raw packet counters that
+//!   include per-shard warmup traffic, per-shard breakdowns, wall-clock
+//!   durations) are reported separately and excluded from the deterministic
+//!   output.
+//!
+//! Pieces:
+//!
+//! * [`MetricsRegistry`] — labeled counters, gauges, and fixed-bucket
+//!   histograms in a canonically-ordered map; implements the simulator's
+//!   [`bcd_netsim::Merge`] trait so per-shard registries fold into the same
+//!   aggregate in any order-of-shards (the fold is commutative: every
+//!   combine is a sum).
+//! * [`RunProfile`] — sim-time-aware spans: each pipeline phase (worldgen
+//!   build, shard run, merge, analysis, report) records its wall-clock
+//!   duration and, where it advances virtual time, the sim horizon it ran
+//!   to.
+//! * [`RunObservation`] — one run's full observability artifact:
+//!   profile + deterministic aggregate + per-shard slices.
+//! * [`export`] — a structured JSONL exporter (`BCD_OBS=path.jsonl`), one
+//!   self-describing record per line, `det` flag on every record.
+//! * [`report`] — the human-readable "run report" renderer (full, and a
+//!   deterministic-only variant that the golden snapshot pins).
+//! * [`ObsEnv`] — the zero-cost-when-disabled handle: reading the
+//!   environment once yields either no-op sinks (default: no export, no
+//!   heartbeat) or the configured ones; hot paths only ever consult plain
+//!   `Option`s.
+
+pub mod export;
+pub mod metrics;
+pub mod profile;
+pub mod report;
+
+pub use export::{deterministic_jsonl, export_jsonl, full_jsonl};
+pub use metrics::{Det, Histogram, MetricKey, MetricValue, MetricsRegistry};
+pub use profile::{PhaseRecord, RunProfile};
+
+use std::path::PathBuf;
+
+/// One run's complete observability artifact, assembled by the experiment
+/// orchestrator after the merge.
+#[derive(Debug, Default)]
+pub struct RunObservation {
+    /// Master seed of the run (mirrors the world config).
+    pub seed: u64,
+    /// Effective shard count (after clamping to distinct destination ASes).
+    pub shards: usize,
+    /// Wall + sim phase spans.
+    pub profile: RunProfile,
+    /// Merged metrics: [`Det::Stable`] entries are shard-count-invariant,
+    /// [`Det::Layout`] entries are sums over the actual shard layout.
+    pub aggregate: MetricsRegistry,
+    /// Per-shard metric slices, in shard-id order (always [`Det::Layout`]:
+    /// the split itself depends on the shard count).
+    pub per_shard: Vec<MetricsRegistry>,
+}
+
+impl RunObservation {
+    /// Serialize and write the full JSONL export, creating parent
+    /// directories as needed.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, full_jsonl(self))
+    }
+}
+
+/// Environment-driven observability switches, read once per run.
+///
+/// The default is fully disabled: no JSONL sink, no heartbeat. Hot paths
+/// receive at most a copied `Option<u64>` out of this struct, so the
+/// disabled cost is an untaken branch.
+#[derive(Debug, Clone, Default)]
+pub struct ObsEnv {
+    /// `BCD_OBS=path.jsonl` — write the structured export here.
+    pub jsonl_path: Option<PathBuf>,
+    /// `BCD_PROGRESS=N` — scanner heartbeat to stderr every N probes
+    /// (`0`, empty, or unset disables; bare `1`..: that interval).
+    pub progress_every: Option<u64>,
+}
+
+impl ObsEnv {
+    /// All sinks off (the no-op default).
+    pub fn disabled() -> ObsEnv {
+        ObsEnv::default()
+    }
+
+    /// Read `BCD_OBS` / `BCD_PROGRESS`.
+    pub fn from_env() -> ObsEnv {
+        let jsonl_path = std::env::var_os("BCD_OBS")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let progress_every = std::env::var("BCD_PROGRESS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0);
+        ObsEnv {
+            jsonl_path,
+            progress_every,
+        }
+    }
+
+    /// True if any sink is active.
+    pub fn enabled(&self) -> bool {
+        self.jsonl_path.is_some() || self.progress_every.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_env_is_noop() {
+        let e = ObsEnv::disabled();
+        assert!(!e.enabled());
+        assert!(e.jsonl_path.is_none());
+        assert!(e.progress_every.is_none());
+    }
+
+    #[test]
+    fn observation_roundtrips_to_disk() {
+        let mut obs = RunObservation {
+            seed: 7,
+            shards: 2,
+            ..RunObservation::default()
+        };
+        obs.aggregate.add_counter("x.count", &[], Det::Stable, 3);
+        let dir = std::env::temp_dir().join("bcd-obs-test");
+        let path = dir.join("nested").join("run.jsonl");
+        obs.write_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x.count\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

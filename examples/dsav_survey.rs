@@ -17,6 +17,7 @@ use behind_closed_doors::core::analysis::ports::PortReport;
 use behind_closed_doors::core::analysis::qmin::QminReport;
 use behind_closed_doors::core::analysis::reachability::{MiddleboxReport, Reachability};
 use behind_closed_doors::core::{report, Experiment, ExperimentConfig};
+use behind_closed_doors::obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,7 +31,7 @@ fn main() {
 
     eprintln!("surveying a {n_as}-AS world (seed {seed}, scale {scale})...");
     let t0 = std::time::Instant::now();
-    let data = Experiment::run(cfg);
+    let mut data = Experiment::run(cfg);
     eprintln!(
         "done in {:.1}s — {} probes, {} auth-side queries, {} simulated events\n",
         t0.elapsed().as_secs_f64(),
@@ -39,6 +40,7 @@ fn main() {
         data.events
     );
 
+    let t_analysis = std::time::Instant::now();
     let input = data.input();
     let reach = Reachability::compute(&input);
     let countries = CountryReport::compute(&input, &reach);
@@ -58,4 +60,10 @@ fn main() {
     println!("{}", report::render_forwarding(&fwd));
     println!("{}", report::render_local(&local));
     println!("{}", report::render_methodology(&reach, &qmin, &mbx));
+    println!("{}", report::render_engine_totals(&data.counters));
+    data.obs.profile.record("analysis", t_analysis.elapsed());
+
+    // Run metadata (phase timings, per-shard breakdown) goes to stderr;
+    // see EXPERIMENTS.md "Observability" for BCD_OBS / BCD_PROGRESS.
+    eprintln!("{}", obs::report::render_run_report(&data.obs));
 }

@@ -34,6 +34,7 @@ pub use bcd_dns as dns;
 pub use bcd_dnswire as dnswire;
 pub use bcd_geo as geo;
 pub use bcd_netsim as netsim;
+pub use bcd_obs as obs;
 pub use bcd_osmodel as osmodel;
 pub use bcd_stats as stats;
 pub use bcd_worldgen as worldgen;

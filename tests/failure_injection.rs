@@ -97,7 +97,7 @@ fn survey_trace_exports_as_valid_pcap() {
     cfg.world.trace_capacity = Some(50_000);
     let data = Experiment::run(cfg);
     let trace = data.trace.as_ref().expect("trace enabled");
-    assert!(!trace.entries().is_empty());
+    assert!(!trace.is_empty());
 
     let bytes = pcap::pcap_bytes(trace, true);
     // Magic + linktype are in place and records parse to exactly the
