@@ -1,7 +1,7 @@
 //! DNS wire-format throughput: the hot path of the simulation (every
 //! packet's payload is encoded/decoded once per hop endpoint).
 
-use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
+use bcd_dnswire::{Message, MessageView, Name, RCode, RData, RType, Record, WireWriter};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -51,6 +51,29 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("decode_nxdomain_response", |b| {
         b.iter(|| Message::decode(black_box(&resp_bytes)).unwrap())
+    });
+    // The zero-copy variants every node uses on the hot path: encoding
+    // into a per-node scratch writer (no fresh Vec, no fresh compression
+    // map) and header/QNAME inspection through the borrowed view.
+    c.bench_function("encode_into_scratch_query", |b| {
+        let mut w = WireWriter::new();
+        b.iter(|| {
+            black_box(&query).encode_into(&mut w);
+            black_box(w.as_bytes().len())
+        })
+    });
+    c.bench_function("encode_into_scratch_response", |b| {
+        let mut w = WireWriter::new();
+        b.iter(|| {
+            black_box(&resp).encode_into(&mut w);
+            black_box(w.as_bytes().len())
+        })
+    });
+    c.bench_function("view_header_and_qname", |b| {
+        b.iter(|| {
+            let v = MessageView::parse(black_box(&query_bytes)).unwrap();
+            black_box((v.id(), v.qr(), v.question().unwrap()))
+        })
     });
     c.bench_function("name_parse", |b| {
         b.iter(|| {

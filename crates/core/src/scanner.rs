@@ -19,7 +19,7 @@
 use crate::qname::{Decoded, QnameCodec, SuffixKind};
 use crate::schedule::{Schedule, ScheduledQuery};
 use bcd_dns::SharedLog;
-use bcd_dnswire::{Message, RCode, RType};
+use bcd_dnswire::{Message, MessageView, RCode, RType, WireWriter};
 use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, Transport};
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -138,6 +138,9 @@ pub struct Scanner {
     log_cursor: usize,
     followed_up: HashSet<IpAddr>,
     human_queue: BTreeMap<SimTime, Vec<(bcd_dnswire::Name, IpAddr)>>,
+    /// Reusable encode buffer: every probe is serialized here, then copied
+    /// once into the packet's shared payload.
+    scratch: WireWriter,
     /// Responses received at the scanner's real addresses:
     /// `(time, responder, rcode)`.
     pub responses: Vec<(SimTime, IpAddr, RCode)>,
@@ -153,6 +156,7 @@ impl Scanner {
             log_cursor: 0,
             followed_up: HashSet::new(),
             human_queue: BTreeMap::new(),
+            scratch: WireWriter::new(),
             responses: Vec::new(),
             stats: ScannerStats::default(),
         }
@@ -173,7 +177,8 @@ impl Scanner {
         let txid: u16 = ctx.rng().gen();
         let sport: u16 = ctx.rng().gen_range(20_000..60_000);
         let msg = Message::query(txid, qname, RType::A);
-        ctx.send(Packet::udp(src, dst, sport, 53, msg.encode()));
+        msg.encode_into(&mut self.scratch);
+        ctx.send(Packet::udp(src, dst, sport, 53, self.scratch.as_bytes()));
     }
 
     /// If `now` falls inside a configured outage, the time it ends.
@@ -349,7 +354,8 @@ impl Scanner {
                 fnv1a(&mut h, &qname.canonical_bytes());
                 let sport = 20_000 + (h % 40_000) as u16;
                 let msg = Message::query((h >> 32) as u16, qname, RType::A);
-                ctx.send(Packet::udp(admin, lab, sport, 53, msg.encode()));
+                msg.encode_into(&mut self.scratch);
+                ctx.send(Packet::udp(admin, lab, sport, 53, self.scratch.as_bytes()));
             }
         }
     }
@@ -374,18 +380,20 @@ impl Node for Scanner {
 
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {
         // Responses to our open-resolver probes (and REFUSED evidence).
+        // Only header fields are read, so a lazy borrowed view is enough —
+        // no per-response section/label decoding.
         let Transport::Udp(u) = &pkt.transport else {
             return;
         };
-        let Ok(msg) = Message::decode(&u.payload) else {
+        let Ok(view) = MessageView::parse(&u.payload) else {
             return;
         };
-        if msg.header.qr {
+        if view.qr() {
             self.stats.responses_received += 1;
-            if msg.header.rcode == RCode::Refused {
+            if view.rcode() == RCode::Refused {
                 self.stats.refused_responses += 1;
             }
-            self.responses.push((ctx.now(), pkt.src, msg.header.rcode));
+            self.responses.push((ctx.now(), pkt.src, view.rcode()));
         }
     }
 }

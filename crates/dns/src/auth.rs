@@ -11,8 +11,8 @@
 
 use crate::log::{LogProto, QueryLogEntry, SharedLog, SynInfo};
 use crate::zone::{zone_for, Zone, ZoneMode};
-use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
-use bcd_netsim::{Node, NodeCtx, Packet, TcpFlags, TcpSegment, Transport};
+use bcd_dnswire::{Message, Name, RCode, RData, RType, Record, WireWriter};
+use bcd_netsim::{Node, NodeCtx, Packet, Payload, TcpFlags, TcpSegment, Transport};
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -33,6 +33,9 @@ pub struct AuthServer {
     cfg: AuthServerConfig,
     /// SYN metadata per (peer addr, peer port), for TCP query logging.
     syn_seen: HashMap<(IpAddr, u16), SynInfo>,
+    /// Reusable encode buffer: every response is serialized here, then
+    /// copied once into the packet's shared payload.
+    scratch: WireWriter,
     /// Queries answered, by transport.
     pub udp_queries: u64,
     pub tcp_queries: u64,
@@ -44,6 +47,7 @@ impl AuthServer {
         AuthServer {
             cfg,
             syn_seen: HashMap::new(),
+            scratch: WireWriter::new(),
             udp_queries: 0,
             tcp_queries: 0,
         }
@@ -190,7 +194,14 @@ impl Node for AuthServer {
                 if let Some(q) = query.question() {
                     self.log(ctx, &pkt, q.name.clone(), LogProto::Udp);
                 }
-                ctx.send(Packet::udp(pkt.dst, pkt.src, 53, u.src_port, resp.encode()));
+                resp.encode_into(&mut self.scratch);
+                ctx.send(Packet::udp(
+                    pkt.dst,
+                    pkt.src,
+                    53,
+                    u.src_port,
+                    self.scratch.as_bytes(),
+                ));
             }
             Transport::Tcp(t) => {
                 if t.dst_port != 53 {
@@ -218,7 +229,7 @@ impl Node for AuthServer {
                             ack: t.seq.wrapping_add(1),
                             window: 65_535,
                             options: Default::default(),
-                            payload: Vec::new(),
+                            payload: Payload::empty(),
                         },
                     ));
                 } else if t.flags.psh && !t.payload.is_empty() {
@@ -235,6 +246,7 @@ impl Node for AuthServer {
                     if let Some(q) = query.question() {
                         self.log(ctx, &pkt, q.name.clone(), LogProto::Tcp);
                     }
+                    resp.encode_into(&mut self.scratch);
                     ctx.send(Packet::tcp(
                         pkt.dst,
                         pkt.src,
@@ -246,7 +258,7 @@ impl Node for AuthServer {
                             ack: t.seq.wrapping_add(t.payload.len() as u32),
                             window: 65_535,
                             options: Default::default(),
-                            payload: resp.encode(),
+                            payload: Payload::from(self.scratch.as_bytes()),
                         },
                     ));
                 }

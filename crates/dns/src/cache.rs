@@ -75,16 +75,20 @@ impl Cache {
     /// Look up an answer. NXDOMAIN entries cover the whole subtree
     /// (RFC 8020): a cached NXDOMAIN for `b.c` answers `a.b.c` too.
     pub fn get_answer(&self, name: &Name, rtype: RType, now: SimTime) -> Option<CachedAnswer> {
-        // Subtree negative match first.
-        for k in (0..=name.label_count()).rev() {
-            let suffix = name.suffix(k);
-            if let Some(&exp) = self.nxdomain.get(&suffix) {
-                if exp > now {
-                    return Some(CachedAnswer {
-                        rcode: RCode::NXDomain,
-                        answers: Vec::new(),
-                        expires: exp,
-                    });
+        // Subtree negative match first. The suffix walk allocates one Name
+        // per label, so skip it entirely while no NXDOMAIN has ever been
+        // cached — the common case for cache-cold experiment names.
+        if !self.nxdomain.is_empty() {
+            for k in (0..=name.label_count()).rev() {
+                let suffix = name.suffix(k);
+                if let Some(&exp) = self.nxdomain.get(&suffix) {
+                    if exp > now {
+                        return Some(CachedAnswer {
+                            rcode: RCode::NXDomain,
+                            answers: Vec::new(),
+                            expires: exp,
+                        });
+                    }
                 }
             }
         }

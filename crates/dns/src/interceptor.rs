@@ -12,7 +12,7 @@
 //! upstream and relays the answer with the original destination spoofed as
 //! the response source, like real intercepting middleboxes do.
 
-use bcd_dnswire::Message;
+use bcd_dnswire::MessageView;
 use bcd_netsim::{Node, NodeCtx, Packet, Transport};
 use rand::Rng;
 use std::collections::HashMap;
@@ -59,10 +59,14 @@ impl Node for Interceptor {
         let Transport::Udp(u) = &pkt.transport else {
             return;
         };
-        let Ok(msg) = Message::decode(&u.payload) else {
+        // Lazy decode: the middlebox only reads header fields and rewrites
+        // the txid (plus RD on the forward leg), so it patches the wire
+        // bytes in place instead of decode → modify → re-encode. For
+        // messages our own encoder produced the two are byte-identical.
+        let Ok(view) = MessageView::parse(&u.payload) else {
             return;
         };
-        if !msg.header.qr && u.dst_port == 53 {
+        if !view.qr() && u.dst_port == 53 {
             // Client → middlebox (possibly addressed to someone else):
             // re-originate toward the upstream.
             if pkt.src.is_ipv6() != self.addr.is_ipv6() {
@@ -73,41 +77,40 @@ impl Node for Interceptor {
             if pkt.has_loopback_src() {
                 return;
             }
+            // Sanity-check the QNAME parses before proxying garbage.
+            let Ok(Some(_)) = view.question() else {
+                return;
+            };
             let txid: u16 = ctx.rng().gen();
             self.flows.insert(
                 txid,
                 Flow {
                     client: pkt.src,
                     client_port: u.src_port,
-                    client_txid: msg.header.id,
+                    client_txid: view.id(),
                     original_dst: pkt.dst,
                 },
             );
-            let mut fwd = msg;
-            fwd.header.id = txid;
-            fwd.header.rd = true;
             self.proxied += 1;
             ctx.send(Packet::udp(
                 self.addr,
                 self.upstream,
                 53_000,
                 53,
-                fwd.encode(),
+                view.to_bytes_with_id_rd(txid),
             ));
-        } else if msg.header.qr && pkt.src == self.upstream {
+        } else if view.qr() && pkt.src == self.upstream {
             // Upstream → middlebox: relay to the client, spoofing the
             // original destination as the source.
-            let Some(flow) = self.flows.remove(&msg.header.id) else {
+            let Some(flow) = self.flows.remove(&view.id()) else {
                 return;
             };
-            let mut resp = msg;
-            resp.header.id = flow.client_txid;
             ctx.send(Packet::udp(
                 flow.original_dst,
                 flow.client,
                 53,
                 flow.client_port,
-                resp.encode(),
+                view.to_bytes_with_id(flow.client_txid),
             ));
         }
     }
@@ -116,7 +119,7 @@ impl Node for Interceptor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcd_dnswire::{Name, RType};
+    use bcd_dnswire::{Message, Name, RType};
     use bcd_netsim::SimTime;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -20,9 +20,9 @@
 //!   fingerprint (§5.3.1).
 
 use crate::cache::Cache;
-use bcd_dnswire::{Message, Name, RCode, RData, RType, Record};
+use bcd_dnswire::{Message, Name, RCode, RData, RType, Record, WireWriter};
 use bcd_netsim::{
-    Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, TcpFlags, TcpSegment, Transport,
+    Node, NodeCtx, Packet, Payload, Prefix, SimDuration, SimTime, TcpFlags, TcpSegment, Transport,
 };
 use bcd_osmodel::{p0f, Os, PortAllocator};
 use rand::Rng;
@@ -199,6 +199,9 @@ pub struct RecursiveResolver {
     by_key: HashMap<(u16, u16), u64>,
     next_id: u64,
     ops_since_evict: u32,
+    /// Reusable encode buffer: every outgoing message is serialized here,
+    /// then copied once into the packet's shared payload.
+    scratch: WireWriter,
     /// Public counters.
     pub stats: ResolverStats,
 }
@@ -279,6 +282,7 @@ impl RecursiveResolver {
             by_key: HashMap::new(),
             next_id: 0,
             ops_since_evict: 0,
+            scratch: WireWriter::new(),
             stats: ResolverStats::default(),
         }
     }
@@ -308,9 +312,16 @@ impl RecursiveResolver {
         resp.header.qr = true;
         resp.header.ra = true;
         self.stats.answered += 1;
+        resp.encode_into(&mut self.scratch);
         ctx.send(
-            Packet::udp(client.our_addr, client.addr, 53, client.port, resp.encode())
-                .with_ttl(self.cfg.os.initial_ttl()),
+            Packet::udp(
+                client.our_addr,
+                client.addr,
+                53,
+                client.port,
+                self.scratch.as_bytes(),
+            )
+            .with_ttl(self.cfg.os.initial_ttl()),
         );
     }
 
@@ -447,8 +458,9 @@ impl RecursiveResolver {
             self.stats.tcp_retries += 1;
             ctx.send(Packet::tcp(our_addr, server, seg).with_ttl(sig.ittl));
         } else {
+            query.encode_into(&mut self.scratch);
             ctx.send(
-                Packet::udp(our_addr, server, sport, 53, query.encode())
+                Packet::udp(our_addr, server, sport, 53, self.scratch.as_bytes())
                     .with_ttl(self.cfg.os.initial_ttl()),
             );
         }
@@ -683,6 +695,7 @@ impl RecursiveResolver {
             let query = Message::query(p.txid, p.current_qname.clone(), qtype);
             let (sport, server) = (p.sport, p.server.unwrap());
             let our_addr = self.our_addr_for(server).unwrap();
+            query.encode_into(&mut self.scratch);
             ctx.send(
                 Packet::tcp(
                     our_addr,
@@ -695,7 +708,7 @@ impl RecursiveResolver {
                         ack: seg.seq.wrapping_add(1),
                         window: 65_535,
                         options: Default::default(),
-                        payload: query.encode(),
+                        payload: Payload::from(self.scratch.as_bytes()),
                     },
                 )
                 .with_ttl(self.cfg.os.initial_ttl()),

@@ -1,7 +1,7 @@
 //! A stub DNS client for lab harnesses (§5.3's controlled experiments) and
 //! tests: sends a schedule of queries to a resolver and records responses.
 
-use bcd_dnswire::{Message, Name, RCode, RType};
+use bcd_dnswire::{Message, Name, RCode, RType, WireWriter};
 use bcd_netsim::{Node, NodeCtx, Packet, SimDuration, SimTime, Transport};
 use std::net::IpAddr;
 
@@ -30,6 +30,8 @@ pub struct StubResponse {
 pub struct StubClient {
     addr: IpAddr,
     queries: Vec<StubQuery>,
+    /// Reusable encode buffer for outgoing queries.
+    scratch: WireWriter,
     /// Responses received, in arrival order.
     pub responses: Vec<StubResponse>,
 }
@@ -40,6 +42,7 @@ impl StubClient {
         StubClient {
             addr,
             queries,
+            scratch: WireWriter::new(),
             responses: Vec::new(),
         }
     }
@@ -63,12 +66,13 @@ impl Node for StubClient {
         };
         // txid = schedule index, so tests can correlate.
         let msg = Message::query(token as u16, q.qname, q.qtype);
+        msg.encode_into(&mut self.scratch);
         ctx.send(Packet::udp(
             self.addr,
             q.resolver,
             10_000 + (token as u16 % 50_000),
             53,
-            msg.encode(),
+            self.scratch.as_bytes(),
         ));
     }
 

@@ -13,6 +13,9 @@
 //! * hardened decoding: pointer loops, truncated buffers, over-long names
 //!   and labels all return typed errors rather than panicking (property
 //!   tests fuzz this),
+//! * [`MessageView`] — a borrowed lazy-decode view for hot paths that only
+//!   need header fields / the QNAME, with in-place id/RD patching for
+//!   forwarding,
 //! * the header bits the paper's methodology depends on: `TC` (elicits
 //!   DNS-over-TCP retry, §3.5), `RD`/`RA`, and rcodes `NXDOMAIN` (§3.3) and
 //!   `REFUSED` (closed resolvers, §3.8).
@@ -21,10 +24,12 @@ pub mod message;
 pub mod name;
 pub mod rdata;
 pub mod types;
+pub mod view;
 pub mod wire;
 
 pub use message::{Header, Message, Question};
 pub use name::{Name, NameError};
 pub use rdata::{RData, Record, Soa};
 pub use types::{Opcode, RClass, RCode, RType};
+pub use view::MessageView;
 pub use wire::{WireError, WireReader, WireWriter};

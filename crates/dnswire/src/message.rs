@@ -151,6 +151,17 @@ impl Message {
     /// Serialize to wire bytes with name compression.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Serialize into a reusable scratch writer (cleared first — name
+    /// compression offsets are absolute from the message start). Hot
+    /// senders keep one writer per node so steady-state encoding costs no
+    /// buffer or dictionary allocation; read the result via
+    /// [`WireWriter::as_bytes`].
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.clear();
         w.u16(self.header.id);
         w.u16(self.header.flags());
         w.u16(self.questions.len() as u16);
@@ -158,16 +169,15 @@ impl Message {
         w.u16(self.authorities.len() as u16);
         w.u16(self.additionals.len() as u16);
         for q in &self.questions {
-            q.name.encode(&mut w);
+            q.name.encode(&mut *w);
             w.u16(q.rtype.to_u16());
             w.u16(q.class.to_u16());
         }
         for section in [&self.answers, &self.authorities, &self.additionals] {
             for rec in section {
-                rec.encode(&mut w);
+                rec.encode(&mut *w);
             }
         }
-        w.into_bytes()
     }
 
     /// Decode from wire bytes; rejects trailing garbage.

@@ -191,18 +191,16 @@ impl Name {
     /// dictionary.
     pub fn encode(&self, w: &mut WireWriter) {
         // Walk suffixes from the full name down; emit labels until a suffix
-        // is found in the dictionary, then emit a pointer.
+        // is found among the already-written names, then emit a pointer.
+        // Matching is done against the wire bytes in place, so this path
+        // allocates nothing.
         let n = self.labels.len();
         for i in 0..n {
-            let suffix = Name {
-                labels: self.labels[i..].to_vec(),
-            };
-            let key = suffix.canonical_bytes();
-            if let Some(off) = w.compression_offset(&key) {
+            if let Some(off) = w.find_name(&self.labels[i..]) {
                 w.u16(0xC000 | off as u16);
                 return;
             }
-            w.remember_name(key, w.len());
+            w.note_name_start(w.len());
             let label = &self.labels[i];
             w.u8(label.len() as u8);
             w.bytes(label);
@@ -450,6 +448,39 @@ mod tests {
         assert_eq!(buf.len() - mid, 2, "second copy should be a bare pointer");
         let mut r = WireReader::new(&buf);
         assert_eq!(Name::decode(&mut r).unwrap(), a);
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+    }
+
+    #[test]
+    fn compression_at_pointer_range_boundary() {
+        // A name whose first occurrence starts exactly at offset 0x3FFF —
+        // the largest representable 14-bit pointer target — must be
+        // remembered and compressed to (0xC000 | 0x3FFF).
+        let a = n("edge.example.org");
+        let mut w = WireWriter::new();
+        w.bytes(&vec![0u8; 0x3FFF]);
+        assert_eq!(w.len(), 0x3FFF);
+        a.encode(&mut w);
+        let mid = w.len();
+        a.encode(&mut w);
+        let buf = w.into_bytes();
+        assert_eq!(buf.len() - mid, 2, "second copy should be a bare pointer");
+        assert_eq!(&buf[mid..], &[0xFF, 0xFF], "pointer to offset 0x3FFF");
+        let mut r = WireReader::new(&buf);
+        r.seek(mid).unwrap();
+        assert_eq!(Name::decode(&mut r).unwrap(), a);
+
+        // One byte further the offset no longer fits in 14 bits: the name
+        // must be written in full again, never as a corrupt pointer.
+        let mut w = WireWriter::new();
+        w.bytes(&vec![0u8; 0x4000]);
+        a.encode(&mut w);
+        let mid = w.len();
+        a.encode(&mut w);
+        let buf = w.into_bytes();
+        assert_eq!(buf.len() - mid, a.wire_len());
+        let mut r = WireReader::new(&buf);
+        r.seek(mid).unwrap();
         assert_eq!(Name::decode(&mut r).unwrap(), a);
     }
 

@@ -159,7 +159,8 @@ impl Record {
         let start = w.len();
         self.rdata.encode(w);
         let rdlen = w.len() - start;
-        w.patch_u16(len_at, rdlen as u16);
+        let patched = w.patch_u16(len_at, rdlen as u16);
+        debug_assert!(patched, "RDLENGTH back-patch offset is always in range");
     }
 
     /// Decode a full record.

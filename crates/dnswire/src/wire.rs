@@ -1,7 +1,6 @@
 //! Low-level wire primitives: a bounds-checked reader and a writer with
 //! name-compression bookkeeping.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Errors produced while decoding (or, rarely, encoding) wire data.
@@ -108,12 +107,23 @@ impl<'a> WireReader<'a> {
     }
 }
 
-/// An append-only buffer with a compression dictionary mapping already-
-/// written names (as canonical byte strings) to their offsets.
+/// Compression-pointer indirections tolerated while matching a dictionary
+/// candidate. Names this writer itself produced form strictly-backward
+/// chains far shorter than this; the bound is a defensive backstop.
+const MAX_DICT_HOPS: usize = 64;
+
+/// An append-only buffer with a compression dictionary of *offsets* into
+/// the already-written bytes. Earlier revisions keyed a fresh
+/// `HashMap<Vec<u8>, usize>` by canonical name bytes, which cost one
+/// `Vec` (and one hash insert) per suffix per encoded name; the offset
+/// list matches candidate suffixes against the wire bytes in place, so
+/// steady-state encoding allocates nothing beyond the (reusable) buffer.
 pub struct WireWriter {
     buf: Vec<u8>,
-    /// canonical name bytes → offset of its first occurrence
-    name_offsets: HashMap<Vec<u8>, usize>,
+    /// Offsets (all ≤ 0x3FFF) where an already-written label run starts,
+    /// in write order — so a linear scan finds the *first* occurrence,
+    /// exactly as the old map's first-insert-wins rule did.
+    name_starts: Vec<u32>,
 }
 
 impl WireWriter {
@@ -121,8 +131,17 @@ impl WireWriter {
     pub fn new() -> WireWriter {
         WireWriter {
             buf: Vec::with_capacity(512),
-            name_offsets: HashMap::new(),
+            name_starts: Vec::new(),
         }
+    }
+
+    /// Reset for reuse without releasing capacity: this is the pooled
+    /// "scratch" mode — a node keeps one writer and encodes every
+    /// outgoing message into it. Compression offsets are absolute from
+    /// the message start, so the buffer must be cleared between messages.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.name_starts.clear();
     }
 
     /// Bytes written so far.
@@ -133,6 +152,11 @@ impl WireWriter {
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// The bytes written so far (borrowed; the writer stays reusable).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Append one byte.
@@ -156,23 +180,75 @@ impl WireWriter {
     }
 
     /// Overwrite a previously written big-endian u16 (e.g. RDLENGTH
-    /// back-patching).
-    pub fn patch_u16(&mut self, at: usize, v: u16) {
-        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
-    }
-
-    /// Look up a compression target for a (canonical, lowercased) name
-    /// suffix.
-    pub fn compression_offset(&self, canonical: &[u8]) -> Option<usize> {
-        self.name_offsets.get(canonical).copied()
-    }
-
-    /// Remember that a canonical name suffix starts at `offset`. Offsets
-    /// beyond the 14-bit pointer range are not recorded.
-    pub fn remember_name(&mut self, canonical: Vec<u8>, offset: usize) {
-        if offset < 0x3FFF {
-            self.name_offsets.entry(canonical).or_insert(offset);
+    /// back-patching). An out-of-range `at` is a checked no-op returning
+    /// `false` instead of a slice-index panic, so a malformed back-patch
+    /// cannot abort a shard thread mid-survey.
+    pub fn patch_u16(&mut self, at: usize, v: u16) -> bool {
+        match self.buf.get_mut(at..at.wrapping_add(2)) {
+            Some(span) => {
+                span.copy_from_slice(&v.to_be_bytes());
+                true
+            }
+            None => false,
         }
+    }
+
+    /// Remember that a name's label run starts at `offset`. Offsets beyond
+    /// the 14-bit pointer range are not recorded; `0x3FFF` itself is the
+    /// largest representable pointer target and *is* valid.
+    pub fn note_name_start(&mut self, offset: usize) {
+        if offset <= 0x3FFF {
+            self.name_starts.push(offset as u32);
+        }
+    }
+
+    /// Look up a compression target for a label sequence: the offset of
+    /// the first already-written name whose labels (following any
+    /// compression pointers it ends in) equal `labels` case-insensitively
+    /// and terminate at the root.
+    pub fn find_name(&self, labels: &[Vec<u8>]) -> Option<usize> {
+        'starts: for &start in &self.name_starts {
+            let mut pos = start as usize;
+            let mut hops = 0usize;
+            let mut i = 0usize;
+            loop {
+                let Some(&len) = self.buf.get(pos) else {
+                    continue 'starts;
+                };
+                if len & 0xC0 == 0xC0 {
+                    let Some(&lo) = self.buf.get(pos + 1) else {
+                        continue 'starts;
+                    };
+                    hops += 1;
+                    if hops > MAX_DICT_HOPS {
+                        continue 'starts;
+                    }
+                    pos = ((len as usize & 0x3F) << 8) | lo as usize;
+                } else if len == 0 {
+                    if i == labels.len() {
+                        return Some(start as usize);
+                    }
+                    continue 'starts;
+                } else if len & 0xC0 != 0 {
+                    // Reserved label type: never written by this writer.
+                    continue 'starts;
+                } else {
+                    if i >= labels.len() {
+                        continue 'starts;
+                    }
+                    let end = pos + 1 + len as usize;
+                    let Some(wire) = self.buf.get(pos + 1..end) else {
+                        continue 'starts;
+                    };
+                    if !wire.eq_ignore_ascii_case(&labels[i]) {
+                        continue 'starts;
+                    }
+                    i += 1;
+                    pos = end;
+                }
+            }
+        }
+        None
     }
 
     /// Finish and take the buffer.
@@ -222,21 +298,86 @@ mod tests {
         let mut w = WireWriter::new();
         w.u16(0);
         w.u8(9);
-        w.patch_u16(0, 0xBEEF);
+        assert!(w.patch_u16(0, 0xBEEF));
         assert_eq!(w.into_bytes(), vec![0xBE, 0xEF, 9]);
     }
 
     #[test]
-    fn compression_dictionary() {
+    fn patch_u16_out_of_range_is_checked_noop() {
         let mut w = WireWriter::new();
-        w.remember_name(b"example.".to_vec(), 12);
-        assert_eq!(w.compression_offset(b"example."), Some(12));
-        assert_eq!(w.compression_offset(b"other."), None);
-        // First offset wins.
-        w.remember_name(b"example.".to_vec(), 99);
-        assert_eq!(w.compression_offset(b"example."), Some(12));
-        // Out-of-range offsets ignored.
-        w.remember_name(b"far.".to_vec(), 0x4000);
-        assert_eq!(w.compression_offset(b"far."), None);
+        w.u16(0x1234);
+        // Straddling the end, fully past the end, and overflow-adjacent
+        // offsets must all be rejected without panicking or writing.
+        assert!(!w.patch_u16(1, 0xBEEF));
+        assert!(!w.patch_u16(2, 0xBEEF));
+        assert!(!w.patch_u16(usize::MAX, 0xBEEF));
+        assert_eq!(w.into_bytes(), vec![0x12, 0x34]);
+    }
+
+    fn labels(parts: &[&str]) -> Vec<Vec<u8>> {
+        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn compression_dictionary_matches_written_bytes() {
+        let mut w = WireWriter::new();
+        // Write "host.example" by hand, noting each label-run start.
+        w.note_name_start(w.len());
+        w.u8(4);
+        w.bytes(b"host");
+        w.note_name_start(w.len());
+        w.u8(7);
+        w.bytes(b"example");
+        w.u8(0);
+        assert_eq!(w.find_name(&labels(&["host", "example"])), Some(0));
+        // Case-insensitive, first occurrence wins, suffix match.
+        assert_eq!(w.find_name(&labels(&["HOST", "Example"])), Some(0));
+        assert_eq!(w.find_name(&labels(&["example"])), Some(5));
+        // Shorter or longer sequences must not match.
+        assert_eq!(w.find_name(&labels(&["host"])), None);
+        assert_eq!(w.find_name(&labels(&["no", "example"])), None);
+        assert_eq!(w.find_name(&labels(&["host", "example", "org"])), None);
+    }
+
+    #[test]
+    fn compression_dictionary_follows_pointers() {
+        let mut w = WireWriter::new();
+        w.note_name_start(w.len());
+        w.u8(3);
+        w.bytes(b"org");
+        w.u8(0);
+        // "www" + pointer back to "org".
+        w.note_name_start(w.len());
+        w.u8(3);
+        w.bytes(b"www");
+        w.u16(0xC000);
+        assert_eq!(w.find_name(&labels(&["www", "org"])), Some(5));
+        assert_eq!(w.find_name(&labels(&["www"])), None);
+    }
+
+    #[test]
+    fn compression_dictionary_offset_range() {
+        let mut w = WireWriter::new();
+        // Out-of-range starts are never recorded; 0x3FFF itself is valid.
+        w.bytes(&vec![0u8; 0x3FFF]);
+        w.note_name_start(0x4000);
+        w.note_name_start(w.len()); // exactly 0x3FFF
+        w.u8(1);
+        w.bytes(b"x");
+        w.u8(0);
+        assert_eq!(w.find_name(&labels(&["x"])), Some(0x3FFF));
+    }
+
+    #[test]
+    fn clear_resets_buffer_and_dictionary() {
+        let mut w = WireWriter::new();
+        w.note_name_start(w.len());
+        w.u8(1);
+        w.bytes(b"a");
+        w.u8(0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.as_bytes(), b"");
+        assert_eq!(w.find_name(&labels(&["a"])), None);
     }
 }

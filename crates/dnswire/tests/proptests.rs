@@ -139,6 +139,63 @@ proptest! {
         let _ = Message::decode(&bytes);
     }
 
+    /// Messages larger than 16 KB cross the 14-bit compression-pointer
+    /// range: a name whose first occurrence lands at an offset above
+    /// 0x3FFF cannot be a pointer target and must be written verbatim,
+    /// while repeats of early names keep compressing. Either way the
+    /// message must round-trip.
+    #[test]
+    fn oversized_messages_round_trip_across_pointer_range(
+        pool_labels in proptest::collection::vec(
+            proptest::collection::vec(label_strategy(), 1..=4),
+            2..=5,
+        ),
+        picks in proptest::collection::vec(
+            (
+                any::<prop::sample::Index>(),
+                proptest::collection::vec(any::<u8>(), 350..=460),
+            ),
+            50..=80,
+        ),
+    ) {
+        // A small owner-name pool: every name recurs many times, so the
+        // same name is encoded both below and above the 0x3FFF boundary.
+        let pool: Vec<Name> = pool_labels
+            .into_iter()
+            .map(|ls| Name::from_labels(ls).unwrap())
+            .collect();
+        let answers: Vec<Record> = picks
+            .into_iter()
+            .map(|(idx, txt)| {
+                Record::new(pool[idx.index(pool.len())].clone(), 3600, RData::Txt(txt))
+            })
+            .collect();
+        let msg = Message {
+            header: Header {
+                id: 0x1616,
+                qr: true,
+                opcode: Opcode::Query,
+                aa: true,
+                tc: false,
+                rd: false,
+                ra: false,
+                rcode: RCode::NoError,
+            },
+            questions: vec![Question::new(pool[0].clone(), RType::Txt)],
+            answers,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        let bytes = msg.encode();
+        prop_assert!(
+            bytes.len() > 0x4000,
+            "message must exceed the pointer range; got {} bytes",
+            bytes.len()
+        );
+        let back = Message::decode(&bytes).expect("oversized self-encoded message must decode");
+        prop_assert_eq!(back, msg);
+    }
+
     #[test]
     fn name_round_trip_via_text(labels in proptest::collection::vec(label_strategy(), 1..5)) {
         let name = Name::from_labels(labels).unwrap();

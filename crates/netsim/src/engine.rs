@@ -592,6 +592,9 @@ impl Runtime {
                 at: self.now + dup_delay,
                 seq,
                 kind: EventKind::Deliver {
+                    // Payload bytes are Arc-shared, so duplicating a
+                    // delivery (like every trace capture) is a refcount
+                    // bump, not a deep copy of the DNS message.
                     pkt: delivered.clone(),
                     from_asn: origin_asn,
                 },

@@ -40,6 +40,7 @@ pub mod link;
 pub mod merge;
 pub mod node;
 pub mod packet;
+pub mod payload;
 pub mod pcap;
 pub mod prefix;
 pub mod routing;
@@ -55,6 +56,7 @@ pub use link::LinkProfile;
 pub use merge::Merge;
 pub use node::{HostId, Node, NodeCtx};
 pub use packet::{Packet, TcpFlags, TcpOptions, TcpSegment, Transport, UdpDatagram};
+pub use payload::Payload;
 pub use prefix::Prefix;
 pub use routing::{PrefixMap, PrefixTable};
 pub use time::{SimDuration, SimTime};

@@ -11,9 +11,11 @@
 //!   request/response exchange, which is all DNS-over-TCP (RFC 7766) needs
 //!   for one query.
 //!
-//! Layer-3/layer-4 payloads are opaque byte vectors; `bcd-dnswire` provides
-//! the DNS wire codec that fills them.
+//! Layer-3/layer-4 payloads are opaque shared byte buffers ([`Payload`],
+//! an `Arc<[u8]>` so packet clones are refcount bumps); `bcd-dnswire`
+//! provides the DNS wire codec that fills them.
 
+use crate::payload::Payload;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// TCP header flags (only those the handshake model uses).
@@ -97,7 +99,7 @@ pub struct TcpSegment {
     /// Receive window as sent on the wire (unscaled).
     pub window: u16,
     pub options: TcpOptions,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// A UDP datagram.
@@ -105,7 +107,7 @@ pub struct TcpSegment {
 pub struct UdpDatagram {
     pub src_port: u16,
     pub dst_port: u16,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// The transport layer of a packet.
@@ -155,7 +157,13 @@ pub struct Packet {
 impl Packet {
     /// Construct a UDP packet. Panics if the address families differ: a
     /// packet with a v4 source and v6 destination cannot exist on the wire.
-    pub fn udp(src: IpAddr, dst: IpAddr, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Packet {
+    pub fn udp(
+        src: IpAddr,
+        dst: IpAddr,
+        src_port: u16,
+        dst_port: u16,
+        payload: impl Into<Payload>,
+    ) -> Packet {
         assert_eq!(
             src.is_ipv6(),
             dst.is_ipv6(),
@@ -168,7 +176,7 @@ impl Packet {
             transport: Transport::Udp(UdpDatagram {
                 src_port,
                 dst_port,
-                payload,
+                payload: payload.into(),
             }),
         }
     }
@@ -300,7 +308,7 @@ mod tests {
                     mss: Some(1460),
                     ..Default::default()
                 },
-                payload: vec![],
+                payload: Payload::empty(),
             },
         );
         assert_eq!(t.wire_len(), 20 + 32);

@@ -1,0 +1,95 @@
+//! Shared, immutable packet payload bytes.
+//!
+//! Every delivered packet used to deep-copy its payload `Vec<u8>` on
+//! duplication and on every trace/pcap capture. `Payload` wraps the bytes
+//! in an `Arc<[u8]>` so cloning a packet — the per-delivery hot path in
+//! `Engine::dispatch_send` — is a refcount bump regardless of payload
+//! size. Payloads are immutable once built; nodes that rewrite bytes
+//! (e.g. the interceptor's txid swap) build a fresh buffer.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable shared payload bytes. Derefs to `[u8]`, so existing
+/// `&u.payload` read sites work unchanged.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// The shared empty payload (still one `Arc` allocation per call —
+    /// callers in hot paths should reuse; control paths don't care).
+    pub fn empty() -> Self {
+        Payload(Arc::from(&[][..]))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(v.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Self {
+        Payload(Arc::from(&v[..]))
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Payload").field(&&self.0[..]).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert!(std::ptr::eq(p.as_slice().as_ptr(), q.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn deref_and_empty() {
+        let p = Payload::from(vec![9u8; 4]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(&p[..2], &[9, 9]);
+        assert!(Payload::empty().is_empty());
+    }
+}

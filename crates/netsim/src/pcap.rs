@@ -251,7 +251,7 @@ mod tests {
                     timestamps: true,
                     layout: "mss,sok,ts,nop,ws",
                 },
-                payload: vec![],
+                payload: crate::payload::Payload::empty(),
             },
         )
     }

@@ -1,0 +1,95 @@
+//! Property test for the trace ring-buffer merge: absorbing one capture
+//! into another must be indistinguishable from a single trace that
+//! recorded the union sequentially — same entries, same order, same
+//! eviction count. This is the contract the sharded survey's trace merge
+//! relies on (each shard captures independently, the merged artifact must
+//! look like one engine's capture).
+
+use bcd_netsim::{Packet, SimTime, Trace, TracePoint};
+use proptest::prelude::*;
+use std::net::IpAddr;
+
+/// A packet tagged with a distinguishable source port, so entry identity
+/// (not just timestamps) survives the merge comparison.
+fn tagged_pkt(tag: u16) -> Packet {
+    let a: IpAddr = "192.0.2.1".parse().unwrap();
+    let b: IpAddr = "198.51.100.9".parse().unwrap();
+    Packet::udp(a, b, tag, 53, vec![0u8; 12])
+}
+
+fn entry_keys(t: &Trace) -> Vec<(u64, u16)> {
+    t.iter()
+        .map(|e| (e.time.as_nanos(), e.packet.transport.src_port()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Two captures with disjoint timestamps, neither individually
+    /// overflowed: `a.absorb(b)` must equal one trace of the merged
+    /// capacity recording the union in timestamp order.
+    #[test]
+    fn absorb_equals_sequential_record(
+        raw in proptest::collection::vec(
+            (0u64..1_000_000_000u64, proptest::arbitrary::any::<bool>()),
+            0..40usize,
+        ),
+        slack_a in 0usize..4,
+        slack_b in 0usize..4,
+    ) {
+        // Sort and dedup by timestamp so the two captures are disjoint and
+        // the merged order is unambiguous; tag every entry with its global
+        // index so entry identity (not just time) is checked.
+        let mut raw = raw;
+        raw.sort_by_key(|&(t, _)| t);
+        raw.dedup_by_key(|&mut (t, _)| t);
+        let times: Vec<u64> = raw.iter().map(|&(t, _)| t).collect();
+
+        // Partition the (sorted, distinct) timestamps into two disjoint
+        // captures.
+        let mut a_entries: Vec<(u64, u16)> = Vec::new();
+        let mut b_entries: Vec<(u64, u16)> = Vec::new();
+        for (i, &(t, to_a)) in raw.iter().enumerate() {
+            if to_a {
+                a_entries.push((t, i as u16));
+            } else {
+                b_entries.push((t, i as u16));
+            }
+        }
+        // Capacities at least as large as each input, so neither input
+        // ring evicts on its own (the property absorb must then preserve
+        // exactly); the union may still exceed the merged capacity.
+        let cap_a = a_entries.len() + slack_a;
+        let cap_b = b_entries.len() + slack_b;
+
+        let mut a = Trace::with_capacity(cap_a);
+        for &(t, tag) in &a_entries {
+            a.record(SimTime::from_nanos(t), TracePoint::Sent, &tagged_pkt(tag));
+        }
+        let mut b = Trace::with_capacity(cap_b);
+        for &(t, tag) in &b_entries {
+            b.record(SimTime::from_nanos(t), TracePoint::Sent, &tagged_pkt(tag));
+        }
+        prop_assert_eq!(a.evicted, 0u64);
+        prop_assert_eq!(b.evicted, 0u64);
+
+        a.absorb(b);
+
+        // The reference: one trace of the merged capacity, recording the
+        // union sequentially in timestamp order.
+        let mut reference = Trace::with_capacity(cap_a.max(cap_b));
+        for (i, &t) in times.iter().enumerate() {
+            reference.record(
+                SimTime::from_nanos(t),
+                TracePoint::Sent,
+                &tagged_pkt(i as u16),
+            );
+        }
+
+        prop_assert_eq!(a.capacity(), reference.capacity());
+        prop_assert_eq!(a.len(), reference.len());
+        prop_assert_eq!(a.evicted, reference.evicted);
+        prop_assert_eq!(entry_keys(&a), entry_keys(&reference));
+    }
+}

@@ -117,7 +117,7 @@ pub fn syn_segment(sig: TcpSignature, src_port: u16, dst_port: u16, seq: u32) ->
             timestamps: sig.layout.contains("ts"),
             layout: sig.layout,
         },
-        payload: Vec::new(),
+        payload: bcd_netsim::Payload::empty(),
     }
 }
 
