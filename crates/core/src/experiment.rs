@@ -116,6 +116,9 @@ pub struct ExperimentData {
     pub counters: NetCounters,
     /// True if any shard hit its event budget.
     pub budget_exhausted: bool,
+    /// Deliver events still queued at the horizon, summed over all shards
+    /// (in-flight packets the conservation invariant must account for).
+    pub pending_deliveries: u64,
     /// Merged packet capture, when the world config enables one.
     pub trace: Option<Trace>,
     /// The run's observability artifact: phase profile, deterministic
@@ -266,7 +269,7 @@ impl Experiment {
         // the per-shard layout slices fills in whatever the stable side
         // does not claim. Drops are only deterministic when no stochastic
         // link faults ran (see `observe::stable_aggregate`).
-        let loss_free = cfg.world.link_loss == 0.0;
+        let loss_free = cfg.world.link_loss == 0.0 && cfg.world.chaos.is_none();
         let mut aggregate = observe::stable_aggregate(
             &merged.entries,
             &merged.scanner_stats,
@@ -308,6 +311,7 @@ impl Experiment {
             events: merged.events,
             counters: merged.counters,
             budget_exhausted: merged.budget_exhausted,
+            pending_deliveries: merged.pending_deliveries,
             trace: merged.trace,
             obs,
             cfg,
@@ -383,6 +387,7 @@ fn run_shard(
     let responses = scanner.responses.clone();
     let dns = observe::dns_totals(&wrt.net);
     let events = wrt.net.events_processed();
+    let pending_deliveries = wrt.net.pending_deliveries();
     let trace = wrt.net.trace.take();
     let metrics = observe::shard_registry(
         &wrt.net.counters,
@@ -398,6 +403,7 @@ fn run_shard(
         counters: wrt.net.counters.clone(),
         events,
         budget_exhausted: wrt.net.budget_exhausted,
+        pending_deliveries,
         trace,
         dns,
         metrics,

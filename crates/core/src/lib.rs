@@ -32,7 +32,9 @@
 
 pub mod analysis;
 pub mod attack;
+pub mod chaos;
 pub mod experiment;
+pub mod invariants;
 pub mod lab;
 pub mod observe;
 pub mod outreach;
@@ -45,7 +47,9 @@ pub mod shard;
 pub mod sources;
 pub mod targets;
 
+pub use chaos::{chaos_config, chaos_seed, entries_digest, ChaosRun, SweepOutcome};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentData};
+pub use invariants::{InvariantChecker, InvariantReport, Violation};
 pub use observe::{dns_totals, shard_registry, stable_aggregate, DnsTotals};
 pub use qname::{ExperimentTag, QnameCodec, SuffixKind};
 pub use scanner::Scanner;

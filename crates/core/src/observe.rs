@@ -222,6 +222,20 @@ pub fn stable_aggregate(
     );
     m.set_gauge(names::WORLD_TARGETS_V4, &[], det, targets.v4.len() as i64);
     m.set_gauge(names::WORLD_TARGETS_V6, &[], det, targets.v6.len() as i64);
+    // Chaos schedule shape (compiled once per world, shared by every
+    // shard, so the counts are deterministic even though the *drops* the
+    // faults cause are not part of the stable surface).
+    if let Some(f) = &world.faults {
+        for (kind, n) in f.event_counts() {
+            m.add_counter(names::CHAOS_EVENTS, &[("kind", kind)], det, n);
+        }
+        m.add_counter(
+            names::CHAOS_EVENTS_ENABLED,
+            &[],
+            det,
+            f.enabled_ids().len() as u64,
+        );
+    }
     m
 }
 

@@ -153,6 +153,9 @@ pub struct ShardOutcome {
     pub counters: NetCounters,
     pub events: u64,
     pub budget_exhausted: bool,
+    /// Deliver events still queued when the horizon ended (in-flight
+    /// packets; the conservation invariant needs them to balance `sent`).
+    pub pending_deliveries: u64,
     /// Packet capture, when the world config enables one.
     pub trace: Option<Trace>,
     /// Resolver counter totals harvested from this shard's runtime.
@@ -177,6 +180,7 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         counters: NetCounters::default(),
         events: 0,
         budget_exhausted: false,
+        pending_deliveries: 0,
         trace: None,
         dns: DnsTotals::default(),
         metrics: MetricsRegistry::new(),
@@ -189,6 +193,7 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         merged.counters.merge(o.counters);
         merged.events += o.events;
         merged.budget_exhausted |= o.budget_exhausted;
+        merged.pending_deliveries += o.pending_deliveries;
         merged.dns.merge(o.dns);
         merged.metrics.merge(o.metrics);
         merged.wall += o.wall;

@@ -1,0 +1,57 @@
+//! Golden snapshot for the chaos run report.
+//!
+//! One tiny-world chaos run (fixed `(seed, profile)`) renders its full
+//! report — schedule shape, replay line, clean-vs-chaos survey summary,
+//! invariant verdict — and is compared byte-for-byte against the committed
+//! snapshot. Every field in the report is shard-invariant, so the same
+//! golden must hold under any `BCD_SHARDS` value (the CI matrix runs this
+//! suite at 1 and 4 shards).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p bcd-core --test chaos_golden
+//! ```
+
+use bcd_core::chaos;
+use bcd_core::ExperimentConfig;
+use std::path::PathBuf;
+
+const SEED: u64 = 2020;
+const PROFILE: &str = "bursty";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing snapshot {path:?}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "snapshot mismatch for {name}; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chaos_run_report_matches_golden_snapshot() {
+    // `tiny` honours BCD_SHARDS, so the CI matrix exercises the report's
+    // shard-invariance against one committed snapshot.
+    let base = ExperimentConfig::tiny(SEED);
+    let clean = chaos::run_clean(&base);
+    let run = chaos::run_checked(
+        &base,
+        chaos::chaos_config(SEED, PROFILE).expect("known profile"),
+        &clean,
+    );
+    assert!(run.invariants.is_ok(), "{}", run.invariants.render());
+    check("chaos_run", &chaos::render_run_report(&clean, &run));
+}

@@ -1,0 +1,112 @@
+//! Property tests for the chaos harness: arbitrary small fault schedules
+//! over tiny worlds never violate the survey invariants, and a
+//! `(seed, profile)` pair replays byte-identically — including across
+//! shard layouts.
+//!
+//! Every case runs full experiments in debug mode, so the case counts are
+//! deliberately small; the fixed-profile corners are covered by
+//! `tests/chaos_soundness.rs` at the workspace root.
+
+use bcd_core::chaos;
+use bcd_core::invariants::InvariantChecker;
+use bcd_core::ExperimentConfig;
+use bcd_netsim::{BurstLoss, ChaosConfig, ChaosProfile, CrashRestart, LinkFlap, SimDuration};
+use proptest::prelude::*;
+
+/// A very small world: each proptest case pays for multiple end-to-end
+/// experiment runs.
+fn small(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::tiny(seed);
+    cfg.world.n_as = 16;
+    cfg.world.target_scale = 0.03;
+    cfg.shards = 1;
+    cfg
+}
+
+fn any_profile() -> impl Strategy<Value = ChaosProfile> {
+    (
+        0.0f64..0.30,
+        0u64..200,
+        0.0f64..0.30,
+        0.0f64..0.05,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(loss, jitter_ms, reorder, duplicate, burst, flap, crash)| ChaosProfile {
+                loss,
+                jitter: SimDuration::from_millis(jitter_ms),
+                reorder,
+                reorder_delay: SimDuration::from_millis(150),
+                duplicate,
+                burst: burst.then_some(BurstLoss {
+                    fraction: 0.4,
+                    bad_loss: 0.6,
+                    mean_good: SimDuration::from_mins(6),
+                    mean_bad: SimDuration::from_secs(40),
+                }),
+                flap: flap.then_some(LinkFlap {
+                    fraction: 0.3,
+                    mean_up: SimDuration::from_mins(15),
+                    mean_down: SimDuration::from_secs(80),
+                }),
+                crash: crash.then_some(CrashRestart {
+                    fraction: 0.25,
+                    mean_up: SimDuration::from_mins(25),
+                    mean_down: SimDuration::from_mins(3),
+                }),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any small fault schedule leaves the survey sound: no false DSAV
+    /// reachability, conservation balances, reachability only shrinks,
+    /// and no closed resolver flips open.
+    #[test]
+    fn arbitrary_fault_schedules_never_violate_invariants(
+        seed in 0u64..1_000,
+        chaos_seed in any::<u64>(),
+        profile in any_profile(),
+    ) {
+        let base = small(seed);
+        let clean = chaos::run_clean(&base);
+        let data = chaos::run_chaotic(
+            &base,
+            ChaosConfig::custom(chaos_seed, "prop", profile),
+        );
+        let report = InvariantChecker::check_full(&clean, &data);
+        prop_assert!(report.is_ok(), "{}", report.render());
+    }
+
+    /// The same `(seed, profile)` schedule replays byte-identically, and
+    /// the shard layout is invisible: 1-shard and 4-shard runs produce
+    /// the same canonical query log.
+    #[test]
+    fn chaos_replay_is_byte_identical_across_runs_and_shards(
+        seed in 0u64..1_000,
+        chaos_seed in any::<u64>(),
+        profile in any_profile(),
+    ) {
+        let cfg = ChaosConfig::custom(chaos_seed, "prop", profile);
+        let first = chaos::run_chaotic(&small(seed), cfg.clone());
+        let again = chaos::run_chaotic(&small(seed), cfg.clone());
+        prop_assert_eq!(
+            chaos::entries_digest(&first),
+            chaos::entries_digest(&again),
+            "same (seed, profile) diverged between runs"
+        );
+        let mut sharded_cfg = small(seed);
+        sharded_cfg.shards = 4;
+        let sharded = chaos::run_chaotic(&sharded_cfg, cfg);
+        prop_assert_eq!(
+            chaos::entries_digest(&first),
+            chaos::entries_digest(&sharded),
+            "chaos run differs between 1 and 4 shards"
+        );
+        prop_assert_eq!(first.entries.len(), sharded.entries.len());
+    }
+}

@@ -35,6 +35,13 @@ pub enum DropReason {
     StackLoopback,
     /// Random link loss (fault injection).
     LinkLoss,
+    /// Seeded chaos loss (ambient or burst state, `FaultSchedule`).
+    ChaosLoss,
+    /// Dropped while an AS border was flapped dark (`FaultSchedule`).
+    LinkFlap,
+    /// Sender or destination host was inside a crash epoch
+    /// (`FaultSchedule`).
+    HostDown,
     /// Event budget exhausted while the packet was in flight.
     Truncated,
 }
@@ -54,6 +61,9 @@ impl fmt::Display for DropReason {
             DropReason::StackDstAsSrc => "stack-dst-as-src",
             DropReason::StackLoopback => "stack-loopback",
             DropReason::LinkLoss => "link-loss",
+            DropReason::ChaosLoss => "chaos-loss",
+            DropReason::LinkFlap => "link-flap",
+            DropReason::HostDown => "host-down",
             DropReason::Truncated => "truncated",
         };
         f.write_str(s)

@@ -34,6 +34,7 @@
 //! enqueue order and every run with the same seed is identical.
 
 use crate::counters::{DropReason, NetCounters};
+use crate::faults::{FaultSchedule, LinkFate};
 use crate::link::LinkProfile;
 use crate::node::{Effect, HostId, Node, NodeCtx};
 use crate::packet::{Packet, Transport};
@@ -354,6 +355,13 @@ pub struct Runtime {
     now: SimTime,
     seq: u64,
     rng: ChaCha8Rng,
+    /// Compiled chaos schedule, if fault injection is armed for this run.
+    faults: Option<Arc<FaultSchedule>>,
+    /// Occurrence counters for shard-local flows: how many packets of the
+    /// flow `(src, dst)` were sent at the current instant. Keys per-packet
+    /// chaos draws so they are invariant to shard layout (see
+    /// [`crate::faults`]). Only populated while `faults` is armed.
+    fault_flows: HashMap<(IpAddr, IpAddr), (SimTime, u32)>,
     /// Packet accounting for the whole run.
     pub counters: NetCounters,
     /// Optional packet capture.
@@ -396,6 +404,8 @@ impl Runtime {
             now: SimTime::ZERO,
             seq: 0,
             rng,
+            faults: None,
+            fault_flows: HashMap::new(),
             counters: NetCounters::default(),
             trace,
             started: false,
@@ -427,6 +437,29 @@ impl Runtime {
         self.extra_cfgs.push(cfg);
         self.hosts.push(HostState { node, rng });
         id
+    }
+
+    /// Arm a compiled chaos schedule: from now on every inter-AS traversal
+    /// and host touch consults it (see [`crate::faults`]). Pass the same
+    /// `Arc` to every shard of a sharded run.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultSchedule>>) {
+        self.faults = faults;
+        self.fault_flows.clear();
+    }
+
+    /// The armed chaos schedule, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultSchedule>> {
+        self.faults.as_ref()
+    }
+
+    /// Deliver events still queued (sent but neither delivered nor
+    /// dropped). Conservation checks account these as in-flight at the
+    /// instant the run stopped.
+    pub fn pending_deliveries(&self) -> u64 {
+        self.queue
+            .iter()
+            .filter(|Reverse(e)| matches!(e.kind, EventKind::Deliver { .. }))
+            .count() as u64
     }
 
     /// Reseed the engine-level noise RNG (link-fault sampling). Hosts keep
@@ -545,6 +578,15 @@ impl Runtime {
         self.counters.sent += 1;
         self.record(TracePoint::Sent, &pkt);
 
+        // Chaos: a host inside a crash epoch emits nothing.
+        if let Some(f) = &self.faults {
+            if f.host_down(from, self.now) {
+                self.counters.drop(DropReason::HostDown);
+                self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
+                return;
+            }
+        }
+
         let origin_asn = self.host_config(from).asn;
         let Some(dst_asn) = self.topo.routes.origin(pkt.dst) else {
             self.counters.drop(DropReason::NoRoute);
@@ -580,6 +622,32 @@ impl Runtime {
             return;
         };
 
+        // Chaos: seeded fate for inter-AS traversals. The decision is a
+        // pure function of a shard-invariant packet key and sim time, so a
+        // sharded run drops/delays exactly the packets a single-engine run
+        // would (see `crate::faults`).
+        let mut chaos_extra = SimDuration::ZERO;
+        let mut chaos_dup: Option<SimDuration> = None;
+        if crossing {
+            if let Some(f) = self.faults.clone() {
+                let key = self.flow_key(&f, &pkt, origin_asn, dst_asn);
+                match f.link_fate(key, self.now, origin_asn, dst_asn) {
+                    LinkFate::Drop(reason) => {
+                        self.counters.drop(reason);
+                        self.record(TracePoint::Dropped(reason), &pkt);
+                        return;
+                    }
+                    LinkFate::Pass {
+                        extra_delay,
+                        duplicate,
+                    } => {
+                        chaos_extra = extra_delay;
+                        chaos_dup = duplicate;
+                    }
+                }
+            }
+        }
+
         // TTL decrement across the path.
         let hops = Self::path_hops(origin_asn, dst_asn);
         let mut delivered = pkt;
@@ -600,15 +668,47 @@ impl Runtime {
                 },
             }));
         }
+        if let Some(dup_extra) = chaos_dup {
+            self.counters.duplicated += 1;
+            let seq = self.next_seq();
+            self.queue.push(Reverse(QueuedEvent {
+                at: self.now + delay + dup_extra,
+                seq,
+                kind: EventKind::Deliver {
+                    pkt: delivered.clone(),
+                    from_asn: origin_asn,
+                },
+            }));
+        }
         let seq = self.next_seq();
         self.queue.push(Reverse(QueuedEvent {
-            at: self.now + delay,
+            at: self.now + delay + chaos_extra,
             seq,
             kind: EventKind::Deliver {
                 pkt: delivered,
                 from_asn: origin_asn,
             },
         }));
+    }
+
+    /// Shard-invariant chaos key for one packet emission: occurrence-
+    /// counted for flows touching a measured AS (those are shard-local),
+    /// content-hashed for infrastructure-only flows (see `crate::faults`).
+    fn flow_key(&mut self, f: &FaultSchedule, pkt: &Packet, a: Asn, b: Asn) -> u64 {
+        if f.keys_by_occurrence(a, b) {
+            let slot = self
+                .fault_flows
+                .entry((pkt.src, pkt.dst))
+                .or_insert((SimTime::MAX, 0));
+            if slot.0 == self.now {
+                slot.1 += 1;
+            } else {
+                *slot = (self.now, 0);
+            }
+            f.occurrence_key(pkt.src, pkt.dst, self.now, slot.1)
+        } else {
+            f.content_key(pkt, self.now)
+        }
     }
 
     /// Run the destination-side pipeline and deliver to the node.
@@ -715,6 +815,16 @@ impl Runtime {
                 h
             }
         };
+
+        // Chaos: a destination inside a crash epoch accepts nothing
+        // (middlebox deliveries included — interceptors can crash too).
+        if let Some(f) = &self.faults {
+            if f.host_down(host, self.now) {
+                self.counters.drop(DropReason::HostDown);
+                self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
+                return;
+            }
+        }
 
         self.counters.delivered += 1;
         self.record(TracePoint::Delivered, &pkt);

@@ -36,6 +36,7 @@
 
 pub mod counters;
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod merge;
 pub mod node;
@@ -51,6 +52,10 @@ pub mod trace;
 pub use counters::{DropReason, NetCounters};
 pub use engine::{
     splitmix64, stream_seed, HostConfig, Network, NetworkConfig, Runtime, Topology, TopologyBuilder,
+};
+pub use faults::{
+    BurstLoss, ChaosConfig, ChaosProfile, ChaosSpec, CrashRestart, FaultDomain, FaultEvent,
+    FaultKind, FaultSchedule, LinkFate, LinkFlap,
 };
 pub use link::LinkProfile;
 pub use merge::Merge;

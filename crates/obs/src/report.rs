@@ -64,6 +64,13 @@ pub mod names {
     pub const LOG_ENTRIES: &str = "log.entries";
     /// Histogram of log-entry sim-times, in hours since scan start.
     pub const LOG_ENTRY_HOURS: &str = "log.entry_sim_hours";
+    /// Compiled chaos-schedule event counts, one per `kind` label
+    /// (deterministic: the fault schedule is compiled once per world and
+    /// shared by every shard).
+    pub const CHAOS_EVENTS: &str = "chaos.events";
+    /// Number of enabled fault events (differs from the total only under a
+    /// delta-debugging replay that restricts the schedule).
+    pub const CHAOS_EVENTS_ENABLED: &str = "chaos.events_enabled";
     /// World-shape gauges (identical in every shard).
     pub const WORLD_HOSTS: &str = "world.hosts";
     pub const WORLD_ASES: &str = "world.ases";

@@ -16,8 +16,9 @@ use bcd_dns::{Acl, NodeBlueprint, ResolverConfig, SharedLog, Zone, ZoneMode};
 use bcd_dnswire::Name;
 use bcd_geo::{sample_country, Country, CountryProfile, GeoDb, COUNTRIES};
 use bcd_netsim::{
-    stream_seed, Asn, BorderPolicy, HostConfig, HostId, LinkProfile, NetworkConfig, Prefix,
-    Runtime, SimDuration, StackPolicy, Topology,
+    stream_seed, Asn, BorderPolicy, ChaosConfig, ChaosProfile, FaultDomain, FaultSchedule,
+    HostConfig, HostId, LinkProfile, NetworkConfig, Prefix, Runtime, SimDuration, StackPolicy,
+    Topology,
 };
 use bcd_osmodel::{DnsSoftware, Os};
 use rand::{Rng, SeedableRng};
@@ -94,6 +95,10 @@ pub struct World {
     /// The IPv6 hitlist: /64s with observed activity (every /64 hosting a
     /// target, plus actives without targets), per §3.2's source heuristic.
     pub v6_hitlist: Vec<Prefix>,
+    /// Compiled chaos schedule (from `cfg.chaos` and/or the `link_loss`
+    /// alias), armed in every spawned runtime. Compiled once here so all
+    /// shards share the identical schedule.
+    pub faults: Option<Arc<FaultSchedule>>,
 }
 
 /// A live engine spawned from a [`World`]: a [`Runtime`] over the shared
@@ -139,11 +144,9 @@ impl World {
             .iter()
             .map(|b| b.instantiate(&logs))
             .collect();
-        WorldRuntime {
-            net: Runtime::new(Arc::clone(&self.topo), nodes),
-            log,
-            root_log,
-        }
+        let mut net = Runtime::new(Arc::clone(&self.topo), nodes);
+        net.set_faults(self.faults.clone());
+        WorldRuntime { net, log, root_log }
     }
 }
 
@@ -154,6 +157,8 @@ const FIRST_MEASURED_ASN: u32 = 1_000;
 /// Stream id for the public DNS hosts' identity-draw salts (see
 /// [`ResolverConfig::identity_draw_salt`]).
 const PUBLIC_DNS_SALT_STREAM: u64 = 0x5055_424C_4943_4453;
+/// Stream id for the chaos seed backing the `link_loss` alias.
+const LINK_LOSS_CHAOS_STREAM: u64 = 0x4C4C_4F53_5343_4841;
 
 /// Pairs the topology under construction with one [`NodeBlueprint`] per
 /// host, so host-id order stays authoritative for both.
@@ -205,12 +210,28 @@ struct AsPlan {
 pub fn build(cfg: WorldConfig) -> World {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut alloc = AddressAllocator::new();
+    // The classic `link_loss` knob is routed through the chaos layer (the
+    // LinkProfile loss field samples the engine noise RNG, whose stream is
+    // per-shard — chaos drops are keyed on packet identity instead, so a
+    // lossy run is byte-identical at any shard count). The link profile
+    // itself stays loss-free.
+    let chaos_cfg: Option<ChaosConfig> = match (cfg.chaos.clone(), cfg.link_loss) {
+        (None, l) if l <= 0.0 => None,
+        (None, l) => Some(ChaosConfig::custom(
+            stream_seed(cfg.seed, LINK_LOSS_CHAOS_STREAM),
+            "link-loss",
+            ChaosProfile::loss_only(l),
+        )),
+        (Some(mut c), l) => {
+            if l > 0.0 {
+                c.profile.loss = 1.0 - (1.0 - c.profile.loss) * (1.0 - l);
+            }
+            Some(c)
+        }
+    };
     let mut net = WorldBuilder::new(NetworkConfig {
         seed: cfg.seed.wrapping_add(1),
-        core_link: LinkProfile {
-            loss: cfg.link_loss,
-            ..LinkProfile::ideal()
-        },
+        core_link: LinkProfile::ideal(),
         intra_link: LinkProfile::instant(),
         trace_capacity: cfg.trace_capacity,
         max_events: cfg.max_events,
@@ -631,8 +652,35 @@ pub fn build(cfg: WorldConfig) -> World {
     };
 
     let WorldBuilder { tb, blueprints } = net;
+    let topo = Arc::new(tb.finish());
+
+    // Compile the chaos schedule over the finished world. The fault domain
+    // is the measured edge: burst/flap windows target measured ASes,
+    // crash/restart epochs target resolver hosts inside them. The domain
+    // is a pure function of the build, so every shard (and every shard
+    // *count*) sees one identical schedule.
+    let faults = chaos_cfg.map(|c| {
+        let measured: std::collections::HashSet<u32> = measured_asns.iter().map(|a| a.0).collect();
+        let crash_hosts: Vec<HostId> = blueprints
+            .iter()
+            .enumerate()
+            .filter(|(id, b)| {
+                matches!(b, NodeBlueprint::Resolver(_))
+                    && measured.contains(&topo.host_config(*id).asn.0)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        Arc::new(FaultSchedule::compile(
+            &c,
+            &FaultDomain {
+                asns: measured_asns.clone(),
+                crash_hosts,
+            },
+        ))
+    });
+
     World {
-        topo: Arc::new(tb.finish()),
+        topo,
         blueprints,
         cfg,
         geo,
@@ -647,6 +695,7 @@ pub fn build(cfg: WorldConfig) -> World {
         measured_asns,
         experiment_hosts,
         v6_hitlist,
+        faults,
     }
 }
 

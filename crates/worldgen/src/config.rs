@@ -97,8 +97,14 @@ pub struct WorldConfig {
     pub max_events: u64,
     /// Random loss probability on inter-AS links (fault injection; the
     /// methodology must stay sound under loss — resolvers retransmit and
-    /// the analyses only ever under-count).
+    /// the analyses only ever under-count). This knob is a thin alias for
+    /// ambient chaos loss: `build` folds it into the compiled
+    /// [`bcd_netsim::FaultSchedule`], so lossy runs are deterministic
+    /// across shard layouts.
     pub link_loss: f64,
+    /// Seeded fault injection: compile a [`bcd_netsim::FaultSchedule`]
+    /// from this profile and arm it in every spawned runtime.
+    pub chaos: Option<bcd_netsim::ChaosConfig>,
     /// Capture packets into an in-memory trace with this capacity (for
     /// pcap export / debugging). Off by default — a full survey moves tens
     /// of millions of packets.
@@ -137,6 +143,7 @@ impl WorldConfig {
             human_lookup_delay_secs: 7_200,
             max_events: 500_000_000,
             link_loss: 0.0,
+            chaos: None,
             trace_capacity: None,
         }
     }

@@ -1,0 +1,83 @@
+//! The chaos sweep: fan `seeds × profiles` seeded fault schedules through
+//! the full survey, gate every run on the invariant checker, and shrink
+//! any violation to a minimal replayable reproducer.
+//!
+//! ```sh
+//! # default sweep: 8 seeds × 4 profiles = 32 checked (seed, profile) runs
+//! cargo run --release --example chaos_sweep
+//! # custom fan-out over tiny worlds:
+//! cargo run --release --example chaos_sweep -- [n_seeds] [profile ...]
+//! cargo run --release --example chaos_sweep -- 4 drizzle hostile
+//!
+//! # replay one run from a printed replay line and print its log digest:
+//! BCD_CHAOS=seed=123,profile=bursty cargo run --release --example chaos_sweep
+//! ```
+//!
+//! Exits nonzero if any invariant was violated — the CI `chaos-smoke` job
+//! gates on that. `BCD_SHARDS` picks the shard layout; every printed line
+//! (and the exit code) is identical for any value, because fault fates are
+//! pure functions of shard-invariant packet keys.
+
+use behind_closed_doors::core::chaos::{self, SWEEP_PROFILES};
+use behind_closed_doors::core::ExperimentConfig;
+use behind_closed_doors::netsim::ChaosSpec;
+
+const SWEEP_SEEDS: [u64; 8] = [11, 23, 37, 41, 53, 67, 79, 97];
+
+fn main() {
+    // Replay mode: BCD_CHAOS carries a replay line from a previous sweep
+    // (or a shrunk minimal reproducer, with its `events=` list).
+    if let Ok(line) = std::env::var("BCD_CHAOS") {
+        let spec: ChaosSpec = line
+            .parse()
+            .unwrap_or_else(|e| panic!("bad BCD_CHAOS line {line:?}: {e}"));
+        let base = ExperimentConfig::tiny(SWEEP_SEEDS[0]);
+        eprintln!(
+            "replaying {spec} over a tiny world (seed {})...",
+            SWEEP_SEEDS[0]
+        );
+        let clean = chaos::run_clean(&base);
+        let data =
+            chaos::replay(&base, &spec).unwrap_or_else(|| panic!("unknown profile in {line:?}"));
+        let report =
+            behind_closed_doors::core::invariants::InvariantChecker::check_full(&clean, &data);
+        println!("log digest: {:016x}", chaos::entries_digest(&data));
+        print!("{}", report.render());
+        std::process::exit(if report.is_ok() { 0 } else { 1 });
+    }
+
+    let args: Vec<String> = std::env::args().collect();
+    let n_seeds: usize = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(SWEEP_SEEDS.len())
+        .clamp(1, SWEEP_SEEDS.len());
+    let profiles: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(|s| s.as_str()).collect()
+    } else {
+        SWEEP_PROFILES.to_vec()
+    };
+
+    eprintln!(
+        "chaos sweep: {n_seeds} seeds × {} profiles over tiny worlds...",
+        profiles.len()
+    );
+    let t0 = std::time::Instant::now();
+    let outcome = chaos::sweep(
+        ExperimentConfig::tiny,
+        &SWEEP_SEEDS[..n_seeds],
+        &profiles,
+        true,
+    );
+    eprintln!("swept in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    print!("{}", outcome.render());
+    println!();
+    for run in &outcome.runs {
+        println!("replay: BCD_CHAOS={}", run.spec);
+    }
+    if outcome.total_violations() > 0 {
+        eprintln!("\nINVARIANT VIOLATIONS: {}", outcome.total_violations());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Seed-sweep soundness: every chaos profile must leave the survey's
+//! invariants intact, every `(seed, profile)` schedule must replay
+//! byte-identically — including across shard layouts — and a broken
+//! invariant must be caught and shrunk to a minimal fault-event set.
+
+use behind_closed_doors::core::chaos::{self, SWEEP_PROFILES};
+use behind_closed_doors::core::invariants::InvariantChecker;
+use behind_closed_doors::core::ExperimentConfig;
+use behind_closed_doors::netsim::{ChaosProfile, ChaosSpec, DropReason};
+
+fn tiny(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::tiny(seed);
+    cfg.shards = 1;
+    cfg
+}
+
+#[test]
+fn crash_restart_chaos_stays_sound() {
+    let base = tiny(301);
+    let clean = chaos::run_clean(&base);
+    let run = chaos::run_checked(&base, chaos::chaos_config(301, "crashy").unwrap(), &clean);
+    assert!(run.invariants.is_ok(), "{}", run.invariants.render());
+    assert!(
+        run.data.counters.dropped(DropReason::HostDown) > 0,
+        "crash epochs never bit: no host-down drops"
+    );
+}
+
+#[test]
+fn reorder_and_duplication_chaos_stays_sound() {
+    let base = tiny(302);
+    let clean = chaos::run_clean(&base);
+    let run = chaos::run_checked(&base, chaos::chaos_config(302, "jittery").unwrap(), &clean);
+    assert!(run.invariants.is_ok(), "{}", run.invariants.render());
+    assert!(
+        run.data.counters.duplicated > clean.counters.duplicated,
+        "duplication layer never bit"
+    );
+}
+
+#[test]
+fn link_flap_chaos_stays_sound() {
+    let base = tiny(303);
+    let clean = chaos::run_clean(&base);
+    let run = chaos::run_checked(&base, chaos::chaos_config(303, "flaky").unwrap(), &clean);
+    assert!(run.invariants.is_ok(), "{}", run.invariants.render());
+    assert!(
+        run.data.counters.dropped(DropReason::LinkFlap) > 0,
+        "flap windows never bit: no link-flap drops"
+    );
+}
+
+#[test]
+fn every_sweep_profile_stays_sound_and_bites() {
+    // The default sweep profiles must each perturb the run (chaos with no
+    // observable effect tests nothing) without violating an invariant.
+    let base = tiny(308);
+    let clean = chaos::run_clean(&base);
+    for profile in SWEEP_PROFILES {
+        let run = chaos::run_checked(&base, chaos::chaos_config(308, profile).unwrap(), &clean);
+        assert!(
+            run.invariants.is_ok(),
+            "profile {profile}: {}",
+            run.invariants.render()
+        );
+        // Chaos with no observable effect tests nothing: either the query
+        // log changed, or the fault layers left drop/duplication marks.
+        let chaos_marks = run.data.counters.dropped(DropReason::ChaosLoss)
+            + run.data.counters.dropped(DropReason::LinkFlap)
+            + run.data.counters.dropped(DropReason::HostDown)
+            + run.data.counters.duplicated;
+        assert!(
+            chaos::entries_digest(&run.data) != chaos::entries_digest(&clean) || chaos_marks > 0,
+            "profile {profile} had no observable effect"
+        );
+    }
+}
+
+#[test]
+fn chaos_run_is_byte_identical_across_shard_layouts() {
+    let mk = |shards: usize| {
+        let mut cfg = ExperimentConfig::tiny(305);
+        cfg.shards = shards;
+        cfg
+    };
+    let clean = chaos::run_clean(&mk(1));
+    let chaos_cfg = chaos::chaos_config(305, "lossy").unwrap();
+    let one = chaos::run_checked(&mk(1), chaos_cfg.clone(), &clean);
+    let four = chaos::run_checked(&mk(4), chaos_cfg, &clean);
+    assert_eq!(
+        chaos::entries_digest(&one.data),
+        chaos::entries_digest(&four.data),
+        "chaos query log differs between 1 and 4 shards"
+    );
+    assert_eq!(one.data.entries.len(), four.data.entries.len());
+    assert_eq!(
+        chaos::render_run_report(&clean, &one),
+        chaos::render_run_report(&clean, &four),
+        "chaos run report differs between 1 and 4 shards"
+    );
+    assert!(one.invariants.is_ok(), "{}", one.invariants.render());
+}
+
+#[test]
+fn replay_line_round_trips_byte_identically() {
+    let base = tiny(306);
+    let clean = chaos::run_clean(&base);
+    let run = chaos::run_checked(&base, chaos::chaos_config(306, "bursty").unwrap(), &clean);
+    // Print the replay line, parse it back, replay it: same run.
+    let line = format!("BCD_CHAOS={}", run.spec);
+    let spec: ChaosSpec = line
+        .strip_prefix("BCD_CHAOS=")
+        .unwrap()
+        .parse()
+        .expect("replay line parses");
+    let replayed = chaos::replay(&base, &spec).expect("profile resolves");
+    assert_eq!(
+        chaos::entries_digest(&run.data),
+        chaos::entries_digest(&replayed),
+        "replay from {line} diverged"
+    );
+}
+
+#[test]
+fn broken_invariant_is_caught_and_shrunk_to_minimal_reproducer() {
+    // A deliberately-broken invariant — "chaos must not shrink the
+    // reached-target count" — is false by design: loss removes evidence.
+    // The harness must catch it and delta-debug the schedule down to a
+    // handful of fault events.
+    let mut base = tiny(307);
+    base.world.n_as = 10;
+    base.world.target_scale = 0.02;
+    let clean = chaos::run_clean(&base);
+
+    let profile = ChaosProfile {
+        loss: 0.45,
+        ..ChaosProfile::named("jittery").unwrap()
+    };
+    let chaos_cfg = behind_closed_doors::netsim::ChaosConfig::custom(
+        chaos::chaos_seed(307, "broken"),
+        "custom",
+        profile,
+    );
+    let broken = |clean: &behind_closed_doors::core::ExperimentData,
+                  data: &behind_closed_doors::core::ExperimentData| {
+        let reached = |d: &behind_closed_doors::core::ExperimentData| {
+            behind_closed_doors::core::analysis::reachability::Reachability::compute(&d.input())
+                .reached
+                .len()
+        };
+        reached(data) < reached(clean)
+    };
+
+    let data = chaos::run_chaotic(&base, chaos_cfg.clone());
+    assert!(
+        broken(&clean, &data),
+        "heavy loss failed to shrink the reached set; broken invariant never trips"
+    );
+    // The *real* invariants still hold even under this hammering.
+    let real = InvariantChecker::check_full(&clean, &data);
+    assert!(real.is_ok(), "{}", real.render());
+
+    let minimal = chaos::shrink_schedule(&base, &clean, &data, &broken);
+    let events = minimal.events.clone().expect("shrunk spec pins events");
+    assert!(
+        events.len() <= 5,
+        "minimal reproducer too large: {} events ({minimal})",
+        events.len()
+    );
+    // The minimal schedule still reproduces the violation. (A custom
+    // profile has no name to round-trip through the spec, so replay it by
+    // restricting the original config; named-profile replay-from-line is
+    // covered by `replay_line_round_trips_byte_identically`.)
+    let mut min_cfg = chaos_cfg;
+    min_cfg.only_events = Some(events);
+    let replayed = chaos::run_chaotic(&base, min_cfg);
+    assert!(
+        broken(&clean, &replayed),
+        "minimal reproducer does not reproduce"
+    );
+}
