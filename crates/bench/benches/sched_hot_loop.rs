@@ -1,0 +1,96 @@
+//! Scheduler hot-loop micro-benchmark: heap vs timing wheel.
+//!
+//! Drives each [`bcd_netsim::EngineSched`] implementation through the same
+//! seeded one-million-event push/pop workload the engine's hot loop
+//! produces — a hold-time mix spanning same-tick bursts, link-RTT deliveries,
+//! poll timers, and the +2 h human-noise timers — and reports events/sec.
+//! Before timing anything it drains both schedulers over the identical
+//! schedule and compares a running checksum of the pop streams: a free
+//! differential check, so a wheel regression can't produce a fast-but-wrong
+//! number here unnoticed.
+//!
+//! ```sh
+//! cargo bench -p bcd-bench --bench sched_hot_loop
+//! ```
+
+use bcd_netsim::sched::EventKind;
+use bcd_netsim::{splitmix64, EngineSched, HeapSched, QueuedEvent, SimTime, WheelSched};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const EVENTS: usize = 1_000_000;
+
+/// The engine-shaped workload: pops advance `now`, pushes schedule at
+/// `now + delta` with deltas drawn from the survey's real hold-time mix.
+/// Pure function of the seed, so every scheduler sees byte-identical input.
+fn drive(q: &mut impl EngineSched, events: usize, seed: u64) -> u64 {
+    let mut x = seed;
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut checksum = 0u64;
+    let mut pending = 0usize;
+    let mut remaining = events;
+    while remaining > 0 || pending > 0 {
+        x = splitmix64(x);
+        // Keep a realistic standing queue (~thousands in flight), then
+        // drain.
+        let push = remaining > 0 && (pending < 4_096 || x.is_multiple_of(3));
+        if push {
+            let delta = match x % 16 {
+                0..=3 => 0,                                   // same-instant burst
+                4..=7 => x % 100_000,                         // sub-bucket to few-bucket
+                8..=11 => 10_000_000 + x % 40_000_000,        // link RTT (10–50 ms)
+                12..=14 => 1_000_000_000 + x % 4_000_000_000, // poll timers (1–5 s)
+                _ => 7_200_000_000_000,                       // +2 h human noise
+            };
+            q.push(QueuedEvent {
+                at: SimTime::from_nanos(now + delta),
+                seq,
+                kind: EventKind::Timer {
+                    host: 0,
+                    token: seq,
+                },
+            });
+            seq += 1;
+            pending += 1;
+            remaining -= 1;
+        } else {
+            let ev = q.pop().expect("pending > 0");
+            now = ev.at.as_nanos();
+            pending -= 1;
+            checksum = splitmix64(checksum ^ now ^ ev.seq);
+        }
+    }
+    checksum
+}
+
+fn bench(c: &mut Criterion) {
+    // Differential gate first: identical checksums over the full workload,
+    // or the throughput numbers below are meaningless.
+    let h = drive(&mut HeapSched::new(), EVENTS, 0xBCD);
+    let w = drive(&mut WheelSched::new(), EVENTS, 0xBCD);
+    assert_eq!(h, w, "heap and wheel pop streams diverged");
+    println!("sched_hot_loop: heap/wheel checksums agree over {EVENTS} events ({h:#x})");
+
+    let mut g = c.benchmark_group("sched_hot_loop");
+    g.sample_size(10);
+    g.bench_function("heap_1e6", |b| {
+        b.iter(|| drive(&mut HeapSched::new(), EVENTS, black_box(0xBCD)))
+    });
+    g.bench_function("wheel_1e6", |b| {
+        b.iter(|| drive(&mut WheelSched::new(), EVENTS, black_box(0xBCD)))
+    });
+    // The warm case is the one the engine lives in: slab and buckets
+    // already sized by a previous run, so pushes never allocate.
+    g.bench_function("wheel_1e6_warm", |b| {
+        let mut q = WheelSched::new();
+        drive(&mut q, EVENTS, 0xBCD);
+        b.iter(|| {
+            q.clear();
+            drive(&mut q, EVENTS, black_box(0xBCD))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

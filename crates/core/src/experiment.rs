@@ -21,7 +21,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::net::IpAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Experiment parameters (§3.4–§3.5 knobs).
@@ -64,6 +64,13 @@ pub struct ExperimentConfig {
     /// The constructors honour the `BCD_SHARDS` environment variable, which
     /// is how CI runs the whole test suite sharded.
     pub shards: usize,
+    /// Worker threads executing the shard partitions (work stealing: idle
+    /// workers claim the next unstarted shard, so an imbalanced partition
+    /// no longer idles cores). 0 = one worker per available core, capped at
+    /// the shard count. The partition itself — and therefore every byte of
+    /// output — depends only on `shards`; `workers` is pure execution
+    /// parallelism. The constructors honour `BCD_WORKERS`.
+    pub workers: usize,
 }
 
 impl ExperimentConfig {
@@ -83,6 +90,7 @@ impl ExperimentConfig {
             category_filter: None,
             wildcard_zone: false,
             shards: shard::shards_from_env().unwrap_or(1),
+            workers: shard::workers_from_env().unwrap_or(0),
         }
     }
 
@@ -226,36 +234,71 @@ impl Experiment {
         // The partitioner clamps the effective shard count to the distinct
         // destination ASes — surplus shards would only simulate an empty
         // horizon.
-        let mut parts = shard::partition_schedule(&schedule, &asn_of, cfg.shards.max(1));
+        let parts = shard::partition_schedule(&schedule, &asn_of, cfg.shards.max(1));
         let shards = parts.len();
         profile.record("schedule-build", t0.elapsed());
 
         // Worldgen ran once; from here on the world is frozen and shared.
         let world = Arc::new(world);
 
-        // Shards 1.. run on worker threads, each spawning its own runtime
-        // (fresh nodes + logs) over the shared topology. Shard 0 runs here.
+        // Shards run on a work-stealing pool: each worker claims the next
+        // unstarted shard id from a shared counter, spawns its own runtime
+        // (fresh nodes + logs) over the shared topology, and parks the
+        // outcome in the shard's slot. Imbalanced destination-AS partitions
+        // therefore pack onto whatever cores exist instead of pinning one
+        // thread per shard. Claim order is scheduling-dependent, but each
+        // shard's simulation is self-contained and the merge below walks
+        // slots in shard-id order — output bytes depend only on `shards`.
         let progress = env.progress_every;
-        let workers: Vec<std::thread::JoinHandle<ShardOutcome>> = (1..shards)
-            .map(|sid| {
-                let cfg = cfg.clone();
-                let part = std::mem::take(&mut parts[sid]);
-                let asn_of = asn_of.clone();
-                let world = Arc::clone(&world);
-                std::thread::Builder::new()
-                    .name(format!("bcd-shard-{sid}"))
-                    .spawn(move || run_shard(&world, &cfg, sid, part, asn_of, run_until, progress))
-                    .expect("spawn shard thread")
-            })
-            .collect();
-        let part0 = std::mem::take(&mut parts[0]);
-        let shard0 = run_shard(&world, &cfg, 0, part0, asn_of, run_until, progress);
+        let n_workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        }
+        .clamp(1, shards);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let parts: Vec<std::sync::Mutex<Option<Schedule>>> =
+            parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let slots: Vec<std::sync::Mutex<Option<ShardOutcome>>> =
+            (0..shards).map(|_| Mutex::new(None)).collect();
+        {
+            let worker = || loop {
+                let sid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if sid >= shards {
+                    break;
+                }
+                let part = parts[sid]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("shard partition claimed twice");
+                let outcome =
+                    run_shard(&world, &cfg, sid, part, asn_of.clone(), run_until, progress);
+                *slots[sid].lock().unwrap() = Some(outcome);
+            };
+            std::thread::scope(|s| {
+                for wid in 1..n_workers {
+                    std::thread::Builder::new()
+                        .name(format!("bcd-worker-{wid}"))
+                        .spawn_scoped(s, worker)
+                        .expect("spawn worker thread");
+                }
+                // The main thread is worker 0.
+                worker();
+            });
+        }
 
         // Deterministic merge, always in shard-id order.
-        let mut outcomes = vec![shard0];
-        for w in workers {
-            outcomes.push(w.join().expect("shard thread panicked"));
-        }
+        let outcomes: Vec<ShardOutcome> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("shard outcome missing — worker panicked?")
+            })
+            .collect();
         for (sid, o) in outcomes.iter().enumerate() {
             profile.record_shard("shard-run", sid, o.wall, run_until);
         }

@@ -72,15 +72,20 @@ impl Schedule {
         }
         queries.sort_by_key(|q| (q.at, q.target, q.source));
 
-        // Leaky-bucket smoothing: at most `rate` sends per second.
-        let mut used: BTreeMap<u64, u32> = BTreeMap::new();
+        // Leaky-bucket smoothing: at most `rate` sends per second. The
+        // seconds axis is dense (every query lands within a few rate-cap
+        // extensions of the window), so a flat per-second vector replaces
+        // the old BTreeMap — same fill semantics, no tree walk per query.
+        let mut used: Vec<u32> = vec![0; window.as_secs() as usize + 2];
         let mut end = SimTime::ZERO;
         for q in &mut queries {
             let mut sec = q.at.as_secs();
             loop {
-                let u = used.entry(sec).or_insert(0);
-                if *u < rate {
-                    *u += 1;
+                if sec as usize >= used.len() {
+                    used.resize(sec as usize + 1024, 0);
+                }
+                if used[sec as usize] < rate {
+                    used[sec as usize] += 1;
                     break;
                 }
                 sec += 1;

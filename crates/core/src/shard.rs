@@ -43,6 +43,17 @@ pub fn shards_from_env() -> Option<usize> {
         .filter(|&s| s >= 1)
 }
 
+/// Worker-pool size requested via the `BCD_WORKERS` environment variable,
+/// if any. Workers execute shard partitions by stealing the next unstarted
+/// shard; the count affects wall-clock only, never output bytes (see
+/// [`crate::ExperimentConfig::workers`]).
+pub fn workers_from_env() -> Option<usize> {
+    std::env::var("BCD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+}
+
 /// The shard an AS belongs to: a stable FNV-1a hash of the ASN, reduced
 /// modulo the shard count. Stable across runs, platforms, and shard-count
 /// choices for `shards == 1` (everything maps to shard 0).

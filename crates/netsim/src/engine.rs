@@ -40,13 +40,13 @@ use crate::node::{Effect, HostId, Node, NodeCtx};
 use crate::packet::{Packet, Transport};
 use crate::prefix::{special, Prefix};
 use crate::routing::PrefixTable;
+use crate::sched::{EngineSched, EventKind, EventQueue, QueuedEvent, SchedKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{AsInfo, Asn, BorderPolicy, StackPolicy};
 use crate::trace::{Trace, TracePoint};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::net::IpAddr;
 use std::sync::Arc;
 
@@ -63,6 +63,9 @@ pub struct NetworkConfig {
     pub trace_capacity: Option<usize>,
     /// Hard event budget; the run stops (and flags it) when exhausted.
     pub max_events: u64,
+    /// Event-scheduler implementation (see [`crate::sched`]). The two are
+    /// observationally identical; the default honours `BCD_SCHED`.
+    pub sched: SchedKind,
 }
 
 impl Default for NetworkConfig {
@@ -73,6 +76,7 @@ impl Default for NetworkConfig {
             intra_link: LinkProfile::ideal(),
             trace_capacity: None,
             max_events: 2_000_000_000,
+            sched: SchedKind::from_env(),
         }
     }
 }
@@ -116,43 +120,6 @@ pub fn splitmix64(x: u64) -> u64 {
 /// splitmix64 avalanche.
 pub fn stream_seed(base: u64, stream: u64) -> u64 {
     splitmix64(base ^ splitmix64(stream.wrapping_add(0x5EED_CAFE_F00D_D00D)))
-}
-
-#[derive(Debug)]
-enum EventKind {
-    Deliver {
-        pkt: Packet,
-        /// Origin AS recorded at send time, so destination-side border
-        /// filters know whether a border is being crossed.
-        from_asn: Asn,
-    },
-    Timer {
-        host: HostId,
-        token: u64,
-    },
-}
-
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Deterministic per-(AS, source-subnet) permille bucket for partial
@@ -351,7 +318,7 @@ pub struct Runtime {
     /// topology's).
     extra_cfgs: Vec<HostConfig>,
     extra_ip_index: HashMap<IpAddr, HostId>,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: EventQueue,
     now: SimTime,
     seq: u64,
     rng: ChaCha8Rng,
@@ -362,6 +329,16 @@ pub struct Runtime {
     /// chaos draws so they are invariant to shard layout (see
     /// [`crate::faults`]). Only populated while `faults` is armed.
     fault_flows: HashMap<(IpAddr, IpAddr), (SimTime, u32)>,
+    /// One-entry memo for `FaultSchedule::host_down` at the current
+    /// instant: a batch of same-tick sends from one host (the scanner's
+    /// steady state) consults the fault schedule once, not per packet.
+    down_memo: Option<(HostId, SimTime, bool)>,
+    /// Reusable effects buffer for node callbacks (drained after each
+    /// invoke, so a warm engine stages effects with zero allocation).
+    effects_buf: Vec<Effect>,
+    /// Reusable placeholder node swapped into the host table while a
+    /// callback runs (see `invoke`).
+    parked_node: Option<Box<dyn Node>>,
     /// Packet accounting for the whole run.
     pub counters: NetCounters,
     /// Optional packet capture.
@@ -385,6 +362,7 @@ impl Runtime {
             "one node per topology host, in host-id order"
         );
         let seed = topo.cfg.seed;
+        let sched = topo.cfg.sched;
         let rng = ChaCha8Rng::seed_from_u64(seed);
         let trace = topo.cfg.trace_capacity.map(Trace::with_capacity);
         let hosts = nodes
@@ -400,12 +378,15 @@ impl Runtime {
             hosts,
             extra_cfgs: Vec::new(),
             extra_ip_index: HashMap::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(sched),
             now: SimTime::ZERO,
             seq: 0,
             rng,
             faults: None,
             fault_flows: HashMap::new(),
+            down_memo: None,
+            effects_buf: Vec::new(),
+            parked_node: None,
             counters: NetCounters::default(),
             trace,
             started: false,
@@ -445,6 +426,7 @@ impl Runtime {
     pub fn set_faults(&mut self, faults: Option<Arc<FaultSchedule>>) {
         self.faults = faults;
         self.fault_flows.clear();
+        self.down_memo = None;
     }
 
     /// The armed chaos schedule, if any.
@@ -456,10 +438,7 @@ impl Runtime {
     /// dropped). Conservation checks account these as in-flight at the
     /// instant the run stopped.
     pub fn pending_deliveries(&self) -> u64 {
-        self.queue
-            .iter()
-            .filter(|Reverse(e)| matches!(e.kind, EventKind::Deliver { .. }))
-            .count() as u64
+        self.queue.pending_delivers()
     }
 
     /// Reseed the engine-level noise RNG (link-fault sampling). Hosts keep
@@ -537,11 +516,11 @@ impl Runtime {
     /// Schedule an external timer for a host at an absolute time.
     pub fn schedule(&mut self, host: HostId, at: SimTime, token: u64) {
         let seq = self.next_seq();
-        self.queue.push(Reverse(QueuedEvent {
+        self.queue.push(QueuedEvent {
             at,
             seq,
             kind: EventKind::Timer { host, token },
-        }));
+        });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -572,6 +551,25 @@ impl Runtime {
         }
     }
 
+    /// `FaultSchedule::host_down` with a one-entry memo keyed on
+    /// `(host, now)`: the scanner emits whole same-tick batches from one
+    /// host, so the batch pays for one schedule consult. The predicate is a
+    /// pure function of the armed schedule, so memoization cannot change
+    /// results.
+    fn cached_host_down(&mut self, host: HostId) -> bool {
+        if let Some((h, t, d)) = self.down_memo {
+            if h == host && t == self.now {
+                return d;
+            }
+        }
+        let d = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.host_down(host, self.now));
+        self.down_memo = Some((host, self.now, d));
+        d
+    }
+
     /// Accept a packet from a node and run the origin-side pipeline; if it
     /// survives, enqueue delivery.
     fn dispatch_send(&mut self, from: HostId, pkt: Packet) {
@@ -579,12 +577,10 @@ impl Runtime {
         self.record(TracePoint::Sent, &pkt);
 
         // Chaos: a host inside a crash epoch emits nothing.
-        if let Some(f) = &self.faults {
-            if f.host_down(from, self.now) {
-                self.counters.drop(DropReason::HostDown);
-                self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
-                return;
-            }
+        if self.faults.is_some() && self.cached_host_down(from) {
+            self.counters.drop(DropReason::HostDown);
+            self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
+            return;
         }
 
         let origin_asn = self.host_config(from).asn;
@@ -629,9 +625,14 @@ impl Runtime {
         let mut chaos_extra = SimDuration::ZERO;
         let mut chaos_dup: Option<SimDuration> = None;
         if crossing {
-            if let Some(f) = self.faults.clone() {
+            // Take/restore instead of cloning the Arc: the schedule is
+            // consulted for every crossing packet, and the refcount bump
+            // showed up in profiles.
+            if let Some(f) = self.faults.take() {
                 let key = self.flow_key(&f, &pkt, origin_asn, dst_asn);
-                match f.link_fate(key, self.now, origin_asn, dst_asn) {
+                let fate = f.link_fate(key, self.now, origin_asn, dst_asn);
+                self.faults = Some(f);
+                match fate {
                     LinkFate::Drop(reason) => {
                         self.counters.drop(reason);
                         self.record(TracePoint::Dropped(reason), &pkt);
@@ -656,7 +657,7 @@ impl Runtime {
         if let Some(dup_delay) = dup {
             self.counters.duplicated += 1;
             let seq = self.next_seq();
-            self.queue.push(Reverse(QueuedEvent {
+            self.queue.push(QueuedEvent {
                 at: self.now + dup_delay,
                 seq,
                 kind: EventKind::Deliver {
@@ -665,30 +666,33 @@ impl Runtime {
                     // bump, not a deep copy of the DNS message.
                     pkt: delivered.clone(),
                     from_asn: origin_asn,
+                    dst_asn,
                 },
-            }));
+            });
         }
         if let Some(dup_extra) = chaos_dup {
             self.counters.duplicated += 1;
             let seq = self.next_seq();
-            self.queue.push(Reverse(QueuedEvent {
+            self.queue.push(QueuedEvent {
                 at: self.now + delay + dup_extra,
                 seq,
                 kind: EventKind::Deliver {
                     pkt: delivered.clone(),
                     from_asn: origin_asn,
+                    dst_asn,
                 },
-            }));
+            });
         }
         let seq = self.next_seq();
-        self.queue.push(Reverse(QueuedEvent {
+        self.queue.push(QueuedEvent {
             at: self.now + delay + chaos_extra,
             seq,
             kind: EventKind::Deliver {
                 pkt: delivered,
                 from_asn: origin_asn,
+                dst_asn,
             },
-        }));
+        });
     }
 
     /// Shard-invariant chaos key for one packet emission: occurrence-
@@ -712,13 +716,9 @@ impl Runtime {
     }
 
     /// Run the destination-side pipeline and deliver to the node.
-    fn dispatch_deliver(&mut self, pkt: Packet, from_asn: Asn) {
-        // Destination AS is re-derived (routes are static during a run).
-        let Some(dst_asn) = self.topo.routes.origin(pkt.dst) else {
-            self.counters.drop(DropReason::NoRoute);
-            self.record(TracePoint::Dropped(DropReason::NoRoute), &pkt);
-            return;
-        };
+    /// `dst_asn` was resolved at send time (routes are static during a
+    /// run), so delivery pays no longest-prefix match for it.
+    fn dispatch_deliver(&mut self, pkt: Packet, from_asn: Asn, dst_asn: Asn) {
         let crossing = from_asn != dst_asn;
         let mut deliver_to: Option<HostId> = None;
 
@@ -726,6 +726,11 @@ impl Runtime {
             let info = self.topo.ases.get(&dst_asn.0);
             let policy = info.map(|a| a.policy).unwrap_or_else(BorderPolicy::open);
             let interceptor = info.and_then(|a| a.dns_interceptor);
+            // Both DSAV and partial internal SAV ask whether the claimed
+            // source is internal to the destination AS; resolve the
+            // longest-prefix match once for both.
+            let src_is_internal = (policy.dsav || policy.internal_pass_permille < 1000)
+                && self.topo.routes.origin(pkt.src) == Some(dst_asn);
 
             let lb_filtered = if pkt.is_v6() {
                 policy.filter_loopback_ingress_v6
@@ -748,7 +753,7 @@ impl Runtime {
                 return;
             }
             // DSAV: inbound packet claiming an internal source.
-            if policy.dsav && self.topo.routes.origin(pkt.src) == Some(dst_asn) {
+            if policy.dsav && src_is_internal {
                 self.counters.drop(DropReason::Dsav);
                 self.record(TracePoint::Dropped(DropReason::Dsav), &pkt);
                 return;
@@ -768,7 +773,7 @@ impl Runtime {
             // threshold (deterministic per AS+subnet). The destination's
             // own subnet is always feasible.
             if policy.internal_pass_permille < 1000
-                && self.topo.routes.origin(pkt.src) == Some(dst_asn)
+                && src_is_internal
                 && pkt.src.is_ipv6() == pkt.dst.is_ipv6()
                 && !Prefix::subprefix_of(pkt.dst, if pkt.dst.is_ipv6() { 64 } else { 24 })
                     .contains(pkt.src)
@@ -818,12 +823,10 @@ impl Runtime {
 
         // Chaos: a destination inside a crash epoch accepts nothing
         // (middlebox deliveries included — interceptors can crash too).
-        if let Some(f) = &self.faults {
-            if f.host_down(host, self.now) {
-                self.counters.drop(DropReason::HostDown);
-                self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
-                return;
-            }
+        if self.faults.is_some() && self.cached_host_down(host) {
+            self.counters.drop(DropReason::HostDown);
+            self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
+            return;
         }
 
         self.counters.delivered += 1;
@@ -834,31 +837,37 @@ impl Runtime {
     /// Invoke a node callback with a fresh context, then apply staged
     /// effects.
     fn invoke(&mut self, host: HostId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>)) {
-        let mut effects = Vec::new();
+        // Both scratch objects are reused across invocations: the effects
+        // buffer keeps its capacity, and the parked placeholder node is the
+        // same box every time. The previous version allocated both per
+        // event, which dominated the dispatch profile.
+        let mut effects = std::mem::take(&mut self.effects_buf);
         {
             // Split borrows: node is taken out of the host table for the
             // duration of the callback so the ctx can borrow the host rng.
-            let mut node = std::mem::replace(
-                &mut self.hosts[host].node,
-                Box::new(crate::node::SinkNode::default()),
-            );
+            let placeholder = self
+                .parked_node
+                .take()
+                .unwrap_or_else(|| Box::<crate::node::SinkNode>::default());
+            let mut node = std::mem::replace(&mut self.hosts[host].node, placeholder);
             let mut ctx = NodeCtx::new(self.now, host, &mut self.hosts[host].rng, &mut effects);
             f(node.as_mut(), &mut ctx);
-            self.hosts[host].node = node;
+            self.parked_node = Some(std::mem::replace(&mut self.hosts[host].node, node));
         }
-        for e in effects {
+        for e in effects.drain(..) {
             match e {
                 Effect::Send(p) => self.dispatch_send(host, p),
                 Effect::Timer { after, token } => {
                     let seq = self.next_seq();
-                    self.queue.push(Reverse(QueuedEvent {
+                    self.queue.push(QueuedEvent {
                         at: self.now + after,
                         seq,
                         kind: EventKind::Timer { host, token },
-                    }));
+                    });
                 }
             }
         }
+        self.effects_buf = effects;
     }
 
     fn start_if_needed(&mut self) {
@@ -885,12 +894,16 @@ impl Runtime {
             }
             return None;
         }
-        let Reverse(ev) = self.queue.pop()?;
+        let ev = self.queue.pop()?;
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at.max(self.now);
         self.events_processed += 1;
         match ev.kind {
-            EventKind::Deliver { pkt, from_asn, .. } => self.dispatch_deliver(pkt, from_asn),
+            EventKind::Deliver {
+                pkt,
+                from_asn,
+                dst_asn,
+            } => self.dispatch_deliver(pkt, from_asn, dst_asn),
             EventKind::Timer { host, token } => {
                 self.invoke(host, |node, ctx| node.on_timer(ctx, token))
             }
@@ -907,14 +920,9 @@ impl Runtime {
     /// `until` afterwards even if the queue drained earlier.
     pub fn run_until(&mut self, until: SimTime) {
         self.start_if_needed();
-        loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= until => {
-                    if self.step().is_none() {
-                        break;
-                    }
-                }
-                _ => break,
+        while let Some(at) = self.queue.peek_time() {
+            if at > until || self.step().is_none() {
+                break;
             }
         }
         self.now = self.now.max(until);

@@ -45,6 +45,7 @@ pub mod payload;
 pub mod pcap;
 pub mod prefix;
 pub mod routing;
+pub mod sched;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -64,6 +65,7 @@ pub use packet::{Packet, TcpFlags, TcpOptions, TcpSegment, Transport, UdpDatagra
 pub use payload::Payload;
 pub use prefix::Prefix;
 pub use routing::{PrefixMap, PrefixTable};
+pub use sched::{EngineSched, EventQueue, HeapSched, QueuedEvent, SchedKind, WheelSched};
 pub use time::{SimDuration, SimTime};
 pub use topology::{AsInfo, Asn, BorderPolicy, StackPolicy};
 pub use trace::{Trace, TraceEntry, TracePoint};

@@ -235,6 +235,7 @@ pub fn build(cfg: WorldConfig) -> World {
         intra_link: LinkProfile::instant(),
         trace_capacity: cfg.trace_capacity,
         max_events: cfg.max_events,
+        sched: cfg.sched,
     });
     let mut geo = GeoDb::new();
 

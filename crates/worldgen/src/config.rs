@@ -95,6 +95,9 @@ pub struct WorldConfig {
     // ---- engine ----
     /// Event budget for the simulation.
     pub max_events: u64,
+    /// Event-scheduler implementation for every engine spawned over this
+    /// world (heap oracle vs timing wheel; observationally identical).
+    pub sched: bcd_netsim::SchedKind,
     /// Random loss probability on inter-AS links (fault injection; the
     /// methodology must stay sound under loss — resolvers retransmit and
     /// the analyses only ever under-count). This knob is a thin alias for
@@ -142,6 +145,7 @@ impl WorldConfig {
             human_lookup_fraction: 0.00005,
             human_lookup_delay_secs: 7_200,
             max_events: 500_000_000,
+            sched: bcd_netsim::SchedKind::from_env(),
             link_loss: 0.0,
             chaos: None,
             trace_capacity: None,
