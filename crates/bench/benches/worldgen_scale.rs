@@ -1,0 +1,42 @@
+//! World-generation throughput: how fast the struct-of-arrays builder and
+//! the streaming DITL pipeline scale with AS count. The full
+//! `internet_scale` build is a batch job (see the ignored worldgen smoke
+//! test); these are proportional slices that fit a bench budget and catch
+//! superlinear regressions in the build path.
+
+use bcd_worldgen::{build, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A fixed-density slice of the internet_scale configuration: same
+/// per-AS marginals, same streaming pipeline, fewer ASes.
+fn scale_slice(n_as: usize) -> WorldConfig {
+    WorldConfig {
+        n_as,
+        ..WorldConfig::internet_scale(2019)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worldgen_scale");
+    g.sample_size(10);
+    g.bench_function("streamed_500as", |b| {
+        b.iter(|| black_box(build::build(scale_slice(500))))
+    });
+    g.bench_function("streamed_2000as", |b| {
+        b.iter(|| black_box(build::build(scale_slice(2_000))))
+    });
+    // The materialized path at the same shape, for the streaming delta.
+    g.bench_function("materialized_500as", |b| {
+        b.iter(|| {
+            black_box(build::build(WorldConfig {
+                materialize_ditl: true,
+                ..scale_slice(500)
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

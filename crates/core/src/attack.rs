@@ -194,19 +194,19 @@ pub fn run_poisoning_attack(cfg: PoisonConfig) -> PoisonOutcome {
         },
         Box::new(RecursiveResolver::new(ResolverConfig {
             addrs: vec![resolver_addr],
-            acl: Acl::Allow(vec!["16.10.0.0/16".parse().unwrap()]),
+            acl: Acl::Allow(vec!["16.10.0.0/16".parse().unwrap()].into()),
             forward_to: None,
             qmin: false,
             qmin_halts_on_nxdomain: true,
             allocator: cfg.allocator.clone(),
             os: Os::LinuxModern,
             p0f_visible: true,
-            root_hints: vec![auth_addr],
+            root_hints: vec![auth_addr].into(),
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
             identity_draw_salt: None,
-            preload_cuts: Vec::new(),
+            preload_cuts: Vec::new().into(),
         })),
     );
 

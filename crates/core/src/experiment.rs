@@ -193,8 +193,14 @@ impl Experiment {
         profile.record("worldgen-build", t0.elapsed());
         let t0 = Instant::now();
 
-        // §3.1: extract targets from the DITL trace.
-        let targets = TargetSet::extract(&world.ditl2019, world.topo.routes());
+        // §3.1: extract targets from the DITL trace (or, for worlds built
+        // with the streaming pipeline, from the pre-deduplicated candidate
+        // list — the two paths yield identical target sets).
+        let targets = if world.cfg.materialize_ditl {
+            TargetSet::extract(&world.ditl2019, world.topo.routes())
+        } else {
+            TargetSet::from_candidates(&world.ditl_candidates, world.topo.routes())
+        };
 
         // §3.2: spoofed-source plans.
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.world.seed.wrapping_add(2));
@@ -377,7 +383,16 @@ fn run_shard(
     progress: Option<u64>,
 ) -> ShardOutcome {
     let wall_start = Instant::now();
-    let mut wrt: WorldRuntime = world.spawn();
+    // Lazy spawn: this shard's schedule names every destination AS it will
+    // ever touch, so hosts elsewhere (other shards' measured ASes) are
+    // spawned as sinks. Infra/public-DNS/scanner ASes are always live —
+    // `spawn_for` adds them unconditionally.
+    let owned: std::collections::HashSet<bcd_netsim::Asn> = schedule
+        .queries
+        .iter()
+        .filter_map(|q| asn_of.get(&q.target).map(|&a| bcd_netsim::Asn(a)))
+        .collect();
+    let mut wrt: WorldRuntime = world.spawn_for(Some(&owned));
     let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
     let human_noise = if cfg.world.human_lookup_fraction > 0.0 {
         Some(HumanNoise {

@@ -117,12 +117,12 @@ pub fn measure_ports(software: DnsSoftware, os: Os, n_queries: usize, seed: u64)
             allocator,
             os,
             p0f_visible: true,
-            root_hints: vec![auth_addr],
+            root_hints: vec![auth_addr].into(),
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
             identity_draw_salt: None,
-            preload_cuts: Vec::new(),
+            preload_cuts: Vec::new().into(),
         })),
     );
 

@@ -38,6 +38,23 @@ impl TargetSet {
     /// Run the extraction pipeline over a DITL trace.
     pub fn extract(trace: &[DitlRecord], routes: &PrefixTable) -> TargetSet {
         let unique: BTreeSet<IpAddr> = trace.iter().map(|r| r.src).collect();
+        Self::from_unique_sources(unique.into_iter(), routes)
+    }
+
+    /// Run the back half of the pipeline (steps 3–5) over an already
+    /// deduplicated source list, as produced by the streaming DITL
+    /// generator (`World::ditl_candidates`). Equivalent to [`extract`] on
+    /// the materialized trace: the stream dedupes and sorts, so only the
+    /// exclusion/attribution steps remain.
+    pub fn from_candidates(unique_sorted: &[IpAddr], routes: &PrefixTable) -> TargetSet {
+        debug_assert!(unique_sorted.windows(2).all(|w| w[0] < w[1]));
+        Self::from_unique_sources(unique_sorted.iter().copied(), routes)
+    }
+
+    fn from_unique_sources(
+        unique: impl Iterator<Item = IpAddr>,
+        routes: &PrefixTable,
+    ) -> TargetSet {
         let mut out = TargetSet::default();
         for addr in unique {
             if special::is_special_purpose(addr) {

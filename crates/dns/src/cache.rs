@@ -8,7 +8,7 @@
 //! and `org`, exactly like a real resolver (and exactly why DITL only sees
 //! cache-cold resolvers, §3.6.2).
 
-use bcd_dnswire::{Name, RCode, RType, Record};
+use bcd_dnswire::{Name, NameArena, NameId, RCode, RType, Record};
 use bcd_netsim::SimTime;
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -29,12 +29,39 @@ pub struct CachedCut {
 }
 
 /// The resolver cache.
+///
+/// Every key is a [`NameId`] into the cache's own [`NameArena`]: the label
+/// vectors of a name are stored once however many entries reference it,
+/// map probes hash a `u32` instead of case-folding labels, and the
+/// RFC 8020 / zone-cut suffix walks slice one canonical byte buffer
+/// instead of allocating a `Name` per ancestor.
 #[derive(Debug, Default)]
 pub struct Cache {
-    answers: HashMap<(Name, RType), CachedAnswer>,
+    arena: NameArena,
+    answers: HashMap<(NameId, RType), CachedAnswer>,
     /// NXDOMAIN names (RFC 8020: implies nothing exists beneath them).
-    nxdomain: HashMap<Name, SimTime>,
-    cuts: HashMap<Name, CachedCut>,
+    nxdomain: HashMap<NameId, SimTime>,
+    cuts: HashMap<NameId, CachedCut>,
+}
+
+/// Visit `name`'s suffixes deepest-first as slices of its canonical bytes
+/// (the full name, then each ancestor, ending with the root `"."`),
+/// stopping at the first `Some` the visitor returns. A suffix's canonical
+/// form is a tail of the full name's — `"a.b.c."` contains `"b.c."`,
+/// `"c."` — so the walk needs no allocation beyond `canon` itself.
+fn walk_suffixes<T>(
+    name: &Name,
+    canon: &[u8],
+    mut visit: impl FnMut(&[u8]) -> Option<T>,
+) -> Option<T> {
+    let mut off = 0usize;
+    for label in name.labels() {
+        if let Some(hit) = visit(&canon[off..]) {
+            return Some(hit);
+        }
+        off += label.len() + 1;
+    }
+    visit(b".")
 }
 
 impl Cache {
@@ -52,8 +79,9 @@ impl Cache {
         answers: Vec<Record>,
         expires: SimTime,
     ) {
+        let id = self.arena.intern(&name);
         self.answers.insert(
-            (name, rtype),
+            (id, rtype),
             CachedAnswer {
                 rcode,
                 answers,
@@ -64,36 +92,42 @@ impl Cache {
 
     /// Store an NXDOMAIN for `name`.
     pub fn put_nxdomain(&mut self, name: Name, expires: SimTime) {
-        self.nxdomain.insert(name, expires);
+        let id = self.arena.intern(&name);
+        self.nxdomain.insert(id, expires);
     }
 
     /// Store a zone cut.
     pub fn put_cut(&mut self, zone: Name, servers: Vec<IpAddr>, expires: SimTime) {
-        self.cuts.insert(zone, CachedCut { servers, expires });
+        let id = self.arena.intern(&zone);
+        self.cuts.insert(id, CachedCut { servers, expires });
     }
 
     /// Look up an answer. NXDOMAIN entries cover the whole subtree
     /// (RFC 8020): a cached NXDOMAIN for `b.c` answers `a.b.c` too.
     pub fn get_answer(&self, name: &Name, rtype: RType, now: SimTime) -> Option<CachedAnswer> {
-        // Subtree negative match first. The suffix walk allocates one Name
-        // per label, so skip it entirely while no NXDOMAIN has ever been
-        // cached — the common case for cache-cold experiment names.
+        let mut buf = [0u8; bcd_dnswire::MAX_NAME_WIRE_LEN];
+        let len = name.canonical_into(&mut buf);
+        let canon = &buf[..len];
+        // Subtree negative match first. Skipped entirely while no NXDOMAIN
+        // has ever been cached — the common case for cache-cold experiment
+        // names.
         if !self.nxdomain.is_empty() {
-            for k in (0..=name.label_count()).rev() {
-                let suffix = name.suffix(k);
-                if let Some(&exp) = self.nxdomain.get(&suffix) {
-                    if exp > now {
-                        return Some(CachedAnswer {
-                            rcode: RCode::NXDomain,
-                            answers: Vec::new(),
-                            expires: exp,
-                        });
-                    }
-                }
+            let neg = walk_suffixes(name, canon, |suffix| {
+                let id = self.arena.lookup_canonical(suffix)?;
+                let &exp = self.nxdomain.get(&id)?;
+                (exp > now).then_some(exp)
+            });
+            if let Some(exp) = neg {
+                return Some(CachedAnswer {
+                    rcode: RCode::NXDomain,
+                    answers: Vec::new(),
+                    expires: exp,
+                });
             }
         }
+        let id = self.arena.lookup_canonical(canon)?;
         self.answers
-            .get(&(name.clone(), rtype))
+            .get(&(id, rtype))
             .filter(|a| a.expires > now)
             .cloned()
     }
@@ -101,18 +135,19 @@ impl Cache {
     /// The deepest cached zone cut enclosing `name` that is still fresh.
     /// Returns `(zone, servers)`.
     pub fn best_cut(&self, name: &Name, now: SimTime) -> Option<(Name, Vec<IpAddr>)> {
-        for k in (0..=name.label_count()).rev() {
-            let suffix = name.suffix(k);
-            if let Some(cut) = self.cuts.get(&suffix) {
-                if cut.expires > now {
-                    return Some((suffix, cut.servers.clone()));
-                }
-            }
-        }
-        None
+        let mut buf = [0u8; bcd_dnswire::MAX_NAME_WIRE_LEN];
+        let len = name.canonical_into(&mut buf);
+        let canon = &buf[..len];
+        walk_suffixes(name, canon, |suffix| {
+            let id = self.arena.lookup_canonical(suffix)?;
+            let cut = self.cuts.get(&id)?;
+            (cut.expires > now).then(|| (self.arena.get(id).clone(), cut.servers.clone()))
+        })
     }
 
-    /// Drop expired entries (called opportunistically).
+    /// Drop expired entries (called opportunistically). The arena keeps
+    /// interned names — it is append-only by design; entry counts, not
+    /// name storage, are what eviction bounds.
     pub fn evict_expired(&mut self, now: SimTime) {
         self.answers.retain(|_, a| a.expires > now);
         self.nxdomain.retain(|_, &mut exp| exp > now);

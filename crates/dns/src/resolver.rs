@@ -28,6 +28,7 @@ use bcd_osmodel::{p0f, Os, PortAllocator};
 use rand::Rng;
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Client access control.
 #[derive(Debug, Clone)]
@@ -35,8 +36,11 @@ pub enum Acl {
     /// Answer queries from any source (an *open* resolver).
     Open,
     /// Answer only sources inside these prefixes; REFUSE everyone else
-    /// (a *closed* resolver).
-    Allow(Vec<Prefix>),
+    /// (a *closed* resolver). The prefix list is `Arc`-shared: world
+    /// generation hands the same allocation to every resolver with the
+    /// same allow-list (AS-wide lists can run to hundreds of prefixes,
+    /// and an Internet-scale world holds ~a million resolver configs).
+    Allow(Arc<[Prefix]>),
 }
 
 impl Acl {
@@ -76,8 +80,8 @@ pub struct ResolverConfig {
     /// If false, SYNs are emitted with a generic (scrubbed) signature that
     /// p0f cannot classify — models the paper's 90% unknown rate.
     pub p0f_visible: bool,
-    /// Root server addresses.
-    pub root_hints: Vec<IpAddr>,
+    /// Root server addresses (shared across every resolver in a world).
+    pub root_hints: Arc<[IpAddr]>,
     /// Per-attempt upstream timeout.
     pub timeout: SimDuration,
     /// Total upstream attempts per stage before SERVFAIL.
@@ -107,7 +111,7 @@ pub struct ResolverConfig {
     /// referral walk (and the queries it logs at the parent zone) would
     /// appear or vanish with the traffic interleaving. Pre-warming models a
     /// long-running public service whose popular cuts are permanently hot.
-    pub preload_cuts: Vec<(Name, Vec<IpAddr>)>,
+    pub preload_cuts: Arc<[(Name, Vec<IpAddr>)]>,
 }
 
 impl ResolverConfig {
@@ -123,12 +127,12 @@ impl ResolverConfig {
             allocator: Os::LinuxModern.default_port_allocator(),
             os: Os::LinuxModern,
             p0f_visible: true,
-            root_hints,
+            root_hints: root_hints.into(),
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
             identity_draw_salt: None,
-            preload_cuts: Vec::new(),
+            preload_cuts: Vec::new().into(),
         }
     }
 }
@@ -272,7 +276,7 @@ impl RecursiveResolver {
     /// Create the node.
     pub fn new(cfg: ResolverConfig) -> RecursiveResolver {
         let mut cache = Cache::new();
-        for (apex, servers) in &cfg.preload_cuts {
+        for (apex, servers) in cfg.preload_cuts.iter() {
             cache.put_cut(apex.clone(), servers.clone(), SimTime::MAX);
         }
         RecursiveResolver {
@@ -376,7 +380,7 @@ impl RecursiveResolver {
         let (zone, servers) = self
             .cache
             .best_cut(&qname, ctx.now())
-            .unwrap_or_else(|| (Name::root(), self.cfg.root_hints.clone()));
+            .unwrap_or_else(|| (Name::root(), self.cfg.root_hints.to_vec()));
         let current_qname = if self.cfg.qmin {
             qname.suffix((zone.label_count() + 1).min(qname.label_count()))
         } else {

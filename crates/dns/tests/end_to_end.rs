@@ -305,7 +305,7 @@ fn closed_resolver_refuses_outside_acl() {
     let (mut net, log, resolver, stub) = build_world(
         |cfg| {
             // Allow only a prefix that does NOT contain the stub.
-            cfg.acl = Acl::Allow(vec![pre("10.0.0.0/8")]);
+            cfg.acl = Acl::Allow(vec![pre("10.0.0.0/8")].into());
         },
         vec![q(1, "ts1.x.kw.dns-lab.org")],
     );
@@ -322,7 +322,7 @@ fn closed_resolver_refuses_outside_acl() {
 fn closed_resolver_accepts_inside_acl() {
     let (mut net, log, _, stub) = build_world(
         |cfg| {
-            cfg.acl = Acl::Allow(vec![pre("192.0.2.0/24")]);
+            cfg.acl = Acl::Allow(vec![pre("192.0.2.0/24")].into());
         },
         vec![q(1, "ts1.x.kw.dns-lab.org")],
     );
@@ -373,7 +373,7 @@ fn unreachable_servers_end_in_servfail_after_retries() {
     let (mut net, _, resolver, stub) = build_world(
         |cfg| {
             // Point root hints at a black hole.
-            cfg.root_hints = vec![ip("203.0.113.250")];
+            cfg.root_hints = vec![ip("203.0.113.250")].into();
             cfg.timeout = SimDuration::from_secs(1);
             cfg.max_attempts = 3;
         },

@@ -20,6 +20,7 @@
 //!   DNS-over-TCP retry, §3.5), `RD`/`RA`, and rcodes `NXDOMAIN` (§3.3) and
 //!   `REFUSED` (closed resolvers, §3.8).
 
+pub mod intern;
 pub mod message;
 pub mod name;
 pub mod rdata;
@@ -27,8 +28,9 @@ pub mod types;
 pub mod view;
 pub mod wire;
 
+pub use intern::{NameArena, NameId};
 pub use message::{Header, Message, Question};
-pub use name::{Name, NameError};
+pub use name::{Name, NameError, MAX_NAME_WIRE_LEN};
 pub use rdata::{RData, Record, Soa};
 pub use types::{Opcode, RClass, RCode, RType};
 pub use view::MessageView;

@@ -162,6 +162,30 @@ impl Name {
         out
     }
 
+    /// Allocation-free [`canonical_bytes`](Self::canonical_bytes): writes
+    /// the canonical form into `buf` and returns the length used. A name's
+    /// canonical form is at most `MAX_NAME_WIRE_LEN` bytes (one less than
+    /// its wire length, or a single dot for the root), so a
+    /// `[u8; MAX_NAME_WIRE_LEN]` stack buffer always fits — hot paths that
+    /// probe a [`NameArena`](crate::NameArena) per lookup use this instead
+    /// of allocating a `Vec` per probe.
+    pub fn canonical_into(&self, buf: &mut [u8; MAX_NAME_WIRE_LEN]) -> usize {
+        let mut n = 0;
+        for l in &self.labels {
+            for &b in l {
+                buf[n] = b.to_ascii_lowercase();
+                n += 1;
+            }
+            buf[n] = b'.';
+            n += 1;
+        }
+        if n == 0 {
+            buf[0] = b'.';
+            n = 1;
+        }
+        n
+    }
+
     /// The reverse-DNS (PTR) name for an address: `d.c.b.a.in-addr.arpa`
     /// for IPv4, nibble-reversed `ip6.arpa` for IPv6 — what the paper used
     /// to find administrator contacts for vulnerable resolvers (§5.2.1).
@@ -548,6 +572,16 @@ mod tests {
         assert!(text.ends_with("8.b.d.0.1.0.0.2.ip6.arpa"), "{text}");
         assert_eq!(v6.label_count(), 34);
         assert!(v6.wire_len() <= 255);
+    }
+
+    #[test]
+    fn canonical_into_matches_canonical_bytes() {
+        for s in ["Example.ORG", "a.b.c.d.example.com", "x", "."] {
+            let name: Name = s.parse().unwrap();
+            let mut buf = [0u8; MAX_NAME_WIRE_LEN];
+            let len = name.canonical_into(&mut buf);
+            assert_eq!(&buf[..len], name.canonical_bytes().as_slice());
+        }
     }
 
     #[test]

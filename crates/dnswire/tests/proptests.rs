@@ -6,8 +6,48 @@
 //! 2. robustness — the decoder never panics on arbitrary bytes (it may
 //!    error, it may accept; it must not crash or loop).
 
-use bcd_dnswire::{Header, Message, Name, Opcode, Question, RCode, RData, RType, Record, Soa};
+use bcd_dnswire::{
+    Header, Message, Name, NameArena, Opcode, Question, RCode, RData, RType, Record, Soa,
+};
 use proptest::prelude::*;
+
+/// Round a name through an arena: intern it, then take the arena's stored
+/// spelling back out. With the lowercase-only strategies below this is the
+/// identity on bytes; interning must therefore be invisible on the wire.
+fn via_arena(arena: &mut NameArena, name: &Name) -> Name {
+    let id = arena.intern(name);
+    arena.get(id).clone()
+}
+
+/// Rebuild a message with every owner name and every name embedded in
+/// rdata resolved through the arena.
+fn message_via_arena(arena: &mut NameArena, msg: &Message) -> Message {
+    let rec = |arena: &mut NameArena, r: &Record| {
+        let rdata = match &r.rdata {
+            RData::Ns(n) => RData::Ns(via_arena(arena, n)),
+            RData::Cname(n) => RData::Cname(via_arena(arena, n)),
+            RData::Ptr(n) => RData::Ptr(via_arena(arena, n)),
+            RData::Soa(s) => RData::Soa(Soa {
+                mname: via_arena(arena, &s.mname),
+                rname: via_arena(arena, &s.rname),
+                ..s.clone()
+            }),
+            other => other.clone(),
+        };
+        Record::new(via_arena(arena, &r.name), r.ttl, rdata)
+    };
+    Message {
+        header: msg.header.clone(),
+        questions: msg
+            .questions
+            .iter()
+            .map(|q| Question::new(via_arena(arena, &q.name), q.rtype))
+            .collect(),
+        answers: msg.answers.iter().map(|r| rec(arena, r)).collect(),
+        authorities: msg.authorities.iter().map(|r| rec(arena, r)).collect(),
+        additionals: msg.additionals.iter().map(|r| rec(arena, r)).collect(),
+    }
+}
 
 fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
     // Letters/digits/hyphen, 1..=20 bytes: what the experiment generates.
@@ -194,6 +234,42 @@ proptest! {
         );
         let back = Message::decode(&bytes).expect("oversized self-encoded message must decode");
         prop_assert_eq!(back, msg);
+    }
+
+    /// Interning round trip: every id resolves back to a name equal to the
+    /// one interned, equal names (case-insensitively) share one id, and
+    /// re-interning is stable.
+    #[test]
+    fn interning_round_trips_and_is_stable(
+        names in proptest::collection::vec(name_strategy(), 1..24),
+    ) {
+        let mut arena = NameArena::new();
+        let ids: Vec<_> = names.iter().map(|n| arena.intern(n)).collect();
+        for (name, &id) in names.iter().zip(&ids) {
+            prop_assert_eq!(arena.get(id), name);
+            prop_assert_eq!(arena.lookup(name), Some(id));
+            prop_assert_eq!(arena.lookup_canonical(&name.canonical_bytes()), Some(id));
+        }
+        // Second pass is the identity, and the arena did not grow.
+        let len = arena.len();
+        let again: Vec<_> = names.iter().map(|n| arena.intern(n)).collect();
+        prop_assert_eq!(again, ids);
+        prop_assert_eq!(arena.len(), len);
+        // Dense id space: every index below len is an issued id.
+        prop_assert!(ids.iter().all(|i| i.index() < len));
+    }
+
+    /// Interning is invisible on the wire: a message whose names were all
+    /// resolved through an arena encodes to the *same bytes* (including
+    /// compression-pointer layout) and decodes back to an equal message.
+    #[test]
+    fn interned_names_preserve_wire_encoding(msg in message_strategy()) {
+        let mut arena = NameArena::new();
+        let via = message_via_arena(&mut arena, &msg);
+        let bytes = msg.encode();
+        prop_assert_eq!(via.encode(), bytes.clone());
+        let back = Message::decode(&bytes).expect("self-encoded message must decode");
+        prop_assert_eq!(back, via);
     }
 
     #[test]

@@ -150,13 +150,30 @@ fn fnv_str(h: &mut u64, s: &str) {
 /// [`Runtime`]s through an `Arc`. All accessors are read-only; the only way
 /// to shape a topology is through a [`TopologyBuilder`] (or a [`Network`],
 /// which owns its topology exclusively).
+/// The host table is struct-of-arrays: per-host attributes live in
+/// parallel `Vec`s indexed by dense [`HostId`], and the address → host map
+/// is one sorted `Vec` searched by binary search. At internet scale
+/// (~14M bound addresses) this removes the per-host `HostConfig`
+/// allocation and the per-address hash-map entry overhead, and makes
+/// iteration order a total order over addresses — never hash order.
 #[derive(Debug)]
 pub struct Topology {
     cfg: NetworkConfig,
     ases: BTreeMap<u32, AsInfo>,
     routes: PrefixTable,
-    hosts: Vec<HostConfig>,
-    ip_index: HashMap<IpAddr, HostId>,
+    /// Origin AS per host, indexed by `HostId`.
+    host_asn: Vec<Asn>,
+    /// Network-stack policy per host, indexed by `HostId`.
+    host_stack: Vec<StackPolicy>,
+    /// All host addresses, flattened; host `i`'s addresses are
+    /// `addrs[addr_start[i] .. addr_start[i + 1]]`.
+    addrs: Vec<IpAddr>,
+    addr_start: Vec<u32>,
+    /// `(address, host)` pairs, sorted by address once sealed; lookups are
+    /// binary searches. The builder appends unsorted and sorts in
+    /// `finish`; a [`Network`] (exclusively owned, test-scale) inserts in
+    /// sorted position per host.
+    ip_index: Vec<(IpAddr, u32)>,
 }
 
 impl Topology {
@@ -167,8 +184,11 @@ impl Topology {
                 cfg,
                 ases: BTreeMap::new(),
                 routes: PrefixTable::new(),
-                hosts: Vec::new(),
-                ip_index: HashMap::new(),
+                host_asn: Vec::new(),
+                host_stack: Vec::new(),
+                addrs: Vec::new(),
+                addr_start: vec![0],
+                ip_index: Vec::new(),
             },
         }
     }
@@ -200,17 +220,31 @@ impl Topology {
 
     /// Number of hosts.
     pub fn host_count(&self) -> usize {
-        self.hosts.len()
+        self.host_asn.len()
     }
 
-    /// Host configuration (addresses, AS, stack policy).
-    pub fn host_config(&self, id: HostId) -> &HostConfig {
-        &self.hosts[id]
+    /// The origin AS of a host.
+    pub fn host_asn(&self, id: HostId) -> Asn {
+        self.host_asn[id]
     }
 
-    /// The host bound to `addr`, if any.
+    /// The network-stack policy of a host.
+    pub fn host_stack(&self, id: HostId) -> StackPolicy {
+        self.host_stack[id]
+    }
+
+    /// The addresses bound to a host, in binding order.
+    pub fn host_addrs(&self, id: HostId) -> &[IpAddr] {
+        &self.addrs[self.addr_start[id] as usize..self.addr_start[id + 1] as usize]
+    }
+
+    /// The host bound to `addr`, if any. The index must be sealed (it is
+    /// for any topology obtained from `finish` or owned by a `Network`).
     pub fn host_for_ip(&self, addr: IpAddr) -> Option<HostId> {
-        self.ip_index.get(&addr).copied()
+        self.ip_index
+            .binary_search_by(|(a, _)| a.cmp(&addr))
+            .ok()
+            .map(|i| self.ip_index[i].1 as HostId)
     }
 
     /// A stable FNV-1a fingerprint of the full topology contents (config,
@@ -227,22 +261,67 @@ impl Topology {
         for (prefix, asn) in self.routes.iter() {
             fnv_str(&mut h, &format!("{prefix}>{asn}"));
         }
-        for hc in &self.hosts {
-            fnv_str(&mut h, &format!("{hc:?}"));
+        for id in 0..self.host_count() {
+            fnv_str(
+                &mut h,
+                &format!(
+                    "{:?}|{:?}|{:?}",
+                    self.host_addrs(id),
+                    self.host_asn[id],
+                    self.host_stack[id]
+                ),
+            );
         }
         h
     }
 
-    /// Register a host's static attributes; returns its id. Panics on a
-    /// duplicate address binding.
-    fn bind_host(&mut self, cfg: HostConfig) -> HostId {
-        let id = self.hosts.len();
-        for a in &cfg.addrs {
-            let prev = self.ip_index.insert(*a, id);
-            assert!(prev.is_none(), "address {a} bound twice");
-        }
-        self.hosts.push(cfg);
+    /// Append a host's static attributes into the SoA columns; returns its
+    /// id. The address index entries are appended *unsorted* — callers
+    /// either seal afterwards (builder) or keep the index sorted
+    /// themselves (`bind_host_sorted`).
+    fn push_host(&mut self, cfg: HostConfig) -> HostId {
+        let id = self.host_asn.len();
+        self.host_asn.push(cfg.asn);
+        self.host_stack.push(cfg.stack);
+        self.addrs.extend(cfg.addrs.iter().copied());
+        self.addr_start.push(self.addrs.len() as u32);
         id
+    }
+
+    /// Register a host during bulk building: index entries append unsorted
+    /// (O(1) per address); `seal` sorts once and rejects duplicates.
+    fn bind_host(&mut self, cfg: HostConfig) -> HostId {
+        let start = self.addrs.len();
+        let id = self.push_host(cfg);
+        for i in start..self.addrs.len() {
+            self.ip_index.push((self.addrs[i], id as u32));
+        }
+        id
+    }
+
+    /// Register a host keeping the address index sorted (used by
+    /// [`Network`], whose topologies stay test-scale). Panics on a
+    /// duplicate address binding.
+    fn bind_host_sorted(&mut self, cfg: HostConfig) -> HostId {
+        let start = self.addrs.len();
+        let id = self.push_host(cfg);
+        for i in start..self.addrs.len() {
+            let a = self.addrs[i];
+            match self.ip_index.binary_search_by(|(x, _)| x.cmp(&a)) {
+                Ok(_) => panic!("address {a} bound twice"),
+                Err(pos) => self.ip_index.insert(pos, (a, id as u32)),
+            }
+        }
+        id
+    }
+
+    /// Sort the address index and reject duplicate bindings. Idempotent;
+    /// runs once per bulk build, in `TopologyBuilder::finish`.
+    fn seal(&mut self) {
+        self.ip_index.sort_unstable_by_key(|(a, _)| *a);
+        for w in self.ip_index.windows(2) {
+            assert!(w[0].0 != w[1].0, "address {} bound twice", w[0].0);
+        }
     }
 }
 
@@ -294,8 +373,10 @@ impl TopologyBuilder {
         &self.topo
     }
 
-    /// Freeze the topology.
-    pub fn finish(self) -> Topology {
+    /// Freeze the topology: sort the address index (rejecting duplicate
+    /// bindings) and hand out the immutable result.
+    pub fn finish(mut self) -> Topology {
+        self.topo.seal();
         self.topo
     }
 }
@@ -358,7 +439,7 @@ impl Runtime {
     pub fn new(topo: Arc<Topology>, nodes: Vec<Box<dyn Node>>) -> Runtime {
         assert_eq!(
             nodes.len(),
-            topo.hosts.len(),
+            topo.host_count(),
             "one node per topology host, in host-id order"
         );
         let seed = topo.cfg.seed;
@@ -408,7 +489,7 @@ impl Runtime {
         let id = self.hosts.len();
         for a in &cfg.addrs {
             assert!(
-                !self.topo.ip_index.contains_key(a),
+                self.topo.host_for_ip(*a).is_none(),
                 "address {a} bound twice"
             );
             let prev = self.extra_ip_index.insert(*a, id);
@@ -459,14 +540,34 @@ impl Runtime {
         self.events_processed
     }
 
-    /// Host configuration (addresses, AS, stack policy) — topology hosts
-    /// and dynamically added ones alike.
-    pub fn host_config(&self, id: HostId) -> &HostConfig {
-        let n = self.topo.hosts.len();
+    /// The origin AS of a host — topology hosts and dynamically added ones
+    /// alike.
+    pub fn host_asn(&self, id: HostId) -> Asn {
+        let n = self.topo.host_count();
         if id < n {
-            &self.topo.hosts[id]
+            self.topo.host_asn(id)
         } else {
-            &self.extra_cfgs[id - n]
+            self.extra_cfgs[id - n].asn
+        }
+    }
+
+    /// The network-stack policy of a host.
+    pub fn host_stack(&self, id: HostId) -> StackPolicy {
+        let n = self.topo.host_count();
+        if id < n {
+            self.topo.host_stack(id)
+        } else {
+            self.extra_cfgs[id - n].stack
+        }
+    }
+
+    /// The addresses bound to a host, in binding order.
+    pub fn host_addrs(&self, id: HostId) -> &[IpAddr] {
+        let n = self.topo.host_count();
+        if id < n {
+            self.topo.host_addrs(id)
+        } else {
+            &self.extra_cfgs[id - n].addrs
         }
     }
 
@@ -507,10 +608,8 @@ impl Runtime {
 
     fn host_for_ip(&self, addr: IpAddr) -> Option<HostId> {
         self.topo
-            .ip_index
-            .get(&addr)
-            .or_else(|| self.extra_ip_index.get(&addr))
-            .copied()
+            .host_for_ip(addr)
+            .or_else(|| self.extra_ip_index.get(&addr).copied())
     }
 
     /// Schedule an external timer for a host at an absolute time.
@@ -583,7 +682,7 @@ impl Runtime {
             return;
         }
 
-        let origin_asn = self.host_config(from).asn;
+        let origin_asn = self.host_asn(from);
         let Some(dst_asn) = self.topo.routes.origin(pkt.dst) else {
             self.counters.drop(DropReason::NoRoute);
             self.record(TracePoint::Dropped(DropReason::NoRoute), &pkt);
@@ -804,7 +903,7 @@ impl Runtime {
                 // Host network-stack acceptance (paper Table 6). Middlebox
                 // deliveries bypass this: an in-path interceptor is not the
                 // packet's addressee.
-                let stack = self.host_config(h).stack;
+                let stack = self.host_stack(h);
                 let ds = pkt.is_dst_as_src();
                 let lb = pkt.has_loopback_src();
                 if !stack.accepts(ds, lb, pkt.is_v6()) {
@@ -995,7 +1094,7 @@ impl Network {
             "topology hosts must be added before runtime-dynamic hosts"
         );
         let seed = self.rt.topo.cfg.seed;
-        let id = self.topo_mut().bind_host(cfg);
+        let id = self.topo_mut().bind_host_sorted(cfg);
         let rng = ChaCha8Rng::seed_from_u64(stream_seed(seed, id as u64));
         self.rt.hosts.push(HostState { node, rng });
         id

@@ -38,6 +38,7 @@ pub mod counters;
 pub mod engine;
 pub mod faults;
 pub mod link;
+pub mod lpm;
 pub mod merge;
 pub mod node;
 pub mod packet;
@@ -59,6 +60,7 @@ pub use faults::{
     FaultKind, FaultSchedule, LinkFate, LinkFlap,
 };
 pub use link::LinkProfile;
+pub use lpm::LpmTrie;
 pub use merge::Merge;
 pub use node::{HostId, Node, NodeCtx};
 pub use packet::{Packet, TcpFlags, TcpOptions, TcpSegment, Transport, UdpDatagram};

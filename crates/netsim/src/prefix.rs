@@ -116,6 +116,8 @@ impl Prefix {
         let host_bits = (self.width() - self.len) as u32;
         let hi = if host_bits == 0 {
             self.bits
+        } else if host_bits >= 128 {
+            u128::MAX
         } else {
             self.bits | ((1u128 << host_bits) - 1)
         };

@@ -13,10 +13,12 @@
 //! prefix → origin-ASN routing with a reverse index. (`bcd-geo` reuses
 //! [`PrefixMap`] for prefix → country.)
 
+use crate::lpm::LpmTrie;
 use crate::prefix::Prefix;
 use crate::topology::Asn;
 use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::OnceLock;
 
 #[derive(Debug)]
 struct TrieNode<T> {
@@ -118,35 +120,86 @@ impl<T: Copy> PrefixMap<T> {
     }
 }
 
+/// The forward-lookup engine behind a [`PrefixTable`]: the compact
+/// arena-backed trie by default, or the boxed-node [`PrefixMap`] kept as a
+/// differential oracle (`BCD_LPM=map`). Both produce identical answers —
+/// the proptests in `tests/proptests.rs` hold them to it.
+#[derive(Debug)]
+enum LpmImpl {
+    Trie(LpmTrie<Asn>),
+    Map(PrefixMap<Asn>),
+}
+
+/// True when `BCD_LPM=map` selects the legacy map oracle (read once; the
+/// choice must not flip between a table's construction and its lookups).
+fn lpm_oracle_from_env() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::var("BCD_LPM").is_ok_and(|v| v == "map"))
+}
+
 /// A routing table mapping prefixes to originating ASNs with
 /// longest-prefix-match semantics, plus a reverse index from ASN to
 /// announced prefixes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PrefixTable {
-    map: PrefixMap<Asn>,
+    lpm: LpmImpl,
     by_asn: BTreeMap<Asn, Vec<Prefix>>,
 }
 
+impl Default for PrefixTable {
+    fn default() -> Self {
+        if lpm_oracle_from_env() {
+            PrefixTable::with_map()
+        } else {
+            PrefixTable::with_trie()
+        }
+    }
+}
+
 impl PrefixTable {
-    /// An empty table.
+    /// An empty table (honours `BCD_LPM=map`).
     pub fn new() -> PrefixTable {
         PrefixTable::default()
     }
 
+    /// An empty table over the compact arena trie, ignoring the env switch
+    /// (differential tests construct both variants explicitly).
+    pub fn with_trie() -> PrefixTable {
+        PrefixTable {
+            lpm: LpmImpl::Trie(LpmTrie::new()),
+            by_asn: BTreeMap::new(),
+        }
+    }
+
+    /// An empty table over the legacy boxed-node map oracle.
+    pub fn with_map() -> PrefixTable {
+        PrefixTable {
+            lpm: LpmImpl::Map(PrefixMap::new()),
+            by_asn: BTreeMap::new(),
+        }
+    }
+
     /// Number of announced prefixes.
     pub fn len(&self) -> usize {
-        self.map.len()
+        match &self.lpm {
+            LpmImpl::Trie(t) => t.len(),
+            LpmImpl::Map(m) => m.len(),
+        }
     }
 
     /// True if no prefixes are announced.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Announce `prefix` as originated by `asn`. Re-announcing the same
     /// prefix replaces the origin (and updates the reverse index).
     pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
-        if let Some(old) = self.map.insert(prefix, asn) {
+        let old = match &mut self.lpm {
+            LpmImpl::Trie(t) => t.insert(prefix, asn),
+            LpmImpl::Map(m) => m.insert(prefix, asn),
+        };
+        if let Some(old) = old {
             if let Some(v) = self.by_asn.get_mut(&old) {
                 v.retain(|p| p != &prefix);
             }
@@ -157,12 +210,18 @@ impl PrefixTable {
     /// Longest-prefix-match lookup: the most specific announced prefix
     /// containing `ip`, with its origin ASN.
     pub fn lookup(&self, ip: IpAddr) -> Option<(Prefix, Asn)> {
-        self.map.lookup(ip)
+        match &self.lpm {
+            LpmImpl::Trie(t) => t.lookup(ip),
+            LpmImpl::Map(m) => m.lookup(ip),
+        }
     }
 
     /// The origin ASN for `ip`, if any route covers it.
     pub fn origin(&self, ip: IpAddr) -> Option<Asn> {
-        self.map.get(ip)
+        match &self.lpm {
+            LpmImpl::Trie(t) => t.get(ip),
+            LpmImpl::Map(m) => m.get(ip),
+        }
     }
 
     /// All prefixes announced by `asn` (order of announcement).
@@ -272,6 +331,45 @@ mod tests {
         let all: Vec<_> = t.iter().collect();
         assert_eq!(all.len(), 2);
         assert!(all.contains(&(p("192.0.2.0/24"), Asn(5))));
+    }
+
+    #[test]
+    fn trie_and_map_tables_agree() {
+        let announcements = [
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("10.1.0.0/16"), Asn(2)),
+            (p("10.1.2.0/24"), Asn(3)),
+            (p("10.1.2.0/24"), Asn(4)), // re-announce
+            (p("0.0.0.0/0"), Asn(5)),
+            (p("2001:db8::/32"), Asn(6)),
+            (p("2001:db8:1::/48"), Asn(7)),
+            (p("192.0.2.7/32"), Asn(8)),
+        ];
+        let mut trie = PrefixTable::with_trie();
+        let mut map = PrefixTable::with_map();
+        for (pre, asn) in announcements {
+            trie.announce(pre, asn);
+            map.announce(pre, asn);
+        }
+        for probe in [
+            "10.2.3.4",
+            "10.1.9.9",
+            "10.1.2.200",
+            "192.0.2.7",
+            "192.0.2.8",
+            "2001:db8::1",
+            "2001:db8:1::1",
+            "2600::1",
+        ] {
+            let a = ip(probe);
+            assert_eq!(trie.lookup(a), map.lookup(a), "lookup({probe})");
+            assert_eq!(trie.origin(a), map.origin(a), "origin({probe})");
+        }
+        assert_eq!(trie.len(), map.len());
+        assert_eq!(
+            trie.iter().collect::<Vec<_>>(),
+            map.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

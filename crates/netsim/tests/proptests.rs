@@ -2,7 +2,7 @@
 //! arithmetic and the longest-prefix-match trie (validated against a naive
 //! linear scan).
 
-use bcd_netsim::{Asn, Prefix, PrefixMap, PrefixTable};
+use bcd_netsim::{Asn, LpmTrie, Prefix, PrefixMap, PrefixTable};
 use proptest::prelude::*;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
@@ -119,6 +119,58 @@ proptest! {
         // Total prefixes in reverse index equals the trie's count.
         let total: usize = t.asns().map(|a| t.prefixes_of(a).len()).sum();
         prop_assert_eq!(total, t.len());
+    }
+
+    /// Differential oracle: the compact arena trie answers every lookup
+    /// identically to the boxed-node map for any interleaving of announces
+    /// (including re-announces, which replace) and probes. This is the
+    /// gate for swapping `PrefixTable`'s forward engine.
+    #[test]
+    fn lpm_trie_agrees_with_prefix_map(
+        entries in proptest::collection::vec((any_prefix(), any::<u32>()), 0..60),
+        probes in proptest::collection::vec(any_ip(), 0..60),
+    ) {
+        let mut trie: LpmTrie<u32> = LpmTrie::new();
+        let mut map: PrefixMap<u32> = PrefixMap::new();
+        for (p, v) in &entries {
+            prop_assert_eq!(trie.insert(*p, *v), map.insert(*p, *v), "insert {}", p);
+            prop_assert_eq!(trie.len(), map.len());
+        }
+        prop_assert!(trie.node_count() <= 2 * trie.len() + 2);
+        for ip in probes {
+            prop_assert_eq!(trie.lookup(ip), map.lookup(ip), "probe {}", ip);
+        }
+        // Members of every stored prefix resolve identically too (probes
+        // above are uniform, so they rarely land inside narrow prefixes).
+        for (p, _) in &entries {
+            for probe in [p.network(), p.last()] {
+                prop_assert_eq!(trie.lookup(probe), map.lookup(probe), "member {}", probe);
+            }
+        }
+    }
+
+    /// The full `PrefixTable` behaves identically over either engine for
+    /// random announce sequences: lookups, origins, reverse index, iter.
+    #[test]
+    fn prefix_table_engines_agree(
+        entries in proptest::collection::vec((any_prefix(), 1u32..50), 0..40),
+        probes in proptest::collection::vec(any_ip(), 0..40),
+    ) {
+        let mut trie = PrefixTable::with_trie();
+        let mut map = PrefixTable::with_map();
+        for (p, asn) in &entries {
+            trie.announce(*p, Asn(*asn));
+            map.announce(*p, Asn(*asn));
+        }
+        prop_assert_eq!(trie.len(), map.len());
+        for ip in probes {
+            prop_assert_eq!(trie.lookup(ip), map.lookup(ip), "probe {}", ip);
+        }
+        prop_assert_eq!(
+            trie.iter().collect::<Vec<_>>(),
+            map.iter().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(trie.asns().collect::<Vec<_>>(), map.asns().collect::<Vec<_>>());
     }
 
     /// Subprefix enumeration covers the parent exactly.

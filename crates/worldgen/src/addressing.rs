@@ -11,6 +11,12 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 pub struct AddressAllocator {
     next_v4: u32,
     next_v6: u32,
+    /// Pack successive [`carve_v4_24s`] calls into shared /16s instead of
+    /// starting a fresh /16 per call.
+    pack_v4: bool,
+    /// The partially-carved /16 left by the last packed carve: the block
+    /// and the number of /24s already taken from it.
+    v4_partial: Option<(Prefix, usize)>,
 }
 
 impl Default for AddressAllocator {
@@ -19,14 +25,29 @@ impl Default for AddressAllocator {
             // Start at 1.0.0.0 (0/8 is special).
             next_v4: 256,
             next_v6: 0,
+            pack_v4: false,
+            v4_partial: None,
         }
     }
 }
 
 impl AddressAllocator {
-    /// A fresh allocator.
+    /// A fresh allocator. Every [`carve_v4_24s`] call starts a fresh /16 —
+    /// the historical address plan, which caps the world at ~56k carves.
     pub fn new() -> AddressAllocator {
         AddressAllocator::default()
+    }
+
+    /// A packing allocator: [`carve_v4_24s`] calls share /16s, so the
+    /// ~14.5M usable /24s are the only budget. Internet-scale worlds (62k
+    /// ASes > 56k /16 blocks) need this; it changes which /24 each AS
+    /// receives, so scale-1.0 worlds keep [`new`](Self::new) for
+    /// byte-compatibility with existing goldens.
+    pub fn packed() -> AddressAllocator {
+        AddressAllocator {
+            pack_v4: true,
+            ..AddressAllocator::default()
+        }
     }
 
     /// The next unused, fully-routable IPv4 /16.
@@ -72,13 +93,21 @@ impl AddressAllocator {
 }
 
 /// Carve `count` /24s out of /16 blocks supplied by `alloc`, returning the
-/// /24 prefixes.
+/// /24 prefixes. A packing allocator ([`AddressAllocator::packed`]) resumes
+/// inside the previous carve's partially-used /16; the default allocator
+/// always starts a fresh one.
 pub fn carve_v4_24s(alloc: &mut AddressAllocator, count: usize) -> Vec<Prefix> {
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
-        let block = alloc.next_v4_16();
-        let take = (count - out.len()).min(256);
-        out.extend(block.subprefixes(24).take(take));
+        let (block, used) = match alloc.v4_partial.take() {
+            Some(p) if alloc.pack_v4 => p,
+            _ => (alloc.next_v4_16(), 0),
+        };
+        let take = (count - out.len()).min(256 - used);
+        out.extend(block.subprefixes(24).skip(used).take(take));
+        if alloc.pack_v4 && used + take < 256 {
+            alloc.v4_partial = Some((block, used + take));
+        }
     }
     out
 }
@@ -168,6 +197,32 @@ mod tests {
             assert_eq!(s.len(), 64);
             assert!(block.covers(s));
         }
+    }
+
+    #[test]
+    fn packed_carving_shares_blocks_and_stays_unique() {
+        let mut packed = AddressAllocator::packed();
+        let mut all = Vec::new();
+        // 100 carves of 5 /24s: packed fits them in ⌈500/256⌉ = 2 /16s.
+        for _ in 0..100 {
+            all.extend(carve_v4_24s(&mut packed, 5));
+        }
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len(), "packed /24s must stay unique");
+        let blocks: HashSet<u32> = all
+            .iter()
+            .map(|p| match p.network() {
+                IpAddr::V4(v) => u32::from(v) >> 16,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(blocks.len(), 2, "500 packed /24s span exactly two /16s");
+        // The default allocator burns a /16 per carve.
+        let mut fresh = AddressAllocator::new();
+        let a = carve_v4_24s(&mut fresh, 5);
+        let b = carve_v4_24s(&mut fresh, 5);
+        assert_ne!(a[0], b[0]);
+        assert!(a.iter().chain(&b).all(|p| p.len() == 24));
     }
 
     #[test]

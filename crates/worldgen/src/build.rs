@@ -23,7 +23,7 @@ use bcd_netsim::{
 use bcd_osmodel::{DnsSoftware, Os};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::net::IpAddr;
 use std::sync::Arc;
 
@@ -76,17 +76,26 @@ pub struct World {
     pub geo: GeoDb,
     /// Ground truth for every target address.
     pub resolvers: Vec<ResolverMeta>,
-    /// Target address → index into `resolvers`.
-    pub by_addr: HashMap<IpAddr, usize>,
+    /// Target address → index into `resolvers`, sorted by address for
+    /// binary search. A plain sorted vector (not a hash map): iteration
+    /// order is deterministic by construction and the index costs 24
+    /// bytes/target instead of a hash table's ~48.
+    pub by_addr: Vec<(IpAddr, u32)>,
     pub scanner: ScannerSlot,
     pub auth: AuthEstate,
     /// Public DNS service addresses (v4 then v6 per service).
     pub public_dns_v4: Vec<IpAddr>,
     pub public_dns_v6: Vec<IpAddr>,
     /// The synthesized root traces (§3.1's target source; §5.2.2's 2018
-    /// comparison trace).
+    /// comparison trace). Empty when `cfg.materialize_ditl` is off — the
+    /// 2019 trace is then streamed into `ditl_candidates` instead.
     pub ditl2019: Vec<DitlRecord>,
     pub ditl2018: Vec<DitlRecord>,
+    /// Deduplicated, sorted 2019 source addresses, produced by the
+    /// streaming pipeline when `cfg.materialize_ditl` is off. Target
+    /// extraction consumes either this or `ditl2019` — the result is
+    /// identical (same RNG stream, and extraction dedupes anyway).
+    pub ditl_candidates: Vec<IpAddr>,
     /// ASNs of measured ASes (excludes infrastructure/scanner/public DNS).
     pub measured_asns: Vec<Asn>,
     /// Host ids of the experiment-zone servers `(main, f4, f6)` — used by
@@ -114,7 +123,10 @@ pub struct WorldRuntime {
 impl World {
     /// Ground truth for a target address.
     pub fn meta_of(&self, addr: IpAddr) -> Option<&ResolverMeta> {
-        self.by_addr.get(&addr).map(|&i| &self.resolvers[i])
+        self.by_addr
+            .binary_search_by(|&(a, _)| a.cmp(&addr))
+            .ok()
+            .map(|i| &self.resolvers[self.by_addr[i].1 as usize])
     }
 
     /// The AS info for an ASN, if registered.
@@ -136,13 +148,49 @@ impl World {
     /// so every spawn behaves exactly like a freshly built world — without
     /// paying for world generation again.
     pub fn spawn(&self) -> WorldRuntime {
+        self.spawn_for(None)
+    }
+
+    /// Like [`spawn`](Self::spawn), but with `Some(owned)` only hosts in
+    /// the given measured ASes (plus the infrastructure, public-DNS and
+    /// scanner ASes every shard talks to) get their real node; everything
+    /// else becomes a [`Sink`](NodeBlueprint::Sink) placeholder at the
+    /// same host id.
+    ///
+    /// Sound for AS-sharded surveys because a shard only ever sends
+    /// traffic to its own destination ASes, and resolvers in non-owned
+    /// ASes are passive until probed (no warmup queries) — a sink there
+    /// receives nothing it was supposed to answer. Per-host RNG streams
+    /// are keyed by host id, so the hosts that *are* instantiated behave
+    /// byte-identically to a full spawn. At Internet scale this is what
+    /// makes S-way sharding ~S-times lighter per shard: each runtime
+    /// holds ~1/S of the million-host node table.
+    pub fn spawn_for(&self, owned: Option<&HashSet<Asn>>) -> WorldRuntime {
         let log = shared_log();
         let root_log = shared_log();
         let logs = [log.clone(), root_log.clone()];
+        let sink = NodeBlueprint::Sink;
         let nodes = self
             .blueprints
             .iter()
-            .map(|b| b.instantiate(&logs))
+            .enumerate()
+            .map(|(id, b)| {
+                let live = match owned {
+                    None => true,
+                    Some(set) => {
+                        let asn = self.topo.host_asn(id);
+                        asn == INFRA_ASN
+                            || asn == PUBLIC_DNS_ASN
+                            || asn == SCANNER_ASN
+                            || set.contains(&asn)
+                    }
+                };
+                if live {
+                    b.instantiate(&logs)
+                } else {
+                    sink.instantiate(&logs)
+                }
+            })
             .collect();
         let mut net = Runtime::new(Arc::clone(&self.topo), nodes);
         net.set_faults(self.faults.clone());
@@ -204,12 +252,45 @@ struct AsPlan {
     n_targets_v4: usize,
     n_targets_v6: usize,
     no_dsav: bool,
+    /// AS-wide ACL prefix list (v4 + v6), built once and `Arc`-shared by
+    /// every resolver in this AS whose ACL is AS-wide.
+    as_wide: Arc<[Prefix]>,
+    /// `as_wide` plus the private/ULA ranges, likewise shared.
+    as_wide_private: Arc<[Prefix]>,
+}
+
+/// Resolver-config storage shared by every resolver in the world: one
+/// allocation per world, one refcount bump per resolver. Without this an
+/// Internet-scale build clones the root-hint list and ACL prefix vectors
+/// about a million times.
+struct SharedCfg {
+    root_hints: Arc<[IpAddr]>,
+    no_cuts: Arc<[(Name, Vec<IpAddr>)]>,
+    no_prefixes: Arc<[Prefix]>,
+    private_prefixes: Arc<[Prefix]>,
+    localhost_prefixes: Arc<[Prefix]>,
+}
+
+/// The private/ULA ranges used by ACL materialization.
+fn private_ranges() -> [Prefix; 3] {
+    [
+        "192.168.0.0/16".parse().unwrap(),
+        "10.0.0.0/8".parse().unwrap(),
+        "fc00::/7".parse().unwrap(),
+    ]
 }
 
 /// Build the world.
 pub fn build(cfg: WorldConfig) -> World {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut alloc = AddressAllocator::new();
+    // Densified worlds pack AS address plans into shared /16s — 62k ASes
+    // exceed the /16 count but not the /24 count. The scale-1.0 plan keeps
+    // the historical fresh-/16-per-AS layout byte-for-byte.
+    let mut alloc = if cfg.address_density < 1.0 {
+        AddressAllocator::packed()
+    } else {
+        AddressAllocator::new()
+    };
     // The classic `link_loss` knob is routed through the chaos layer (the
     // LinkProfile loss field samples the engine noise RNG, whose stream is
     // per-shard — chaos drops are keyed on packet identity instead, so a
@@ -353,7 +434,7 @@ pub fn build(cfg: WorldConfig) -> World {
     }
     let experiment_hosts = (lab_host, follow_hosts[0], follow_hosts[1]);
 
-    let root_hints = vec![root_v4, root_v6];
+    let root_hints: Arc<[IpAddr]> = vec![root_v4, root_v6].into();
     // The estate's zone cuts, pre-installed in the shared public resolvers
     // below. A cache that *learns* a cut on first contact logs a referral
     // walk whose presence depends on which client got there first — state
@@ -362,12 +443,21 @@ pub fn build(cfg: WorldConfig) -> World {
     // identically everywhere. In-AS resolvers stay cache-cold: their
     // clients never span shards, and their root walks are what the DITL
     // capture is for.
-    let estate_cuts = vec![
+    let estate_cuts: Arc<[(Name, Vec<IpAddr>)]> = vec![
         (apex.clone(), vec![lab_v4, lab_v6]),
         (f4_apex.clone(), vec![f4_addr]),
         (f6_apex.clone(), vec![f6_addr]),
         (tcp_apex.clone(), vec![tcp_v4, tcp_v6]),
-    ];
+    ]
+    .into();
+
+    let shared = SharedCfg {
+        root_hints: root_hints.clone(),
+        no_cuts: Vec::new().into(),
+        no_prefixes: Vec::new().into(),
+        private_prefixes: private_ranges().to_vec().into(),
+        localhost_prefixes: vec!["127.0.0.0/8".parse().unwrap(), "::1/128".parse().unwrap()].into(),
+    };
 
     // ---------------- public DNS services ----------------
     net.add_simple_as(PUBLIC_DNS_ASN, BorderPolicy::strict());
@@ -441,7 +531,12 @@ pub fn build(cfg: WorldConfig) -> World {
         let no_dsav = rng.gen_bool(p_no_dsav);
 
         // Address space: at least 2 /24s so other-prefix sources exist.
-        let n_24s = ((n_targets_v4 as f64 * rng.gen_range(0.6..2.0)) as usize).clamp(2, 300);
+        // `address_density == 1.0` (all historical presets) multiplies
+        // through exactly, so the carve — and everything downstream of the
+        // allocator — is unchanged for them.
+        let n_24s = ((n_targets_v4 as f64 * rng.gen_range(0.6..2.0) * cfg.address_density)
+            as usize)
+            .clamp(2, 300);
         let v4_prefixes = carve_v4_24s(&mut alloc, n_24s);
 
         let has_v6 = rng.gen_bool(cfg.v6_as_fraction);
@@ -456,6 +551,18 @@ pub fn build(cfg: WorldConfig) -> World {
             (Vec::new(), 0)
         };
 
+        let as_wide: Arc<[Prefix]> = v4_prefixes
+            .iter()
+            .chain(&v6_prefixes)
+            .copied()
+            .collect::<Vec<Prefix>>()
+            .into();
+        let as_wide_private: Arc<[Prefix]> = as_wide
+            .iter()
+            .copied()
+            .chain(private_ranges())
+            .collect::<Vec<Prefix>>()
+            .into();
         plans.push(AsPlan {
             asn,
             country,
@@ -465,11 +572,16 @@ pub fn build(cfg: WorldConfig) -> World {
             n_targets_v4,
             n_targets_v6,
             no_dsav,
+            as_wide,
+            as_wide_private,
         });
     }
 
     let mut resolvers: Vec<ResolverMeta> = Vec::new();
-    let mut by_addr: HashMap<IpAddr, usize> = HashMap::new();
+    // Collision membership during generation only; the World's queryable
+    // index is the sorted `by_addr` vector built after the loop. (The set
+    // is never iterated, so its hash order can't leak into the build.)
+    let mut target_addrs: HashSet<IpAddr> = HashSet::new();
     let mut measured_asns = Vec::with_capacity(plans.len());
 
     for plan in &plans {
@@ -568,7 +680,7 @@ pub fn build(cfg: WorldConfig) -> World {
                     rng.gen_range(1..240)
                 };
                 let addr = p.nth(offset).unwrap();
-                if by_addr.contains_key(&addr) {
+                if target_addrs.contains(&addr) {
                     continue; // collision: skip (target counts are approximate)
                 }
 
@@ -614,14 +726,14 @@ pub fn build(cfg: WorldConfig) -> World {
                         addr,
                         v6_family,
                         responsive,
-                        &root_hints,
+                        &shared,
                         &public_dns_v4,
                         &public_dns_v6,
                         &mut isp_upstream,
                         &mut aux_used,
                     )
                 };
-                by_addr.insert(addr, resolvers.len());
+                target_addrs.insert(addr);
                 resolvers.push(meta);
             }
         }
@@ -637,9 +749,28 @@ pub fn build(cfg: WorldConfig) -> World {
     v6_hitlist.sort();
     v6_hitlist.dedup();
 
+    drop(target_addrs);
+    // The queryable index: sorted by address (unique by construction).
+    let mut by_addr: Vec<(IpAddr, u32)> = resolvers
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.addr, i as u32))
+        .collect();
+    by_addr.sort_unstable_by_key(|&(a, _)| a);
+
     // ---------------- DITL traces ----------------
-    let ditl2019 = ditl::generate_2019(&mut rng, &resolvers, &mut alloc);
-    let ditl2018 = ditl::generate_2018(&mut rng, &resolvers);
+    let (ditl2019, ditl2018, ditl_candidates) = if cfg.materialize_ditl {
+        let t2019 = ditl::generate_2019(&mut rng, &resolvers, &mut alloc);
+        let t2018 = ditl::generate_2018(&mut rng, &resolvers);
+        (t2019, t2018, Vec::new())
+    } else {
+        // Streaming pipeline: same RNG draws as `generate_2019`, but only
+        // the deduplicated source list survives. The 2018 comparison trace
+        // is skipped entirely (nothing after this point reads `rng`, so
+        // its draws are not owed).
+        let cands = ditl::candidate_sources_2019(&mut rng, &resolvers, &mut alloc);
+        (Vec::new(), Vec::new(), cands)
+    };
 
     let auth = AuthEstate {
         apex,
@@ -666,8 +797,7 @@ pub fn build(cfg: WorldConfig) -> World {
             .iter()
             .enumerate()
             .filter(|(id, b)| {
-                matches!(b, NodeBlueprint::Resolver(_))
-                    && measured.contains(&topo.host_config(*id).asn.0)
+                matches!(b, NodeBlueprint::Resolver(_)) && measured.contains(&topo.host_asn(*id).0)
             })
             .map(|(id, _)| id)
             .collect();
@@ -693,6 +823,7 @@ pub fn build(cfg: WorldConfig) -> World {
         public_dns_v6,
         ditl2019,
         ditl2018,
+        ditl_candidates,
         measured_asns,
         experiment_hosts,
         v6_hitlist,
@@ -737,7 +868,7 @@ fn build_resolver(
     addr: IpAddr,
     v6_family: bool,
     responsive: bool,
-    root_hints: &[IpAddr],
+    shared: &SharedCfg,
     public_dns_v4: &[IpAddr],
     public_dns_v6: &[IpAddr],
     isp_upstream: &mut Option<IpAddr>,
@@ -748,19 +879,19 @@ fn build_resolver(
         let identity = sample_port_identity(rng);
         let resolver_cfg = ResolverConfig {
             addrs: vec![addr],
-            acl: Acl::Allow(vec![]),
+            acl: Acl::Allow(shared.no_prefixes.clone()),
             forward_to: None,
             qmin: false,
             qmin_halts_on_nxdomain: true,
             allocator: identity.allocator.clone(),
             os: identity.os,
             p0f_visible: identity.p0f_visible,
-            root_hints: root_hints.to_vec(),
+            root_hints: shared.root_hints.clone(),
             timeout: SimDuration::from_secs(2),
             max_attempts: 3,
             warmup: Vec::new(),
             identity_draw_salt: None,
-            preload_cuts: Vec::new(),
+            preload_cuts: shared.no_cuts.clone(),
         };
         net.add_host(
             HostConfig {
@@ -831,7 +962,7 @@ fn build_resolver(
     } else {
         AclKind::sample_closed(rng)
     };
-    let acl = materialize_acl(acl_kind, addr, plan);
+    let acl = materialize_acl(acl_kind, addr, plan, shared);
 
     let forward_to = if forwards {
         Some(pick_upstream(
@@ -839,7 +970,7 @@ fn build_resolver(
             net,
             plan,
             v6_family,
-            root_hints,
+            shared,
             public_dns_v4,
             public_dns_v6,
             isp_upstream,
@@ -857,12 +988,12 @@ fn build_resolver(
         allocator: identity.allocator.clone(),
         os: identity.os,
         p0f_visible: identity.p0f_visible,
-        root_hints: root_hints.to_vec(),
+        root_hints: shared.root_hints.clone(),
         timeout: SimDuration::from_secs(2),
         max_attempts: 3,
         warmup: Vec::new(),
         identity_draw_salt: None,
-        preload_cuts: Vec::new(),
+        preload_cuts: shared.no_cuts.clone(),
     };
     net.add_host(
         HostConfig {
@@ -892,39 +1023,31 @@ fn build_resolver(
     }
 }
 
-/// Turn an [`AclKind`] into concrete prefixes for this resolver.
-fn materialize_acl(kind: AclKind, addr: IpAddr, plan: &AsPlan) -> Acl {
-    let private4: Prefix = "192.168.0.0/16".parse().unwrap();
-    let rfc1918a: Prefix = "10.0.0.0/8".parse().unwrap();
-    let ula: Prefix = "fc00::/7".parse().unwrap();
-    let lo4: Prefix = "127.0.0.0/8".parse().unwrap();
-    let lo6: Prefix = "::1/128".parse().unwrap();
-    let all_as = || {
-        plan.v4_prefixes
-            .iter()
-            .chain(&plan.v6_prefixes)
-            .copied()
-            .collect::<Vec<Prefix>>()
-    };
+/// Turn an [`AclKind`] into concrete prefixes for this resolver. Every
+/// non-address-specific list is `Arc`-shared (per world or per AS); only
+/// the subnet/self kinds allocate per resolver, and those are one prefix.
+fn materialize_acl(kind: AclKind, addr: IpAddr, plan: &AsPlan, shared: &SharedCfg) -> Acl {
     match kind {
         AclKind::Open => Acl::Open,
-        AclKind::AsWide => Acl::Allow(all_as()),
-        AclKind::SameSubnet => Acl::Allow(vec![Prefix::subprefix_of(
-            addr,
-            if addr.is_ipv6() { 64 } else { 24 },
-        )]),
-        AclKind::SelfOnly => Acl::Allow(vec![Prefix::subprefix_of(
-            addr,
-            if addr.is_ipv6() { 128 } else { 32 },
-        )]),
-        AclKind::AsWidePlusPrivate => {
-            let mut v = all_as();
-            v.extend([private4, rfc1918a, ula]);
-            Acl::Allow(v)
-        }
-        AclKind::PrivateOnly => Acl::Allow(vec![private4, rfc1918a, ula]),
-        AclKind::LocalhostOnly => Acl::Allow(vec![lo4, lo6]),
-        AclKind::NoMatch => Acl::Allow(vec![]),
+        AclKind::AsWide => Acl::Allow(plan.as_wide.clone()),
+        AclKind::SameSubnet => Acl::Allow(
+            vec![Prefix::subprefix_of(
+                addr,
+                if addr.is_ipv6() { 64 } else { 24 },
+            )]
+            .into(),
+        ),
+        AclKind::SelfOnly => Acl::Allow(
+            vec![Prefix::subprefix_of(
+                addr,
+                if addr.is_ipv6() { 128 } else { 32 },
+            )]
+            .into(),
+        ),
+        AclKind::AsWidePlusPrivate => Acl::Allow(plan.as_wide_private.clone()),
+        AclKind::PrivateOnly => Acl::Allow(shared.private_prefixes.clone()),
+        AclKind::LocalhostOnly => Acl::Allow(shared.localhost_prefixes.clone()),
+        AclKind::NoMatch => Acl::Allow(shared.no_prefixes.clone()),
     }
 }
 
@@ -936,7 +1059,7 @@ fn pick_upstream(
     net: &mut WorldBuilder,
     plan: &AsPlan,
     v6_family: bool,
-    root_hints: &[IpAddr],
+    shared: &SharedCfg,
     public_dns_v4: &[IpAddr],
     public_dns_v6: &[IpAddr],
     isp_upstream: &mut Option<IpAddr>,
@@ -952,22 +1075,23 @@ fn pick_upstream(
         return up;
     }
     // Create the AS's ISP resolver: closed to the outside, AS-wide ACL.
+    // At most one per AS, so the v4 prefix list is cloned, not shared.
     let addr = plan.v4_prefixes[0].nth(251).unwrap();
     let cfg = ResolverConfig {
         addrs: vec![addr],
-        acl: Acl::Allow(plan.v4_prefixes.clone()),
+        acl: Acl::Allow(plan.v4_prefixes.clone().into()),
         forward_to: None,
         qmin: false,
         qmin_halts_on_nxdomain: true,
         allocator: Os::LinuxModern.default_port_allocator(),
         os: Os::LinuxModern,
         p0f_visible: false,
-        root_hints: root_hints.to_vec(),
+        root_hints: shared.root_hints.clone(),
         timeout: SimDuration::from_secs(2),
         max_attempts: 3,
         warmup: Vec::new(),
         identity_draw_salt: None,
-        preload_cuts: Vec::new(),
+        preload_cuts: shared.no_cuts.clone(),
     };
     net.add_host(
         HostConfig {
@@ -1034,9 +1158,54 @@ mod tests {
     fn target_truth_is_indexed() {
         let w = build(WorldConfig::tiny(7));
         for (i, r) in w.resolvers.iter().enumerate() {
-            assert_eq!(w.by_addr.get(&r.addr), Some(&i));
+            assert!(std::ptr::eq(
+                w.meta_of(r.addr).expect("indexed"),
+                &w.resolvers[i]
+            ));
             assert_eq!(w.topo.routes().origin(r.addr), Some(r.asn));
         }
+        // The index is strictly sorted (unique addresses, binary-searchable).
+        assert!(w.by_addr.windows(2).all(|p| p[0].0 < p[1].0));
+    }
+
+    #[test]
+    fn by_addr_index_is_insertion_order_independent() {
+        // The queryable index is a sorted vector: whatever order targets
+        // were generated in (or any future parallel build produces), the
+        // index — and therefore every lookup and any iteration over it —
+        // is identical. This pins the property that replaced the old
+        // HashMap index.
+        let w = build(WorldConfig::tiny(31));
+        let mut forward: Vec<(IpAddr, u32)> = w
+            .resolvers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.addr, i as u32))
+            .collect();
+        let mut reversed: Vec<(IpAddr, u32)> = forward.iter().rev().copied().collect();
+        forward.sort_unstable_by_key(|&(a, _)| a);
+        reversed.sort_unstable_by_key(|&(a, _)| a);
+        assert_eq!(forward, reversed);
+        assert_eq!(forward, w.by_addr);
+    }
+
+    #[test]
+    fn streaming_ditl_matches_materialized_candidates() {
+        // Building with `materialize_ditl` off must leave every derived
+        // quantity identical: same topology digest (same RNG path), and a
+        // candidate list equal to the deduplicated sources of the
+        // materialized trace.
+        let mat = build(WorldConfig::tiny(19));
+        let streamed = build(WorldConfig {
+            materialize_ditl: false,
+            ..WorldConfig::tiny(19)
+        });
+        assert_eq!(mat.topo.digest(), streamed.topo.digest());
+        assert!(streamed.ditl2019.is_empty() && streamed.ditl2018.is_empty());
+        let mut expect: Vec<IpAddr> = mat.ditl2019.iter().map(|r| r.src).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(streamed.ditl_candidates, expect);
     }
 
     #[test]

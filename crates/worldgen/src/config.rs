@@ -92,6 +92,20 @@ pub struct WorldConfig {
     /// Seconds after the original query at which the human lookup happens.
     pub human_lookup_delay_secs: u64,
 
+    // ---- scale ----
+    /// Global multiplier on each AS's carved /24 (and derived /64) count.
+    /// `1.0` reproduces the historical address plan byte-for-byte; Internet-
+    /// scale worlds shrink it so 62k ASes fit the simulator's IPv4 space
+    /// (~14.3M /24s below the 224.0.0.0 multicast line).
+    pub address_density: f64,
+    /// Materialize the DITL traces as in-memory record vectors (`ditl2019`
+    /// / `ditl2018`). The default; analyses that replay the raw trace need
+    /// it. Internet-scale worlds turn it off: the 2019 trace is streamed
+    /// straight into the deduplicated candidate-source list
+    /// (`World::ditl_candidates`) and the 2018 trace is skipped, so the
+    /// ~2.3 records/target trace never exists in memory.
+    pub materialize_ditl: bool,
+
     // ---- engine ----
     /// Event budget for the simulation.
     pub max_events: u64,
@@ -144,6 +158,8 @@ impl WorldConfig {
             osav_fraction: 0.75,
             human_lookup_fraction: 0.00005,
             human_lookup_delay_secs: 7_200,
+            address_density: 1.0,
+            materialize_ditl: true,
             max_events: 500_000_000,
             sched: bcd_netsim::SchedKind::from_env(),
             link_loss: 0.0,
@@ -159,6 +175,36 @@ impl WorldConfig {
             n_as: 40,
             target_scale: 0.05,
             qmin_fraction: 0.01,
+            ..WorldConfig::paper_shape(seed)
+        }
+    }
+
+    /// The full-population world: the paper's ~62k measured ASes, ~12M
+    /// DITL candidate sources, and ~1M live resolver hosts. Tuned for
+    /// *building* on CI hardware (struct-of-arrays topology, streamed DITL
+    /// trace, shared resolver-config storage — see DESIGN.md); a full
+    /// spoofing survey over it is a batch job, not a test.
+    ///
+    /// Calibration against [`WorldConfig::paper_shape`]:
+    /// * `target_scale: 0.5` — the per-country `targets_per_as` means were
+    ///   tuned for down-scaled worlds and overshoot ~2× at the full AS
+    ///   count; 0.5 lands the 2019 candidate population at the paper's
+    ///   ~12.1M unique sources (measured: ~11.9M at seed 2019).
+    /// * `refuse_all_fraction: 0.06` — per-target live probability is
+    ///   `accept + (1 − accept) · refuse_all` ≈ 9.5%, so ~12M targets
+    ///   yield ~1.8M live hosts (the paper's ~1M-host order) while the
+    ///   responsive share stays at §4.1's per-IP reachability.
+    /// * `address_density: 0.35` — shrinks each AS's address plan so 62k
+    ///   ASes fit the v4 unicast space (the allocator also switches to
+    ///   packed /16 carving below 1.0); per-AS prefix counts stay ≥ 2 so
+    ///   other-prefix spoof sources always exist.
+    pub fn internet_scale(seed: u64) -> WorldConfig {
+        WorldConfig {
+            n_as: 62_000,
+            target_scale: 0.5,
+            refuse_all_fraction: 0.06,
+            address_density: 0.35,
+            materialize_ditl: false,
             ..WorldConfig::paper_shape(seed)
         }
     }

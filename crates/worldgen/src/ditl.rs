@@ -20,7 +20,7 @@
 use crate::addressing::AddressAllocator;
 use crate::profile::{Port2018, ResolverMeta};
 use bcd_dnswire::Name;
-use bcd_netsim::SimTime;
+use bcd_netsim::{Prefix, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::net::{IpAddr, Ipv4Addr};
@@ -52,64 +52,188 @@ pub fn from_query_log(entries: &[bcd_dns::QueryLogEntry]) -> Vec<DitlRecord> {
         .collect()
 }
 
-fn random_qname(rng: &mut ChaCha8Rng, tag: &str, i: usize) -> Name {
+/// Draw the qname's random components (always, so the RNG stream is
+/// identical between materializing and streaming consumers) and build the
+/// `Name` only when the caller wants one.
+fn random_qname(rng: &mut ChaCha8Rng, tag: &str, i: usize, materialize: bool) -> Name {
     let tld = ["com", "net", "org", "io", "de"][rng.gen_range(0..5)];
-    format!("w{i}.{tag}{}.{tld}", rng.gen_range(0u32..1_000_000))
-        .parse()
-        .unwrap()
+    let n = rng.gen_range(0u32..1_000_000);
+    if materialize {
+        format!("w{i}.{tag}{n}.{tld}").parse().unwrap()
+    } else {
+        Name::root()
+    }
 }
 
-/// The 2019 trace: every target appears 1–3 times, plus noise classes.
+/// Phase of the 2019 stream: targets, then the two noise classes.
+enum Phase2019 {
+    /// Resolver `i`; `left` records still owed for it (0 = count not yet
+    /// drawn for this resolver).
+    Targets {
+        i: usize,
+        left: u32,
+    },
+    Special {
+        i: usize,
+    },
+    Ghost {
+        i: usize,
+    },
+    Done,
+}
+
+/// Streaming generator for the 2019 trace: yields records in *generation*
+/// order (not time order) without ever holding the trace in memory. The
+/// RNG draw sequence is identical to the historical materializing
+/// generator, so `generate_2019` (collect + time sort) and any streaming
+/// consumer see byte-identical worlds downstream.
+pub struct Ditl2019Stream<'a> {
+    rng: &'a mut ChaCha8Rng,
+    resolvers: &'a [ResolverMeta],
+    ghost_block: Prefix,
+    phase: Phase2019,
+}
+
+impl<'a> Ditl2019Stream<'a> {
+    /// Advance the state machine. `materialize_qnames = false` performs the
+    /// qname draws but skips building the `Name` (for consumers that only
+    /// read source addresses, e.g. target extraction at Internet scale).
+    fn next_record(&mut self, materialize_qnames: bool) -> Option<DitlRecord> {
+        loop {
+            match self.phase {
+                Phase2019::Targets { i, left } => {
+                    if i >= self.resolvers.len() {
+                        self.phase = Phase2019::Special { i: 0 };
+                        continue;
+                    }
+                    if left == 0 {
+                        let n = self.rng.gen_range(1..=3);
+                        self.phase = Phase2019::Targets { i, left: n };
+                        continue;
+                    }
+                    let rec = DitlRecord {
+                        time: SimTime::from_secs(self.rng.gen_range(0..WINDOW_SECS)),
+                        src: self.resolvers[i].addr,
+                        src_port: self.rng.gen_range(1_024..=65_535),
+                        qname: random_qname(self.rng, "q", i, materialize_qnames),
+                    };
+                    self.phase = if left == 1 {
+                        Phase2019::Targets { i: i + 1, left: 0 }
+                    } else {
+                        Phase2019::Targets { i, left: left - 1 }
+                    };
+                    return Some(rec);
+                }
+                Phase2019::Special { i } => {
+                    // Special-purpose noise: ~25% extra records from
+                    // unroutable space.
+                    if i >= self.resolvers.len() / 4 {
+                        self.phase = Phase2019::Ghost { i: 0 };
+                        continue;
+                    }
+                    let src: IpAddr = match self.rng.gen_range(0..4) {
+                        0 => IpAddr::V4(Ipv4Addr::new(
+                            10,
+                            self.rng.gen(),
+                            self.rng.gen(),
+                            self.rng.gen(),
+                        )),
+                        1 => IpAddr::V4(Ipv4Addr::new(192, 168, self.rng.gen(), self.rng.gen())),
+                        2 => IpAddr::V4(Ipv4Addr::new(127, 0, 0, self.rng.gen())),
+                        _ => format!("fc00::{:x}", self.rng.gen::<u16>())
+                            .parse()
+                            .unwrap(),
+                    };
+                    let rec = DitlRecord {
+                        time: SimTime::from_secs(self.rng.gen_range(0..WINDOW_SECS)),
+                        src,
+                        src_port: self.rng.gen_range(1_024..=65_535),
+                        qname: random_qname(self.rng, "s", i, materialize_qnames),
+                    };
+                    self.phase = Phase2019::Special { i: i + 1 };
+                    return Some(rec);
+                }
+                Phase2019::Ghost { i } => {
+                    // Unrouted-but-plausible noise from the never-announced
+                    // ghost /16 (§3.1's "no announced route" exclusion).
+                    if i >= (self.resolvers.len() / 300).max(3) {
+                        self.phase = Phase2019::Done;
+                        continue;
+                    }
+                    let rec = DitlRecord {
+                        time: SimTime::from_secs(self.rng.gen_range(0..WINDOW_SECS)),
+                        src: self.ghost_block.nth(self.rng.gen_range(1..60_000)).unwrap(),
+                        src_port: self.rng.gen_range(1_024..=65_535),
+                        qname: random_qname(self.rng, "g", i, materialize_qnames),
+                    };
+                    self.phase = Phase2019::Ghost { i: i + 1 };
+                    return Some(rec);
+                }
+                Phase2019::Done => return None,
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for Ditl2019Stream<'a> {
+    type Item = DitlRecord;
+
+    fn next(&mut self) -> Option<DitlRecord> {
+        self.next_record(true)
+    }
+}
+
+/// Stream the 2019 trace: every target appears 1–3 times, then the
+/// special-purpose and unrouted noise classes. `ghost_block` must be a
+/// freshly carved, never-announced /16 (the caller owns the allocator so
+/// the carve lands at the same allocator position as the historical
+/// in-generator carve).
+pub fn stream_2019<'a>(
+    rng: &'a mut ChaCha8Rng,
+    resolvers: &'a [ResolverMeta],
+    ghost_block: Prefix,
+) -> Ditl2019Stream<'a> {
+    Ditl2019Stream {
+        rng,
+        resolvers,
+        ghost_block,
+        phase: Phase2019::Targets { i: 0, left: 0 },
+    }
+}
+
+/// The materialized 2019 trace (collect the stream, sort by time).
 pub fn generate_2019(
     rng: &mut ChaCha8Rng,
     resolvers: &[ResolverMeta],
     alloc: &mut AddressAllocator,
 ) -> Vec<DitlRecord> {
-    let mut out = Vec::with_capacity(resolvers.len() * 2);
-    for (i, r) in resolvers.iter().enumerate() {
-        let n = rng.gen_range(1..=3);
-        for _ in 0..n {
-            out.push(DitlRecord {
-                time: SimTime::from_secs(rng.gen_range(0..WINDOW_SECS)),
-                src: r.addr,
-                src_port: rng.gen_range(1_024..=65_535),
-                qname: random_qname(rng, "q", i),
-            });
-        }
-    }
-
-    // Special-purpose noise: ~25% extra records from unroutable space.
-    let n_special = resolvers.len() / 4;
-    for i in 0..n_special {
-        let src: IpAddr = match rng.gen_range(0..4) {
-            0 => IpAddr::V4(Ipv4Addr::new(10, rng.gen(), rng.gen(), rng.gen())),
-            1 => IpAddr::V4(Ipv4Addr::new(192, 168, rng.gen(), rng.gen())),
-            2 => IpAddr::V4(Ipv4Addr::new(127, 0, 0, rng.gen())),
-            _ => format!("fc00::{:x}", rng.gen::<u16>()).parse().unwrap(),
-        };
-        out.push(DitlRecord {
-            time: SimTime::from_secs(rng.gen_range(0..WINDOW_SECS)),
-            src,
-            src_port: rng.gen_range(1_024..=65_535),
-            qname: random_qname(rng, "s", i),
-        });
-    }
-
-    // Unrouted-but-plausible noise: a /16 that is never announced (§3.1's
-    // "no announced route" exclusion).
     let ghost_block = alloc.next_v4_16();
-    let n_ghost = (resolvers.len() / 300).max(3);
-    for i in 0..n_ghost {
-        out.push(DitlRecord {
-            time: SimTime::from_secs(rng.gen_range(0..WINDOW_SECS)),
-            src: ghost_block.nth(rng.gen_range(1..60_000)).unwrap(),
-            src_port: rng.gen_range(1_024..=65_535),
-            qname: random_qname(rng, "g", i),
-        });
-    }
-
+    let mut out: Vec<DitlRecord> = stream_2019(rng, resolvers, ghost_block).collect();
     out.sort_by_key(|r| r.time);
     out
+}
+
+/// The streaming extraction front half: generate the 2019 trace, keep only
+/// each record's source address, de-duplicate. Consumes the identical RNG
+/// sequence as [`generate_2019`] but never materializes records or qnames,
+/// so an Internet-scale world can feed target extraction in O(unique
+/// sources) memory. Returns the sorted unique source list; special-purpose
+/// and unrouted exclusion stay with the analysis side, which also counts
+/// them.
+pub fn candidate_sources_2019(
+    rng: &mut ChaCha8Rng,
+    resolvers: &[ResolverMeta],
+    alloc: &mut AddressAllocator,
+) -> Vec<IpAddr> {
+    let ghost_block = alloc.next_v4_16();
+    let mut stream = stream_2019(rng, resolvers, ghost_block);
+    let mut srcs: Vec<IpAddr> = Vec::with_capacity(resolvers.len() + resolvers.len() / 3);
+    while let Some(rec) = stream.next_record(false) {
+        srcs.push(rec.src);
+    }
+    srcs.sort_unstable();
+    srcs.dedup();
+    srcs
 }
 
 /// The 2018 trace, keyed to §5.2.2's three comparison outcomes.
@@ -137,7 +261,7 @@ pub fn generate_2018(rng: &mut ChaCha8Rng, resolvers: &[ResolverMeta]) -> Vec<Di
                         time: SimTime::from_secs(rng.gen_range(0..WINDOW_SECS)),
                         src: r.addr,
                         src_port: port,
-                        qname: random_qname(rng, "p", i),
+                        qname: random_qname(rng, "p", i, true),
                     });
                 }
             }
@@ -147,7 +271,7 @@ pub fn generate_2018(rng: &mut ChaCha8Rng, resolvers: &[ResolverMeta]) -> Vec<Di
                         time: SimTime::from_secs(rng.gen_range(0..WINDOW_SECS)),
                         src: r.addr,
                         src_port: rng.gen_range(1_024..=65_535),
-                        qname: random_qname(rng, "p", i),
+                        qname: random_qname(rng, "p", i, true),
                     });
                 }
             }
@@ -158,7 +282,7 @@ pub fn generate_2018(rng: &mut ChaCha8Rng, resolvers: &[ResolverMeta]) -> Vec<Di
                         time: SimTime::from_secs(rng.gen_range(0..WINDOW_SECS)),
                         src: r.addr,
                         src_port: rng.gen_range(1_024..=65_535),
-                        qname: random_qname(rng, "p", i),
+                        qname: random_qname(rng, "p", i, true),
                     });
                 }
             }

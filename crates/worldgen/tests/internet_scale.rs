@@ -1,0 +1,96 @@
+//! Internet-scale smoke test: build the full `internet_scale` world — the
+//! paper's ~62k measured ASes and ~12M DITL candidate sources — and check
+//! that (a) the Table 1/2 marginals survive the scale-up and (b) the build
+//! fits CI-class memory.
+//!
+//! Ignored by default: this is a release-mode batch job (`cargo test -r
+//! -p bcd-worldgen -- --ignored internet_scale`), not part of tier-1. The
+//! CI `scale-smoke` job runs it.
+
+use bcd_worldgen::{build, WorldConfig};
+use std::time::Instant;
+
+/// Peak resident set size of this process in GiB (`VmHWM` from
+/// `/proc/self/status`). Linux-only, like the CI runner.
+fn peak_rss_gib() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("VmHWM line")
+        .parse()
+        .expect("VmHWM value");
+    kb / (1024.0 * 1024.0)
+}
+
+#[test]
+#[ignore = "release-mode batch job: builds the full 62k-AS world"]
+fn internet_scale_world_builds_within_budget() {
+    let t0 = Instant::now();
+    let w = build::build(WorldConfig::internet_scale(2019));
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Table 1 shape: population counts at the paper's order of
+    // magnitude. Bands are generous — these are scale checks, not the
+    // calibrated-marginal checks (marginals.rs covers those densely).
+    assert_eq!(w.measured_asns.len(), 62_000);
+    assert!(
+        (8_000_000..=16_000_000).contains(&w.ditl_candidates.len()),
+        "candidate sources: {}",
+        w.ditl_candidates.len()
+    );
+    assert!(
+        w.ditl2019.is_empty() && w.ditl2018.is_empty(),
+        "internet_scale must stream, not materialize, the DITL traces"
+    );
+    assert!(
+        w.ditl_candidates.windows(2).all(|p| p[0] < p[1]),
+        "candidates must arrive deduplicated and sorted"
+    );
+    let n_targets = w.resolvers.len();
+    assert!(
+        (8_000_000..=16_000_000).contains(&n_targets),
+        "targets: {n_targets}"
+    );
+
+    // ---- Table 2 / §3.6.2 shape: live-host population near the paper's
+    // ~1M, responsive share at per-IP reachability order. At full
+    // population the stale share is ~90% — ~12M DITL sources against ~1M
+    // hosts still alive at scan time is exactly the churn gap the paper
+    // leans on (unlike paper_shape, which inflates the live share so a
+    // small world still has measurable populations).
+    let live = w.resolvers.iter().filter(|r| r.live).count();
+    let responsive = w.resolvers.iter().filter(|r| r.responsive).count();
+    assert!((600_000..=1_800_000).contains(&live), "live hosts: {live}");
+    assert!(
+        responsive > 0 && responsive < live,
+        "responsive: {responsive}"
+    );
+    let stale_frac = w.resolvers.iter().filter(|r| !r.live).count() as f64 / n_targets as f64;
+    assert!(
+        (0.80..0.97).contains(&stale_frac),
+        "stale fraction {stale_frac:.3}"
+    );
+    let v6 = w.resolvers.iter().filter(|r| r.addr.is_ipv6()).count();
+    assert!(v6 > 100_000, "v6 targets: {v6}");
+
+    // ---- host table consistency: one simulated host per live target plus
+    // shared infrastructure; the topology index must resolve a sample.
+    assert!(
+        w.topo.host_count() >= live,
+        "host table smaller than live set"
+    );
+    for r in w.resolvers.iter().step_by(1_000_000) {
+        assert_eq!(w.meta_of(r.addr).map(|m| m.addr), Some(r.addr));
+    }
+
+    // ---- resource budget: the acceptance bar is < 8 GiB peak RSS.
+    let rss = peak_rss_gib();
+    eprintln!(
+        "internet_scale: built in {build_secs:.1}s, peak RSS {rss:.2} GiB, \
+         {n_targets} targets, {live} live, {} candidates",
+        w.ditl_candidates.len()
+    );
+    assert!(rss < 8.0, "peak RSS {rss:.2} GiB exceeds the 8 GiB budget");
+}
