@@ -44,6 +44,7 @@ fn enabled_env() -> ObsEnv {
     ObsEnv {
         jsonl_path: Some(std::env::temp_dir().join("bcd-obs-overhead.jsonl")),
         progress_every: Some(u64::MAX),
+        trace: None,
     }
 }
 

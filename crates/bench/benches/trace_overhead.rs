@@ -1,0 +1,157 @@
+//! Causal-tracing overhead: the survey with the span flight recorder
+//! *disarmed* must cost within 3% of one that never heard of tracing —
+//! that is the acceptance bar for threading `BCD_TRACE` through every hot
+//! path. The disarmed cost is one untaken branch per span site (detail
+//! closures never run: `NodeCtx::span` returns before touching them), so
+//! the paired measurement below gates on it directly.
+//!
+//! Three configurations, interleaved like `obs_overhead`:
+//!
+//! * `disabled` — `ObsEnv::disabled()`: no recorder exists. The baseline.
+//! * `armed_unsampled` — recorder armed, but the sampling spec rejects
+//!   every qname. Measures the per-origination sampling hash plus the
+//!   armed-but-trace-0 branches; this is the cost a `sample=1/N` user pays
+//!   on the queries that are *not* sampled, and it is gated < 3%.
+//! * `armed_full` — every query traced (`sample=1/1`). Informational: the
+//!   price of full capture (span formatting + BTree inserts).
+//!
+//! ```sh
+//! cargo bench -p bcd-bench --bench trace_overhead
+//! # BCD_BENCH_PAPER=1 adds the (slow) paper-shape S=1 measurement;
+//! # BCD_BENCH_N=<samples> raises the per-config sample count;
+//! # BCD_TRACE_GATE=off reports without failing (noisy-host escape hatch).
+//! ```
+
+use bcd_core::{Experiment, ExperimentConfig};
+use bcd_netsim::TraceSample;
+use bcd_obs::{ObsEnv, TraceConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn run_survey(cfg: &ExperimentConfig, env: &ObsEnv) -> usize {
+    let data = Experiment::run_observed(cfg.clone(), env);
+    data.entries.len()
+}
+
+fn timed(f: &mut impl FnMut() -> usize) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_secs_f64()
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Recorder armed, sampling spec rejects everything: the suffix can never
+/// match a generated qname (labels are hex serials under the experiment
+/// apex), so every origination hashes its qname and then stays untraced.
+fn unsampled_env() -> ObsEnv {
+    ObsEnv::with_trace(TraceConfig {
+        sample: TraceSample {
+            every: 1,
+            qname_suffix: Some("never.invalid".to_string()),
+        },
+        ..TraceConfig::default()
+    })
+}
+
+struct Measured {
+    name: String,
+    disabled_s: f64,
+    unsampled_s: f64,
+    full_s: f64,
+}
+
+impl Measured {
+    fn unsampled_pct(&self) -> f64 {
+        100.0 * (self.unsampled_s - self.disabled_s) / self.disabled_s
+    }
+    fn full_pct(&self) -> f64 {
+        100.0 * (self.full_s - self.disabled_s) / self.disabled_s
+    }
+}
+
+/// Paired measurement, interleaved (disabled, unsampled, full, ...) after
+/// one warm-up apiece, so load drift lands on every side of the
+/// comparison.
+fn measure(name: &str, cfg: &ExperimentConfig, n: usize) -> Measured {
+    let mut run_disabled = || run_survey(cfg, &ObsEnv::disabled());
+    let mut run_unsampled = || run_survey(cfg, &unsampled_env());
+    let mut run_full = || run_survey(cfg, &ObsEnv::with_trace(TraceConfig::default()));
+    black_box(run_disabled());
+    black_box(run_unsampled());
+    black_box(run_full());
+    let (mut disabled, mut unsampled, mut full) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    for _ in 0..n {
+        disabled.push(timed(&mut run_disabled));
+        unsampled.push(timed(&mut run_unsampled));
+        full.push(timed(&mut run_full));
+    }
+    Measured {
+        name: name.to_string(),
+        disabled_s: median(disabled),
+        unsampled_s: median(unsampled),
+        full_s: median(full),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let tiny = ExperimentConfig::tiny(1);
+    {
+        let mut g = c.benchmark_group("trace_overhead");
+        g.sample_size(10);
+        g.bench_function("tiny_survey_trace_disabled", |b| {
+            b.iter(|| run_survey(&tiny, &ObsEnv::disabled()))
+        });
+        g.bench_function("tiny_survey_trace_unsampled", |b| {
+            b.iter(|| run_survey(&tiny, &unsampled_env()))
+        });
+        g.finish();
+    }
+
+    let n = std::env::var("BCD_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let mut rows = vec![measure("tiny_seed1", &tiny, n)];
+    if std::env::var("BCD_BENCH_PAPER").is_ok() {
+        // The acceptance shape: paper-shape S=1 (constructors honour
+        // BCD_SHARDS, so leave it unset for the canonical measurement).
+        let paper = ExperimentConfig::paper_shape(2019);
+        rows.push(measure("paper_shape_seed2019", &paper, n.min(3)));
+    }
+    let mut worst = f64::MIN;
+    for m in &rows {
+        println!(
+            "trace_overhead/{}: disabled {:.3}s unsampled {:.3}s ({:+.2}%) full {:.3}s ({:+.2}%)",
+            m.name,
+            m.disabled_s,
+            m.unsampled_s,
+            m.unsampled_pct(),
+            m.full_s,
+            m.full_pct()
+        );
+        worst = worst.max(m.unsampled_pct());
+    }
+    // The gate: disarmed-path overhead must stay under 3%. Shared-runner
+    // medians jitter, so the escape hatch reports without failing.
+    let gate_off = matches!(
+        std::env::var("BCD_TRACE_GATE").ok().as_deref(),
+        Some("off") | Some("0")
+    );
+    if worst > 3.0 && !gate_off {
+        panic!(
+            "trace_overhead gate: unsampled tracing costs {worst:+.2}% > 3% \
+             over the disabled baseline (BCD_TRACE_GATE=off to report only)"
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,13 +16,19 @@
 //!    replay line anyone can paste to reproduce the failure exactly —
 //!    across any `BCD_SHARDS` value, since fault fates are pure functions
 //!    of shard-invariant packet keys.
+//!
+//! Checked runs additionally arm the causal span flight recorder
+//! ([`bcd_netsim::FlightRecorder`]), so a violation can be dumped as one
+//! self-contained artifact ([`violation_artifact`]): the run report, the
+//! shrunk replay line, and the causal window of spans leading up to the
+//! failure — all shard-invariant bytes.
 
 use crate::analysis::openclosed::OpenClosedReport;
 use crate::analysis::reachability::Reachability;
 use crate::experiment::{Experiment, ExperimentConfig, ExperimentData};
 use crate::invariants::{InvariantChecker, InvariantReport};
 use bcd_netsim::{stream_seed, ChaosConfig, ChaosSpec};
-use bcd_obs::ObsEnv;
+use bcd_obs::{ObsEnv, TraceConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
@@ -66,9 +72,19 @@ pub fn run_clean(base: &ExperimentConfig) -> ExperimentData {
 
 /// Run `base` under a chaos config.
 pub fn run_chaotic(base: &ExperimentConfig, chaos: ChaosConfig) -> ExperimentData {
+    run_chaotic_observed(base, chaos, &ObsEnv::disabled())
+}
+
+/// [`run_chaotic`] with explicit observability switches — how [`run_checked`]
+/// arms the causal flight recorder for violation dumps.
+pub fn run_chaotic_observed(
+    base: &ExperimentConfig,
+    chaos: ChaosConfig,
+    env: &ObsEnv,
+) -> ExperimentData {
     let mut cfg = base.clone();
     cfg.world.chaos = Some(chaos);
-    Experiment::run_observed(cfg, &ObsEnv::disabled())
+    Experiment::run_observed(cfg, env)
 }
 
 /// Replay a printed `BCD_CHAOS=...` line (its `seed=..,profile=..` part)
@@ -113,19 +129,50 @@ pub struct ChaosRun {
 
 /// Run `(base, chaos)` and gate it through the full invariant checker
 /// against the supplied clean baseline.
+///
+/// The run arms the causal span flight recorder (default capacity, every
+/// query traced), so `data.flight` carries the causal window a
+/// [`violation_artifact`] dump needs. Tracing is observer-only — it never
+/// changes simulation behaviour, so reports and digests are unaffected.
 pub fn run_checked(
     base: &ExperimentConfig,
     chaos: ChaosConfig,
     clean: &ExperimentData,
 ) -> ChaosRun {
     let spec = chaos.spec();
-    let data = run_chaotic(base, chaos);
+    let data = run_chaotic_observed(base, chaos, &ObsEnv::with_trace(TraceConfig::default()));
     let invariants = InvariantChecker::check_full(clean, &data);
     ChaosRun {
         spec,
         data,
         invariants,
     }
+}
+
+/// Render one invariant violation as a single self-contained artifact:
+/// the chaos run report (schedule shape + replay line + survey summaries +
+/// verdict), the ddmin-shrunk minimal reproducer when available, and the
+/// causal flight-recorder window leading up to the failure. Every section
+/// is shard-invariant, so the artifact is byte-identical under any
+/// `BCD_SHARDS` / `BCD_SCHED` configuration (the trace-invariance suite
+/// locks this in).
+pub fn violation_artifact(
+    clean: &ExperimentData,
+    run: &ChaosRun,
+    minimal: Option<&ChaosSpec>,
+) -> String {
+    let mut out = render_run_report(clean, run);
+    if let Some(min) = minimal {
+        let _ = writeln!(out, "minimal reproducer: BCD_CHAOS={min}");
+    }
+    match &run.data.flight {
+        Some(f) => {
+            out.push_str("\n-- causal window (flight recorder) --\n");
+            out.push_str(&f.dump());
+        }
+        None => out.push_str("\n-- causal window unavailable (tracing was not armed) --\n"),
+    }
+    out
 }
 
 fn summary_line(label: &str, data: &ExperimentData) -> String {
@@ -180,6 +227,10 @@ pub struct SweepRun {
     pub invariants: InvariantReport,
     /// Minimal reproducer, when the run violated and shrinking ran.
     pub minimal: Option<ChaosSpec>,
+    /// Self-contained violation dump ([`violation_artifact`]): run report,
+    /// minimal replay line, and the causal flight-recorder window. `None`
+    /// when the run held.
+    pub artifact: Option<String>,
 }
 
 /// A completed sweep.
@@ -261,12 +312,15 @@ where
             } else {
                 None
             };
+            let artifact = (!run.invariants.is_ok())
+                .then(|| violation_artifact(&clean, &run, minimal.as_ref()));
             runs.push(SweepRun {
                 world_seed: seed,
                 spec: run.spec,
                 event_counts,
                 invariants: run.invariants,
                 minimal,
+                artifact,
             });
         }
     }

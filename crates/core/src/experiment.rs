@@ -14,8 +14,11 @@ use crate::sources::SourcePlan;
 use crate::targets::TargetSet;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
-use bcd_netsim::{stream_seed, HostConfig, NetCounters, SimDuration, SimTime, StackPolicy, Trace};
-use bcd_obs::{ObsEnv, RunObservation, RunProfile};
+use bcd_netsim::{
+    stream_seed, FlightRecorder, HostConfig, NetCounters, SimDuration, SimTime, StackPolicy, Trace,
+};
+use bcd_obs::report::names;
+use bcd_obs::{Det, ObsEnv, RunObservation, RunProfile, TraceConfig};
 use bcd_worldgen::{World, WorldConfig, WorldRuntime};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -129,6 +132,11 @@ pub struct ExperimentData {
     pub pending_deliveries: u64,
     /// Merged packet capture, when the world config enables one.
     pub trace: Option<Trace>,
+    /// Merged causal span flight recorder, when the run armed one
+    /// (`BCD_TRACE` or [`ObsEnv::with_trace`]). Byte-identical to a
+    /// single-shard recorder at any shard count (see
+    /// [`bcd_netsim::FlightRecorder`]'s merge contract).
+    pub flight: Option<FlightRecorder>,
     /// The run's observability artifact: phase profile, deterministic
     /// aggregate metrics, per-shard slices (see [`bcd_obs`]). Callers may
     /// append their own phases (analysis, report) before exporting.
@@ -185,24 +193,36 @@ impl Experiment {
     /// stderr heartbeat.
     pub fn run_observed(cfg: ExperimentConfig, env: &ObsEnv) -> ExperimentData {
         let mut profile = RunProfile::new();
+        // Phase-transition heartbeat: the scanner's per-probe heartbeat only
+        // covers shard-run, so the orchestrator announces the other phases.
+        let announce = |name: &str| {
+            if env.progress_every.is_some() {
+                eprintln!("[bcd] phase {name}");
+            }
+        };
+        announce("worldgen-build");
         let t0 = Instant::now();
         let mut world = bcd_worldgen::build::build(cfg.world.clone());
         if cfg.wildcard_zone {
             bcd_worldgen::build::set_experiment_zone_wildcard(&mut world);
         }
         profile.record("worldgen-build", t0.elapsed());
-        let t0 = Instant::now();
 
         // §3.1: extract targets from the DITL trace (or, for worlds built
         // with the streaming pipeline, from the pre-deduplicated candidate
         // list — the two paths yield identical target sets).
+        announce("target-extract");
+        let t0 = Instant::now();
         let targets = if world.cfg.materialize_ditl {
             TargetSet::extract(&world.ditl2019, world.topo.routes())
         } else {
             TargetSet::from_candidates(&world.ditl_candidates, world.topo.routes())
         };
+        profile.record("target-extract", t0.elapsed());
 
         // §3.2: spoofed-source plans.
+        announce("source-plans");
+        let t0 = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.world.seed.wrapping_add(2));
         let plans: Vec<SourcePlan> = targets
             .iter()
@@ -219,10 +239,13 @@ impl Experiment {
                 plan
             })
             .collect();
+        profile.record("source-plans", t0.elapsed());
 
         // §3.4: the schedule — built once, with final rate-capped emission
         // times, *then* partitioned, so a probe fires at the same instant
         // in every sharding configuration.
+        announce("schedule-build");
+        let t0 = Instant::now();
         let schedule = Schedule::build(&plans, cfg.window, cfg.rate, &mut rng);
 
         let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
@@ -255,7 +278,9 @@ impl Experiment {
         // thread per shard. Claim order is scheduling-dependent, but each
         // shard's simulation is self-contained and the merge below walks
         // slots in shard-id order — output bytes depend only on `shards`.
+        announce("shard-run");
         let progress = env.progress_every;
+        let trace_cfg = env.trace.clone();
         let n_workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -280,8 +305,16 @@ impl Experiment {
                     .unwrap()
                     .take()
                     .expect("shard partition claimed twice");
-                let outcome =
-                    run_shard(&world, &cfg, sid, part, asn_of.clone(), run_until, progress);
+                let outcome = run_shard(
+                    &world,
+                    &cfg,
+                    sid,
+                    part,
+                    asn_of.clone(),
+                    run_until,
+                    progress,
+                    trace_cfg.as_ref(),
+                );
                 *slots[sid].lock().unwrap() = Some(outcome);
             };
             std::thread::scope(|s| {
@@ -306,10 +339,13 @@ impl Experiment {
             })
             .collect();
         for (sid, o) in outcomes.iter().enumerate() {
+            profile.record_shard_phase("shard-spawn", sid, o.spawn_wall);
             profile.record_shard("shard-run", sid, o.wall, run_until);
+            profile.record_shard_phase("shard-extract", sid, o.extract_wall);
         }
         let per_shard: Vec<bcd_obs::MetricsRegistry> =
             outcomes.iter().map(|o| o.metrics.clone()).collect();
+        announce("merge");
         let t0 = Instant::now();
         let merged = shard::merge_outcomes(outcomes);
         profile.record("merge", t0.elapsed());
@@ -328,6 +364,24 @@ impl Experiment {
             &targets,
             loss_free.then_some(&merged.counters),
         );
+        // Run-level bounded-window accounting, claimed from the *merged*
+        // artifacts before the per-shard fold so the folded sums (which
+        // double-count per-shard warmup capture) cannot shadow them.
+        if let Some(t) = &merged.trace {
+            aggregate.add_counter(names::TRACE_CAPTURED, &[], Det::Layout, t.len() as u64);
+            aggregate.add_counter(names::TRACE_EVICTED, &[], Det::Layout, t.evicted);
+        }
+        // Causal-span counters are shard-invariant (canonical-order
+        // eviction; warmup is never traced) — but span *details* include
+        // fault fates, so they only enter the deterministic surface when no
+        // stochastic link faults ran.
+        if let Some(f) = &merged.flight {
+            let det = if loss_free { Det::Stable } else { Det::Layout };
+            aggregate.add_counter(names::SPAN_RECORDED, &[], det, f.recorded());
+            aggregate.add_counter(names::SPAN_RETAINED, &[], det, f.len() as u64);
+            aggregate.add_counter(names::SPAN_EVICTED, &[], det, f.evicted());
+            aggregate.add_counter(names::SPAN_TRACES, &[], det, f.traces().len() as u64);
+        }
         aggregate.absorb_new(&merged.metrics);
         let obs = RunObservation {
             seed: cfg.world.seed,
@@ -339,6 +393,23 @@ impl Experiment {
         if let Some(path) = &env.jsonl_path {
             if let Err(e) = obs.write_jsonl(path) {
                 eprintln!("[bcd] BCD_OBS export to {} failed: {e}", path.display());
+            }
+        }
+        if let (Some(flight), Some(path)) = (
+            &merged.flight,
+            env.trace.as_ref().and_then(|t| t.chrome_out.as_ref()),
+        ) {
+            let json = bcd_obs::chrome_trace_json(flight, &obs.profile);
+            let write = || -> std::io::Result<()> {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                std::fs::write(path, json)
+            };
+            if let Err(e) = write() {
+                eprintln!("[bcd] BCD_TRACE export to {} failed: {e}", path.display());
             }
         }
 
@@ -362,6 +433,7 @@ impl Experiment {
             budget_exhausted: merged.budget_exhausted,
             pending_deliveries: merged.pending_deliveries,
             trace: merged.trace,
+            flight: merged.flight,
             obs,
             cfg,
         }
@@ -373,6 +445,7 @@ impl Experiment {
 /// §3.3/§3.5: codec + scanner node at the reserved vantage (the codec is
 /// rebuilt per shard; apex and keyword are seed-determined, so every shard
 /// encodes identically).
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     world: &World,
     cfg: &ExperimentConfig,
@@ -381,6 +454,7 @@ fn run_shard(
     asn_of: HashMap<IpAddr, u32>,
     run_until: SimTime,
     progress: Option<u64>,
+    trace_cfg: Option<&TraceConfig>,
 ) -> ShardOutcome {
     let wall_start = Instant::now();
     // Lazy spawn: this shard's schedule names every destination AS it will
@@ -437,7 +511,16 @@ fn run_shard(
         cfg.world.seed,
         SHARD_NOISE_STREAM ^ shard_id as u64,
     ));
+    // Arm the causal flight recorder after spawn so warmup resolver traffic
+    // (which repeats in every shard) can never be sampled into it.
+    if let Some(t) = trace_cfg {
+        wrt.net.arm_flight_sampled(t.capacity, t.sample.clone());
+    }
+    let spawn_wall = wall_start.elapsed();
+    let run_start = Instant::now();
     wrt.net.run_until(run_until);
+    let run_wall = run_start.elapsed();
+    let extract_start = Instant::now();
 
     let entries = wrt.log.borrow().entries().to_vec();
     let scanner = wrt.net.node::<Scanner>(scanner_host).expect("scanner node");
@@ -447,6 +530,7 @@ fn run_shard(
     let events = wrt.net.events_processed();
     let pending_deliveries = wrt.net.pending_deliveries();
     let trace = wrt.net.trace.take();
+    let flight = wrt.net.take_flight();
     let metrics = observe::shard_registry(
         &wrt.net.counters,
         events,
@@ -463,8 +547,11 @@ fn run_shard(
         budget_exhausted: wrt.net.budget_exhausted,
         pending_deliveries,
         trace,
+        flight,
         dns,
         metrics,
-        wall: wall_start.elapsed(),
+        wall: run_wall,
+        spawn_wall,
+        extract_wall: extract_start.elapsed(),
     }
 }

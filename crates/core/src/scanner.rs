@@ -19,9 +19,8 @@
 use crate::qname::{Decoded, QnameCodec, SuffixKind};
 use crate::schedule::{Schedule, ScheduledQuery};
 use bcd_dns::SharedLog;
-use bcd_dnswire::{Message, MessageView, RCode, RType, WireWriter};
+use bcd_dnswire::{Message, MessageView, RCode, RType, WireWriter, MAX_NAME_WIRE_LEN};
 use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, Transport};
-use rand::Rng;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::IpAddr;
 
@@ -141,6 +140,8 @@ pub struct Scanner {
     /// Reusable encode buffer: every probe is serialized here, then copied
     /// once into the packet's shared payload.
     scratch: WireWriter,
+    /// Wall-clock start, for the heartbeat's rate/ETA estimate only.
+    wall_start: std::time::Instant,
     /// Responses received at the scanner's real addresses:
     /// `(time, responder, rcode)`.
     pub responses: Vec<(SimTime, IpAddr, RCode)>,
@@ -157,6 +158,7 @@ impl Scanner {
             followed_up: HashSet::new(),
             human_queue: BTreeMap::new(),
             scratch: WireWriter::new(),
+            wall_start: std::time::Instant::now(),
             responses: Vec::new(),
             stats: ScannerStats::default(),
         }
@@ -174,11 +176,31 @@ impl Scanner {
         dst: IpAddr,
         qname: bcd_dnswire::Name,
     ) {
-        let txid: u16 = ctx.rng().gen();
-        let sport: u16 = ctx.rng().gen_range(20_000..60_000);
+        // Port and txid derive from the qname (which already encodes the
+        // probe's identity — ts.src.dst.asn) rather than the node rng: a
+        // sharded run's scanner only walks its own slice of the schedule,
+        // so rng stream *position* is layout-dependent, and every packet
+        // byte must not be (the flight recorder records them verbatim).
+        let mut canon = [0u8; MAX_NAME_WIRE_LEN];
+        let n = qname.canonical_into(&mut canon);
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, &self.cfg.noise_salt.to_le_bytes());
+        fnv1a(&mut h, &canon[..n]);
+        fnv1a(&mut h, b"probe");
+        let txid = (h >> 32) as u16;
+        let sport = 20_000 + (h % 40_000) as u16;
+        // Causal trace id: pure function of the qname, sampled per the
+        // armed flight recorder's policy. The sampler sees the same
+        // canonical bytes (trailing dot trimmed inside), so the
+        // armed-but-unsampled path never Display-formats the name.
+        let trace = if ctx.tracing() {
+            ctx.sample_trace(std::str::from_utf8(&canon[..n]).unwrap_or("."))
+        } else {
+            0
+        };
         let msg = Message::query(txid, qname, RType::A);
         msg.encode_into(&mut self.scratch);
-        ctx.send(Packet::udp(src, dst, sport, 53, self.scratch.as_bytes()));
+        ctx.send(Packet::udp(src, dst, sport, 53, self.scratch.as_bytes()).with_trace(trace));
     }
 
     /// If `now` falls inside a configured outage, the time it ends.
@@ -224,10 +246,23 @@ impl Scanner {
             self.stats.spoofed_sent += 1;
             if let Some((every, sid)) = self.cfg.progress {
                 if self.stats.spoofed_sent.is_multiple_of(every) {
+                    // Wall-clock throughput + ETA (display only; never
+                    // feeds back into simulation state).
+                    let total = self.cfg.schedule.queries.len() as u64;
+                    let elapsed = self.wall_start.elapsed().as_secs_f64();
+                    let rate = if elapsed > 0.0 {
+                        self.stats.spoofed_sent as f64 / elapsed
+                    } else {
+                        0.0
+                    };
+                    let eta = if rate > 0.0 {
+                        format!("{:.0}s", (total - self.stats.spoofed_sent) as f64 / rate)
+                    } else {
+                        "?".to_string()
+                    };
                     eprintln!(
-                        "[bcd] shard {sid}: {}/{} probes, sim t={now}",
+                        "[bcd] shard {sid} [shard-run]: {}/{total} probes, {rate:.0} q/s, eta {eta}, sim t={now}",
                         self.stats.spoofed_sent,
-                        self.cfg.schedule.queries.len(),
                     );
                 }
             }
@@ -349,13 +384,24 @@ impl Scanner {
                 } else {
                     self.cfg.lab_v4
                 };
+                let mut canon = [0u8; MAX_NAME_WIRE_LEN];
+                let n = qname.canonical_into(&mut canon);
                 let mut h = FNV_OFFSET;
                 fnv1a(&mut h, &self.cfg.noise_salt.to_le_bytes());
-                fnv1a(&mut h, &qname.canonical_bytes());
+                fnv1a(&mut h, &canon[..n]);
                 let sport = 20_000 + (h % 40_000) as u16;
+                // Same qname as the spoofed probe → same trace id, so a
+                // sampled trace shows the human lookup alongside the probe.
+                let trace = if ctx.tracing() {
+                    ctx.sample_trace(std::str::from_utf8(&canon[..n]).unwrap_or("."))
+                } else {
+                    0
+                };
                 let msg = Message::query((h >> 32) as u16, qname, RType::A);
                 msg.encode_into(&mut self.scratch);
-                ctx.send(Packet::udp(admin, lab, sport, 53, self.scratch.as_bytes()));
+                ctx.send(
+                    Packet::udp(admin, lab, sport, 53, self.scratch.as_bytes()).with_trace(trace),
+                );
             }
         }
     }

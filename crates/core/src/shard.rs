@@ -29,7 +29,7 @@ use crate::scanner::ScannerStats;
 use crate::schedule::Schedule;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
-use bcd_netsim::{Merge, NetCounters, SimTime, Trace};
+use bcd_netsim::{FlightRecorder, Merge, NetCounters, SimTime, Trace};
 use bcd_obs::MetricsRegistry;
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -169,6 +169,8 @@ pub struct ShardOutcome {
     pub pending_deliveries: u64,
     /// Packet capture, when the world config enables one.
     pub trace: Option<Trace>,
+    /// Causal span flight recorder, when the run armed one (`BCD_TRACE`).
+    pub flight: Option<FlightRecorder>,
     /// Resolver counter totals harvested from this shard's runtime.
     pub dns: DnsTotals,
     /// This shard's layout-class metric slice (see [`crate::observe`]).
@@ -177,6 +179,12 @@ pub struct ShardOutcome {
     /// aggregate is total engine CPU time; per-shard walls live in the run
     /// profile).
     pub wall: Duration,
+    /// Wall-clock time spent spawning the runtime and warming up the shard
+    /// (node construction, ACL/zone setup) before the engine ran.
+    pub spawn_wall: Duration,
+    /// Wall-clock time spent harvesting artifacts (log snapshot, counter
+    /// extraction) after the engine finished.
+    pub extract_wall: Duration,
 }
 
 /// Fold shard outcomes (in shard-id order) into one logical run.
@@ -193,9 +201,12 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         budget_exhausted: false,
         pending_deliveries: 0,
         trace: None,
+        flight: None,
         dns: DnsTotals::default(),
         metrics: MetricsRegistry::new(),
         wall: Duration::ZERO,
+        spawn_wall: Duration::ZERO,
+        extract_wall: Duration::ZERO,
     };
     for o in outcomes {
         merged.entries.extend(o.entries);
@@ -208,9 +219,16 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         merged.dns.merge(o.dns);
         merged.metrics.merge(o.metrics);
         merged.wall += o.wall;
+        merged.spawn_wall += o.spawn_wall;
+        merged.extract_wall += o.extract_wall;
         match (&mut merged.trace, o.trace) {
             (Some(t), Some(other)) => t.merge(other),
             (t @ None, Some(other)) => *t = Some(other),
+            _ => {}
+        }
+        match (&mut merged.flight, o.flight) {
+            (Some(f), Some(other)) => f.merge(other),
+            (f @ None, Some(other)) => *f = Some(other),
             _ => {}
         }
     }

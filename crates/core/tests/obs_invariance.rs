@@ -49,6 +49,23 @@ fn deterministic_jsonl_and_report_are_shard_count_invariant() {
                 report1, report_n,
                 "deterministic run report differs between 1 and {shards} shards at seed {seed}"
             );
+            // Bounded-window eviction counters are shard-invariant by
+            // construction (canonical-order eviction in the flight
+            // recorder; run-level claims for the packet-capture ring) —
+            // differing counts here would mean the windows retained
+            // different spans at different layouts.
+            for name in [
+                names::TRACE_EVICTED,
+                names::TRACE_CAPTURED,
+                names::SPAN_EVICTED,
+                names::SPAN_RECORDED,
+            ] {
+                assert_eq!(
+                    data1.obs.aggregate.counter(name, &[]),
+                    data_n.obs.aggregate.counter(name, &[]),
+                    "{name} differs between 1 and {shards} shards at seed {seed}"
+                );
+            }
             // The layout surface, by contrast, really is per-shard: the
             // full export records one slice per effective shard.
             assert_eq!(data_n.obs.per_shard.len(), data_n.obs.shards);

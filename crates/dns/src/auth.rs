@@ -194,14 +194,14 @@ impl Node for AuthServer {
                 if let Some(q) = query.question() {
                     self.log(ctx, &pkt, q.name.clone(), LogProto::Udp);
                 }
+                ctx.span(pkt.trace, bcd_netsim::SpanKind::Reply, || {
+                    format!("auth {} udp rcode={:?}", pkt.dst, resp.header.rcode)
+                });
                 resp.encode_into(&mut self.scratch);
-                ctx.send(Packet::udp(
-                    pkt.dst,
-                    pkt.src,
-                    53,
-                    u.src_port,
-                    self.scratch.as_bytes(),
-                ));
+                ctx.send(
+                    Packet::udp(pkt.dst, pkt.src, 53, u.src_port, self.scratch.as_bytes())
+                        .with_trace(pkt.trace),
+                );
             }
             Transport::Tcp(t) => {
                 if t.dst_port != 53 {
@@ -218,20 +218,23 @@ impl Node for AuthServer {
                             layout: t.options.layout,
                         },
                     );
-                    ctx.send(Packet::tcp(
-                        pkt.dst,
-                        pkt.src,
-                        TcpSegment {
-                            src_port: 53,
-                            dst_port: t.src_port,
-                            flags: TcpFlags::SYN_ACK,
-                            seq: 0,
-                            ack: t.seq.wrapping_add(1),
-                            window: 65_535,
-                            options: Default::default(),
-                            payload: Payload::empty(),
-                        },
-                    ));
+                    ctx.send(
+                        Packet::tcp(
+                            pkt.dst,
+                            pkt.src,
+                            TcpSegment {
+                                src_port: 53,
+                                dst_port: t.src_port,
+                                flags: TcpFlags::SYN_ACK,
+                                seq: 0,
+                                ack: t.seq.wrapping_add(1),
+                                window: 65_535,
+                                options: Default::default(),
+                                payload: Payload::empty(),
+                            },
+                        )
+                        .with_trace(pkt.trace),
+                    );
                 } else if t.flags.psh && !t.payload.is_empty() {
                     // DNS-over-TCP: payload is a bare DNS message (we omit
                     // the 2-byte length prefix; the simulation preserves
@@ -246,21 +249,27 @@ impl Node for AuthServer {
                     if let Some(q) = query.question() {
                         self.log(ctx, &pkt, q.name.clone(), LogProto::Tcp);
                     }
+                    ctx.span(pkt.trace, bcd_netsim::SpanKind::Reply, || {
+                        format!("auth {} tcp rcode={:?}", pkt.dst, resp.header.rcode)
+                    });
                     resp.encode_into(&mut self.scratch);
-                    ctx.send(Packet::tcp(
-                        pkt.dst,
-                        pkt.src,
-                        TcpSegment {
-                            src_port: 53,
-                            dst_port: t.src_port,
-                            flags: TcpFlags::PSH_ACK,
-                            seq: 1,
-                            ack: t.seq.wrapping_add(t.payload.len() as u32),
-                            window: 65_535,
-                            options: Default::default(),
-                            payload: Payload::from(self.scratch.as_bytes()),
-                        },
-                    ));
+                    ctx.send(
+                        Packet::tcp(
+                            pkt.dst,
+                            pkt.src,
+                            TcpSegment {
+                                src_port: 53,
+                                dst_port: t.src_port,
+                                flags: TcpFlags::PSH_ACK,
+                                seq: 1,
+                                ack: t.seq.wrapping_add(t.payload.len() as u32),
+                                window: 65_535,
+                                options: Default::default(),
+                                payload: Payload::from(self.scratch.as_bytes()),
+                            },
+                        )
+                        .with_trace(pkt.trace),
+                    );
                 }
                 // Bare ACK / FIN segments need no action in this model.
             }

@@ -24,6 +24,9 @@ struct Flow {
     client_txid: u16,
     /// The address the client thought it was querying.
     original_dst: IpAddr,
+    /// Causal trace id of the intercepted query (0 = untraced), restored
+    /// onto the relayed answer.
+    trace: u64,
 }
 
 /// The middlebox node.
@@ -89,29 +92,48 @@ impl Node for Interceptor {
                     client_port: u.src_port,
                     client_txid: view.id(),
                     original_dst: pkt.dst,
+                    trace: pkt.trace,
                 },
             );
             self.proxied += 1;
-            ctx.send(Packet::udp(
-                self.addr,
-                self.upstream,
-                53_000,
-                53,
-                view.to_bytes_with_id_rd(txid),
-            ));
+            ctx.span(pkt.trace, bcd_netsim::SpanKind::Intercept, || {
+                format!(
+                    "middlebox {} re-originated query for {} to upstream {} (txid rewritten)",
+                    self.addr, pkt.dst, self.upstream
+                )
+            });
+            ctx.send(
+                Packet::udp(
+                    self.addr,
+                    self.upstream,
+                    53_000,
+                    53,
+                    view.to_bytes_with_id_rd(txid),
+                )
+                .with_trace(pkt.trace),
+            );
         } else if view.qr() && pkt.src == self.upstream {
             // Upstream → middlebox: relay to the client, spoofing the
             // original destination as the source.
             let Some(flow) = self.flows.remove(&view.id()) else {
                 return;
             };
-            ctx.send(Packet::udp(
-                flow.original_dst,
-                flow.client,
-                53,
-                flow.client_port,
-                view.to_bytes_with_id(flow.client_txid),
-            ));
+            ctx.span(flow.trace, bcd_netsim::SpanKind::Intercept, || {
+                format!(
+                    "middlebox relayed answer to {} spoofing source {}",
+                    flow.client, flow.original_dst
+                )
+            });
+            ctx.send(
+                Packet::udp(
+                    flow.original_dst,
+                    flow.client,
+                    53,
+                    flow.client_port,
+                    view.to_bytes_with_id(flow.client_txid),
+                )
+                .with_trace(flow.trace),
+            );
         }
     }
 }

@@ -22,7 +22,8 @@
 use crate::cache::Cache;
 use bcd_dnswire::{Message, Name, RCode, RData, RType, Record, WireWriter};
 use bcd_netsim::{
-    Node, NodeCtx, Packet, Payload, Prefix, SimDuration, SimTime, TcpFlags, TcpSegment, Transport,
+    Node, NodeCtx, Packet, Payload, Prefix, SimDuration, SimTime, SpanKind, TcpFlags, TcpSegment,
+    Transport,
 };
 use bcd_osmodel::{p0f, Os, PortAllocator};
 use rand::Rng;
@@ -160,6 +161,9 @@ struct ClientRef {
     txid: u16,
     /// The resolver address the client queried (source of our reply).
     our_addr: IpAddr,
+    /// Causal trace id of the client's query (0 = untraced). Carried so the
+    /// reply — and every upstream query resolving it — joins the same trace.
+    trace: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -187,6 +191,9 @@ struct Pending {
     server: Option<IpAddr>,
     attempts: u8,
     tcp: Option<TcpPhase>,
+    /// Causal trace id inherited from the client query (0 for warm-up
+    /// resolutions, which repeat per shard and must stay untraced).
+    trace: u64,
 }
 
 /// The recursive resolver node.
@@ -316,6 +323,15 @@ impl RecursiveResolver {
         resp.header.qr = true;
         resp.header.ra = true;
         self.stats.answered += 1;
+        ctx.span(client.trace, SpanKind::Reply, || {
+            format!(
+                "resolver {} -> {} rcode={:?} answers={}",
+                client.our_addr,
+                client.addr,
+                resp.header.rcode,
+                resp.answers.len()
+            )
+        });
         resp.encode_into(&mut self.scratch);
         ctx.send(
             Packet::udp(
@@ -325,7 +341,8 @@ impl RecursiveResolver {
                 client.port,
                 self.scratch.as_bytes(),
             )
-            .with_ttl(self.cfg.os.initial_ttl()),
+            .with_ttl(self.cfg.os.initial_ttl())
+            .with_trace(client.trace),
         );
     }
 
@@ -355,6 +372,7 @@ impl RecursiveResolver {
     ) {
         let id = self.next_id;
         self.next_id += 1;
+        let trace = client.as_ref().map_or(0, |c| c.trace);
 
         if let Some(upstream) = self.cfg.forward_to {
             let p = Pending {
@@ -370,6 +388,7 @@ impl RecursiveResolver {
                 server: None,
                 attempts: 0,
                 tcp: None,
+                trace,
             };
             self.pending.insert(id, p);
             self.send_upstream(ctx, id);
@@ -399,6 +418,7 @@ impl RecursiveResolver {
             server: None,
             attempts: 0,
             tcp: None,
+            trace,
         };
         self.pending.insert(id, p);
         self.send_upstream(ctx, id);
@@ -460,12 +480,34 @@ impl RecursiveResolver {
             let p = self.pending.get_mut(&id).unwrap();
             p.tcp = Some(TcpPhase::SynSent);
             self.stats.tcp_retries += 1;
-            ctx.send(Packet::tcp(our_addr, server, seg).with_ttl(sig.ittl));
+            ctx.span(p.trace, SpanKind::Upstream, || {
+                format!(
+                    "tcp syn {} -> {} (stage retried over tcp)",
+                    our_addr, server
+                )
+            });
+            ctx.send(
+                Packet::tcp(our_addr, server, seg)
+                    .with_ttl(sig.ittl)
+                    .with_trace(p.trace),
+            );
         } else {
+            ctx.span(p.trace, SpanKind::Upstream, || {
+                format!(
+                    "{} {} {:?} -> {} zone={} attempt={}",
+                    if p.forwarding { "forward" } else { "query" },
+                    p.current_qname,
+                    qtype,
+                    server,
+                    p.zone,
+                    p.attempts
+                )
+            });
             query.encode_into(&mut self.scratch);
             ctx.send(
                 Packet::udp(our_addr, server, sport, 53, self.scratch.as_bytes())
-                    .with_ttl(self.cfg.os.initial_ttl()),
+                    .with_ttl(self.cfg.os.initial_ttl())
+                    .with_trace(p.trace),
             );
         }
         let attempts = self.pending.get(&id).unwrap().attempts;
@@ -476,6 +518,12 @@ impl RecursiveResolver {
         if let Some(p) = self.pending.remove(&id) {
             self.by_key.remove(&(p.txid, p.sport));
             self.stats.servfail += 1;
+            ctx.span(p.trace, SpanKind::Validate, || {
+                format!(
+                    "resolution of {} abandoned after {} attempts -> SERVFAIL",
+                    p.qname, p.attempts
+                )
+            });
             if let Some(client) = p.client {
                 self.respond_rcode(ctx, client, p.qname, p.qtype, RCode::ServFail, vec![]);
             }
@@ -487,6 +535,14 @@ impl RecursiveResolver {
             return;
         };
         self.by_key.remove(&(p.txid, p.sport));
+        ctx.span(p.trace, SpanKind::Validate, || {
+            format!(
+                "final {:?} for {} ({} answers, cached)",
+                resp.header.rcode,
+                p.qname,
+                resp.answers.len()
+            )
+        });
         let expires = ctx.now() + SimDuration::from_secs(ANSWER_TTL_SECS);
         match resp.header.rcode {
             RCode::NXDomain => {
@@ -524,6 +580,9 @@ impl RecursiveResolver {
 
         // Truncated: retry this stage over TCP.
         if resp.header.tc && p.tcp.is_none() {
+            ctx.span(p.trace, SpanKind::Validate, || {
+                "tc=1 -> retry stage over tcp".to_string()
+            });
             p.tcp = Some(TcpPhase::SynSent);
             p.attempts = 0;
             self.send_upstream(ctx, id);
@@ -568,6 +627,9 @@ impl RecursiveResolver {
                 glue.clone(),
                 ctx.now() + SimDuration::from_secs(CUT_TTL_SECS),
             );
+            ctx.span(p.trace, SpanKind::Validate, || {
+                format!("referral to zone {} ({} glue addrs)", cut, glue.len())
+            });
             p.zone = cut;
             p.servers = glue;
             p.attempts = 0;
@@ -589,10 +651,24 @@ impl RecursiveResolver {
                     // RFC 8020: nothing exists beneath an NXDOMAIN name, so
                     // a minimizing resolver stops here — the full QNAME is
                     // never sent (§3.6.4).
+                    if !at_full_name {
+                        ctx.span(p.trace, SpanKind::Validate, || {
+                            format!(
+                                "nxdomain at {} -> halt, full qname withheld (rfc 8020)",
+                                p.current_qname
+                            )
+                        });
+                    }
                     self.finish_answer(ctx, id, &resp);
                 } else {
                     // Some implementations ignore the implication and press
                     // on with the full name.
+                    ctx.span(p.trace, SpanKind::Validate, || {
+                        format!(
+                            "nxdomain at {} -> press on with full qname",
+                            p.current_qname
+                        )
+                    });
                     p.current_qname = p.qname.clone();
                     p.attempts = 0;
                     p.tcp = None;
@@ -603,6 +679,9 @@ impl RecursiveResolver {
                 // Intermediate label exists; extend by one label.
                 let next_len = p.current_qname.label_count() + 1;
                 p.current_qname = p.qname.suffix(next_len.min(p.qname.label_count()));
+                ctx.span(p.trace, SpanKind::Validate, || {
+                    format!("qmin step -> {}", p.current_qname)
+                });
                 p.attempts = 0;
                 p.tcp = None;
                 self.send_upstream(ctx, id);
@@ -610,6 +689,9 @@ impl RecursiveResolver {
             RCode::NoError => self.finish_answer(ctx, id, &resp),
             RCode::Refused | RCode::ServFail => {
                 // Try another server / give up.
+                ctx.span(p.trace, SpanKind::Validate, || {
+                    format!("upstream {:?} -> rotate server", resp.header.rcode)
+                });
                 p.attempts = p.attempts.saturating_add(1);
                 if p.attempts >= self.cfg.max_attempts {
                     self.finish_servfail(ctx, id);
@@ -631,11 +713,15 @@ impl RecursiveResolver {
             port: pkt.transport.src_port(),
             txid: query.header.id,
             our_addr: pkt.dst,
+            trace: pkt.trace,
         };
 
         // Access control: the closed-resolver defence (§5.1).
         if !self.cfg.acl.permits(pkt.src) {
             self.stats.refused += 1;
+            ctx.span(pkt.trace, SpanKind::Validate, || {
+                format!("acl refused client {}", pkt.src)
+            });
             self.respond_rcode(ctx, client, q.name, q.rtype, RCode::Refused, vec![]);
             return;
         }
@@ -643,10 +729,25 @@ impl RecursiveResolver {
         // Cache (positive, negative, RFC 8020 subtree).
         if let Some(hit) = self.cache.get_answer(&q.name, q.rtype, ctx.now()) {
             self.stats.cache_hits += 1;
+            ctx.span(pkt.trace, SpanKind::CacheProbe, || {
+                format!("cache hit {} {:?} rcode={:?}", q.name, q.rtype, hit.rcode)
+            });
             self.respond_rcode(ctx, client, q.name, q.rtype, hit.rcode, hit.answers);
             return;
         }
         self.stats.cache_misses += 1;
+        ctx.span(pkt.trace, SpanKind::CacheProbe, || {
+            format!(
+                "cache miss {} {:?} -> {}",
+                q.name,
+                q.rtype,
+                if self.cfg.forward_to.is_some() {
+                    "forward"
+                } else {
+                    "recurse"
+                }
+            )
+        });
 
         self.ops_since_evict += 1;
         if self.ops_since_evict >= 256 {
@@ -697,7 +798,7 @@ impl RecursiveResolver {
                 RType::A
             };
             let query = Message::query(p.txid, p.current_qname.clone(), qtype);
-            let (sport, server) = (p.sport, p.server.unwrap());
+            let (sport, server, trace) = (p.sport, p.server.unwrap(), p.trace);
             let our_addr = self.our_addr_for(server).unwrap();
             query.encode_into(&mut self.scratch);
             ctx.send(
@@ -715,7 +816,8 @@ impl RecursiveResolver {
                         payload: Payload::from(self.scratch.as_bytes()),
                     },
                 )
-                .with_ttl(self.cfg.os.initial_ttl()),
+                .with_ttl(self.cfg.os.initial_ttl())
+                .with_trace(trace),
             );
         } else if seg.flags.psh && !seg.payload.is_empty() {
             let Ok(resp) = Message::decode(&seg.payload) else {

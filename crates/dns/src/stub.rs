@@ -1,7 +1,7 @@
 //! A stub DNS client for lab harnesses (§5.3's controlled experiments) and
 //! tests: sends a schedule of queries to a resolver and records responses.
 
-use bcd_dnswire::{Message, Name, RCode, RType, WireWriter};
+use bcd_dnswire::{Message, Name, RCode, RType, WireWriter, MAX_NAME_WIRE_LEN};
 use bcd_netsim::{Node, NodeCtx, Packet, SimDuration, SimTime, Transport};
 use std::net::IpAddr;
 
@@ -64,16 +64,28 @@ impl Node for StubClient {
         let Some(q) = self.queries.get(token as usize).cloned() else {
             return;
         };
+        // Causal trace id from shard-invariant query identity (0 unless
+        // the engine's flight recorder is armed and the sampler keeps it).
+        let trace = if ctx.tracing() {
+            let mut canon = [0u8; MAX_NAME_WIRE_LEN];
+            let n = q.qname.canonical_into(&mut canon);
+            ctx.sample_trace(std::str::from_utf8(&canon[..n]).unwrap_or("."))
+        } else {
+            0
+        };
         // txid = schedule index, so tests can correlate.
         let msg = Message::query(token as u16, q.qname, q.qtype);
         msg.encode_into(&mut self.scratch);
-        ctx.send(Packet::udp(
-            self.addr,
-            q.resolver,
-            10_000 + (token as u16 % 50_000),
-            53,
-            self.scratch.as_bytes(),
-        ));
+        ctx.send(
+            Packet::udp(
+                self.addr,
+                q.resolver,
+                10_000 + (token as u16 % 50_000),
+                53,
+                self.scratch.as_bytes(),
+            )
+            .with_trace(trace),
+        );
     }
 
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) {

@@ -41,6 +41,7 @@ use crate::packet::{Packet, Transport};
 use crate::prefix::{special, Prefix};
 use crate::routing::PrefixTable;
 use crate::sched::{EngineSched, EventKind, EventQueue, QueuedEvent, SchedKind};
+use crate::span::{FlightRecorder, SpanKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{AsInfo, Asn, BorderPolicy, StackPolicy};
 use crate::trace::{Trace, TracePoint};
@@ -424,6 +425,10 @@ pub struct Runtime {
     pub counters: NetCounters,
     /// Optional packet capture.
     pub trace: Option<Trace>,
+    /// Optional causal span flight recorder (armed per run via
+    /// [`Runtime::arm_flight`], never via topology config, so arming does
+    /// not perturb topology digests or shared worlds).
+    flight: Option<FlightRecorder>,
     started: bool,
     events_processed: u64,
     /// True if `max_events` was hit and the queue was abandoned.
@@ -470,6 +475,7 @@ impl Runtime {
             parked_node: None,
             counters: NetCounters::default(),
             trace,
+            flight: None,
             started: false,
             events_processed: 0,
             budget_exhausted: false,
@@ -520,6 +526,41 @@ impl Runtime {
     /// instant the run stopped.
     pub fn pending_deliveries(&self) -> u64 {
         self.queue.pending_delivers()
+    }
+
+    /// Arm the causal span flight recorder with a window of `capacity`
+    /// spans. Packets with a non-zero [`Packet::trace`] id leave typed
+    /// spans at every pipeline stage from then on; see [`crate::span`].
+    pub fn arm_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::with_capacity(capacity));
+    }
+
+    /// Arm the flight recorder with an origin-side sampling policy (see
+    /// [`crate::TraceSample`]): originators consult it through
+    /// [`crate::NodeCtx::sample_trace`] when stamping trace ids.
+    pub fn arm_flight_sampled(&mut self, capacity: usize, sampling: crate::span::TraceSample) {
+        self.flight = Some(FlightRecorder::with_capacity(capacity).with_sampling(sampling));
+    }
+
+    /// Detach the flight recorder (shard harvest).
+    pub fn take_flight(&mut self) -> Option<FlightRecorder> {
+        self.flight.take()
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Emit one span for a traced packet (no-op when unarmed or untraced;
+    /// the detail closure only runs when recording).
+    fn span(&mut self, trace: u64, kind: SpanKind, detail: impl FnOnce() -> String) {
+        if trace == 0 {
+            return;
+        }
+        if let Some(fr) = self.flight.as_mut() {
+            fr.record(self.now, trace, kind, detail());
+        }
     }
 
     /// Reseed the engine-level noise RNG (link-fault sampling). Hosts keep
@@ -650,6 +691,14 @@ impl Runtime {
         }
     }
 
+    /// Account a drop: counter, packet trace, and (for traced packets) a
+    /// `Fate` span naming the reason.
+    fn drop_packet(&mut self, reason: DropReason, pkt: &Packet) {
+        self.counters.drop(reason);
+        self.record(TracePoint::Dropped(reason), pkt);
+        self.span(pkt.trace, SpanKind::Fate, || format!("drop {reason}"));
+    }
+
     /// `FaultSchedule::host_down` with a one-entry memo keyed on
     /// `(host, now)`: the scanner emits whole same-tick batches from one
     /// host, so the batch pays for one schedule consult. The predicate is a
@@ -674,18 +723,29 @@ impl Runtime {
     fn dispatch_send(&mut self, from: HostId, pkt: Packet) {
         self.counters.sent += 1;
         self.record(TracePoint::Sent, &pkt);
+        self.span(pkt.trace, SpanKind::Send, || {
+            let proto = match &pkt.transport {
+                Transport::Udp(_) => "udp",
+                Transport::Tcp(_) => "tcp",
+            };
+            format!(
+                "{proto} {}:{} -> {}:{}",
+                pkt.src,
+                pkt.transport.src_port(),
+                pkt.dst,
+                pkt.transport.dst_port()
+            )
+        });
 
         // Chaos: a host inside a crash epoch emits nothing.
         if self.faults.is_some() && self.cached_host_down(from) {
-            self.counters.drop(DropReason::HostDown);
-            self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
+            self.drop_packet(DropReason::HostDown, &pkt);
             return;
         }
 
         let origin_asn = self.host_asn(from);
         let Some(dst_asn) = self.topo.routes.origin(pkt.dst) else {
-            self.counters.drop(DropReason::NoRoute);
-            self.record(TracePoint::Dropped(DropReason::NoRoute), &pkt);
+            self.drop_packet(DropReason::NoRoute, &pkt);
             return;
         };
         let crossing = origin_asn != dst_asn;
@@ -699,8 +759,7 @@ impl Runtime {
                 .map(|a| a.policy)
                 .unwrap_or_else(BorderPolicy::open);
             if policy.osav && self.topo.routes.origin(pkt.src) != Some(origin_asn) {
-                self.counters.drop(DropReason::Osav);
-                self.record(TracePoint::Dropped(DropReason::Osav), &pkt);
+                self.drop_packet(DropReason::Osav, &pkt);
                 return;
             }
         }
@@ -712,8 +771,7 @@ impl Runtime {
             self.topo.cfg.intra_link
         };
         let Some((delay, dup)) = profile.sample(&mut self.rng) else {
-            self.counters.drop(DropReason::LinkLoss);
-            self.record(TracePoint::Dropped(DropReason::LinkLoss), &pkt);
+            self.drop_packet(DropReason::LinkLoss, &pkt);
             return;
         };
 
@@ -733,8 +791,7 @@ impl Runtime {
                 self.faults = Some(f);
                 match fate {
                     LinkFate::Drop(reason) => {
-                        self.counters.drop(reason);
-                        self.record(TracePoint::Dropped(reason), &pkt);
+                        self.drop_packet(reason, &pkt);
                         return;
                     }
                     LinkFate::Pass {
@@ -750,6 +807,23 @@ impl Runtime {
 
         // TTL decrement across the path.
         let hops = Self::path_hops(origin_asn, dst_asn);
+        self.span(pkt.trace, SpanKind::Route, || {
+            format!(
+                "as{} -> as{} hops={}{}",
+                origin_asn.0,
+                dst_asn.0,
+                hops,
+                if crossing { "" } else { " intra" }
+            )
+        });
+        if chaos_extra > SimDuration::ZERO {
+            self.span(pkt.trace, SpanKind::Fate, || {
+                format!("chaos-delay +{}ns", chaos_extra.as_nanos())
+            });
+        }
+        if chaos_dup.is_some() {
+            self.span(pkt.trace, SpanKind::Fate, || "chaos-dup".to_string());
+        }
         let mut delivered = pkt;
         delivered.ttl = delivered.ttl.saturating_sub(hops).max(1);
 
@@ -837,24 +911,20 @@ impl Runtime {
                 policy.filter_loopback_ingress
             };
             if lb_filtered && special::is_loopback(pkt.src) {
-                self.counters.drop(DropReason::LoopbackIngress);
-                self.record(TracePoint::Dropped(DropReason::LoopbackIngress), &pkt);
+                self.drop_packet(DropReason::LoopbackIngress, &pkt);
                 return;
             }
             if policy.filter_ds_ingress_v4 && !pkt.is_v6() && pkt.is_dst_as_src() {
-                self.counters.drop(DropReason::MartianDs);
-                self.record(TracePoint::Dropped(DropReason::MartianDs), &pkt);
+                self.drop_packet(DropReason::MartianDs, &pkt);
                 return;
             }
             if policy.filter_private_ingress && special::is_private_or_ula(pkt.src) {
-                self.counters.drop(DropReason::PrivateIngress);
-                self.record(TracePoint::Dropped(DropReason::PrivateIngress), &pkt);
+                self.drop_packet(DropReason::PrivateIngress, &pkt);
                 return;
             }
             // DSAV: inbound packet claiming an internal source.
             if policy.dsav && src_is_internal {
-                self.counters.drop(DropReason::Dsav);
-                self.record(TracePoint::Dropped(DropReason::Dsav), &pkt);
+                self.drop_packet(DropReason::Dsav, &pkt);
                 return;
             }
             // Subnet-level SAVI: source in the destination's own /24 or /64.
@@ -863,8 +933,7 @@ impl Runtime {
                 && Prefix::subprefix_of(pkt.dst, if pkt.dst.is_ipv6() { 64 } else { 24 })
                     .contains(pkt.src)
             {
-                self.counters.drop(DropReason::SubnetSavi);
-                self.record(TracePoint::Dropped(DropReason::SubnetSavi), &pkt);
+                self.drop_packet(DropReason::SubnetSavi, &pkt);
                 return;
             }
             // Partial internal SAV: internal-source spoofs from *other*
@@ -878,8 +947,7 @@ impl Runtime {
                     .contains(pkt.src)
                 && subnet_permille(dst_asn, pkt.src) >= policy.internal_pass_permille as u64
             {
-                self.counters.drop(DropReason::PartialSav);
-                self.record(TracePoint::Dropped(DropReason::PartialSav), &pkt);
+                self.drop_packet(DropReason::PartialSav, &pkt);
                 return;
             }
             // Transparent DNS middlebox: UDP/53 entering the AS is grabbed.
@@ -887,6 +955,9 @@ impl Runtime {
                 if matches!(&pkt.transport, Transport::Udp(u) if u.dst_port == 53) {
                     self.counters.intercepted += 1;
                     self.record(TracePoint::Intercepted, &pkt);
+                    self.span(pkt.trace, SpanKind::Intercept, || {
+                        format!("as{} middlebox grabbed udp/53 for {}", dst_asn.0, pkt.dst)
+                    });
                     deliver_to = Some(mbx);
                 }
             }
@@ -896,8 +967,7 @@ impl Runtime {
             Some(h) => h,
             None => {
                 let Some(h) = self.host_for_ip(pkt.dst) else {
-                    self.counters.drop(DropReason::NoHost);
-                    self.record(TracePoint::Dropped(DropReason::NoHost), &pkt);
+                    self.drop_packet(DropReason::NoHost, &pkt);
                     return;
                 };
                 // Host network-stack acceptance (paper Table 6). Middlebox
@@ -912,8 +982,7 @@ impl Runtime {
                     } else {
                         DropReason::StackDstAsSrc
                     };
-                    self.counters.drop(reason);
-                    self.record(TracePoint::Dropped(reason), &pkt);
+                    self.drop_packet(reason, &pkt);
                     return;
                 }
                 h
@@ -923,13 +992,13 @@ impl Runtime {
         // Chaos: a destination inside a crash epoch accepts nothing
         // (middlebox deliveries included — interceptors can crash too).
         if self.faults.is_some() && self.cached_host_down(host) {
-            self.counters.drop(DropReason::HostDown);
-            self.record(TracePoint::Dropped(DropReason::HostDown), &pkt);
+            self.drop_packet(DropReason::HostDown, &pkt);
             return;
         }
 
         self.counters.delivered += 1;
         self.record(TracePoint::Delivered, &pkt);
+        self.span(pkt.trace, SpanKind::Deliver, || format!("dst={}", pkt.dst));
         self.invoke(host, |node, ctx| node.on_packet(ctx, pkt));
     }
 
@@ -949,7 +1018,13 @@ impl Runtime {
                 .take()
                 .unwrap_or_else(|| Box::<crate::node::SinkNode>::default());
             let mut node = std::mem::replace(&mut self.hosts[host].node, placeholder);
-            let mut ctx = NodeCtx::new(self.now, host, &mut self.hosts[host].rng, &mut effects);
+            let mut ctx = NodeCtx::with_recorder(
+                self.now,
+                host,
+                &mut self.hosts[host].rng,
+                &mut effects,
+                self.flight.as_mut(),
+            );
             f(node.as_mut(), &mut ctx);
             self.parked_node = Some(std::mem::replace(&mut self.hosts[host].node, node));
         }

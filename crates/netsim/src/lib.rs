@@ -23,7 +23,10 @@
 //!   the destination address ("destination-as-source") or the loopback
 //!   address, per OS ([`StackPolicy`]; the per-OS tables live in
 //!   `bcd-osmodel`),
-//! * a **packet trace** facility for debugging and tests ([`Trace`]).
+//! * a **packet trace** facility for debugging and tests ([`Trace`]),
+//! * a **causal span flight recorder** for per-query tracing: deterministic
+//!   [`TraceId`]s carried on packets, typed [`SpanKind`] steps, bounded
+//!   shard-mergeable windows ([`FlightRecorder`]).
 //!
 //! Determinism: all simulation randomness flows from one `u64` seed through a
 //! `ChaCha8Rng`; event ties are broken by a monotone sequence number, so a run
@@ -47,6 +50,7 @@ pub mod pcap;
 pub mod prefix;
 pub mod routing;
 pub mod sched;
+pub mod span;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -68,6 +72,7 @@ pub use payload::Payload;
 pub use prefix::Prefix;
 pub use routing::{PrefixMap, PrefixTable};
 pub use sched::{EngineSched, EventQueue, HeapSched, QueuedEvent, SchedKind, WheelSched};
+pub use span::{trace_id, FlightRecorder, Span, SpanKind, TraceId, TraceSample};
 pub use time::{SimDuration, SimTime};
 pub use topology::{AsInfo, Asn, BorderPolicy, StackPolicy};
 pub use trace::{Trace, TraceEntry, TracePoint};

@@ -9,6 +9,7 @@
 //! node logic trivially unit-testable with a synthetic context.
 
 use crate::packet::Packet;
+use crate::span::{FlightRecorder, SpanKind, TraceId};
 use crate::time::{SimDuration, SimTime};
 use rand_chacha::ChaCha8Rng;
 
@@ -30,11 +31,14 @@ pub struct NodeCtx<'a> {
     host: HostId,
     rng: &'a mut ChaCha8Rng,
     effects: &'a mut Vec<Effect>,
+    /// Span sink when the engine's flight recorder is armed; `None` keeps
+    /// the disabled cost at one untaken branch per [`NodeCtx::span`] call.
+    spans: Option<&'a mut FlightRecorder>,
 }
 
 impl<'a> NodeCtx<'a> {
-    /// Construct a context. Public so tests and alternative engines can
-    /// drive nodes directly.
+    /// Construct a context (no span sink). Public so tests and alternative
+    /// engines can drive nodes directly.
     pub fn new(
         now: SimTime,
         host: HostId,
@@ -46,6 +50,25 @@ impl<'a> NodeCtx<'a> {
             host,
             rng,
             effects,
+            spans: None,
+        }
+    }
+
+    /// Construct a context with an optional span sink (what the engine
+    /// builds when its flight recorder is armed).
+    pub fn with_recorder(
+        now: SimTime,
+        host: HostId,
+        rng: &'a mut ChaCha8Rng,
+        effects: &'a mut Vec<Effect>,
+        spans: Option<&'a mut FlightRecorder>,
+    ) -> NodeCtx<'a> {
+        NodeCtx {
+            now,
+            host,
+            rng,
+            effects,
+            spans,
         }
     }
 
@@ -73,6 +96,32 @@ impl<'a> NodeCtx<'a> {
     /// [`Node::on_timer`].
     pub fn set_timer(&mut self, after: SimDuration, token: u64) {
         self.effects.push(Effect::Timer { after, token });
+    }
+
+    /// True when a flight recorder is armed (nodes can skip building
+    /// expensive detail strings otherwise — though the closure form of
+    /// [`NodeCtx::span`] already defers that).
+    pub fn tracing(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Origin-side sampling decision for a query qname: the trace id to
+    /// stamp on the packet, or `0` (untraced / recorder unarmed). See
+    /// [`crate::TraceSample`].
+    pub fn sample_trace(&self, qname: &str) -> TraceId {
+        self.spans.as_ref().map_or(0, |rec| rec.sample(qname))
+    }
+
+    /// Emit a span for `trace` at the current instant. No-op when the
+    /// recorder is unarmed or `trace == 0`; the detail closure only runs
+    /// when the span is actually recorded.
+    pub fn span(&mut self, trace: TraceId, kind: SpanKind, detail: impl FnOnce() -> String) {
+        if trace == 0 {
+            return;
+        }
+        if let Some(rec) = self.spans.as_deref_mut() {
+            rec.record(self.now, trace, kind, detail());
+        }
     }
 }
 

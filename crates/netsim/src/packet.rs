@@ -151,6 +151,13 @@ pub struct Packet {
     /// IPv4 TTL or IPv6 hop limit *as observed at the receiver* — the engine
     /// decrements it per simulated hop, so p0f can infer the initial TTL.
     pub ttl: u8,
+    /// Causal trace id ([`crate::span::TraceId`]); `0` means untraced.
+    /// Originators stamp it from shard-invariant query identity; repliers
+    /// and proxies copy it from the packet they are answering, so one
+    /// query's whole causal chain shares an id without payload parsing.
+    /// Not an on-wire field: it models the out-of-band correlation a real
+    /// measurement would do by parsing QNAMEs out of captures.
+    pub trace: u64,
     pub transport: Transport,
 }
 
@@ -173,6 +180,7 @@ impl Packet {
             src,
             dst,
             ttl: 64,
+            trace: 0,
             transport: Transport::Udp(UdpDatagram {
                 src_port,
                 dst_port,
@@ -192,6 +200,7 @@ impl Packet {
             src,
             dst,
             ttl: 64,
+            trace: 0,
             transport: Transport::Tcp(seg),
         }
     }
@@ -199,6 +208,12 @@ impl Packet {
     /// Override the initial TTL (for OS models with non-default TTLs).
     pub fn with_ttl(mut self, ttl: u8) -> Packet {
         self.ttl = ttl;
+        self
+    }
+
+    /// Attach a causal trace id (`0` leaves the packet untraced).
+    pub fn with_trace(mut self, trace: u64) -> Packet {
+        self.trace = trace;
         self
     }
 

@@ -118,6 +118,12 @@ fn phase_line(p: &PhaseRecord) -> String {
         }
         None => s.push_str(",\"sim_end_ns\":null"),
     }
+    match p.rss_peak_kib {
+        Some(kib) => {
+            let _ = write!(s, ",\"rss_peak_kib\":{kib}");
+        }
+        None => s.push_str(",\"rss_peak_kib\":null"),
+    }
     s.push('}');
     s
 }

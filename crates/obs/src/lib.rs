@@ -46,15 +46,18 @@
 //!   heartbeat) or the configured ones; hot paths only ever consult plain
 //!   `Option`s.
 
+pub mod chrome;
 pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod report;
 
+pub use chrome::chrome_trace_json;
 pub use export::{deterministic_jsonl, export_jsonl, full_jsonl};
 pub use metrics::{Det, Histogram, MetricKey, MetricValue, MetricsRegistry};
-pub use profile::{PhaseRecord, RunProfile};
+pub use profile::{peak_rss_kib, PhaseRecord, RunProfile};
 
+use bcd_netsim::TraceSample;
 use std::path::PathBuf;
 
 /// One run's complete observability artifact, assembled by the experiment
@@ -88,11 +91,80 @@ impl RunObservation {
     }
 }
 
+/// Causal-tracing configuration (the `BCD_TRACE` knob).
+///
+/// Grammar: comma-separated `key=value` settings —
+/// `BCD_TRACE=sample=1/64,qname=dns-lab.org,cap=65536,out=trace.json`.
+/// A bare `BCD_TRACE=1` arms the recorder with defaults (trace every
+/// query, 65 536-span window, no Chrome export).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Origin-side sampling policy (`sample=1/N` + `qname=suffix`).
+    pub sample: TraceSample,
+    /// Flight-recorder window capacity in spans (`cap=N`).
+    pub capacity: usize,
+    /// Write the Chrome trace-event JSON here after the run (`out=path`).
+    pub chrome_out: Option<PathBuf>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            sample: TraceSample::default(),
+            capacity: 65_536,
+            chrome_out: None,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Parse a `BCD_TRACE` value. Empty and `0` mean "off" (`None`);
+    /// anything else arms tracing, with unknown keys ignored.
+    pub fn parse(spec: &str) -> Option<TraceConfig> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "0" {
+            return None;
+        }
+        let mut cfg = TraceConfig::default();
+        for part in spec.split(',') {
+            let (key, value) = match part.split_once('=') {
+                Some(kv) => kv,
+                None => continue, // bare token ("1", "on"): defaults
+            };
+            match key.trim() {
+                "sample" => {
+                    // `1/N` (or a bare `N`, read as 1/N).
+                    let n = value
+                        .trim()
+                        .strip_prefix("1/")
+                        .unwrap_or(value.trim())
+                        .parse::<u64>()
+                        .unwrap_or(1);
+                    cfg.sample.every = n.max(1);
+                }
+                "qname" if !value.trim().is_empty() => {
+                    cfg.sample.qname_suffix = Some(value.trim().to_string());
+                }
+                "cap" => {
+                    if let Ok(c) = value.trim().parse::<usize>() {
+                        cfg.capacity = c;
+                    }
+                }
+                "out" if !value.trim().is_empty() => {
+                    cfg.chrome_out = Some(PathBuf::from(value.trim()));
+                }
+                _ => {}
+            }
+        }
+        Some(cfg)
+    }
+}
+
 /// Environment-driven observability switches, read once per run.
 ///
-/// The default is fully disabled: no JSONL sink, no heartbeat. Hot paths
-/// receive at most a copied `Option<u64>` out of this struct, so the
-/// disabled cost is an untaken branch.
+/// The default is fully disabled: no JSONL sink, no heartbeat, no flight
+/// recorder. Hot paths receive at most a copied `Option` out of this
+/// struct, so the disabled cost is an untaken branch.
 #[derive(Debug, Clone, Default)]
 pub struct ObsEnv {
     /// `BCD_OBS=path.jsonl` — write the structured export here.
@@ -100,6 +172,9 @@ pub struct ObsEnv {
     /// `BCD_PROGRESS=N` — scanner heartbeat to stderr every N probes
     /// (`0`, empty, or unset disables; bare `1`..: that interval).
     pub progress_every: Option<u64>,
+    /// `BCD_TRACE=sample=1/N[,qname=suffix][,cap=N][,out=path]` — arm the
+    /// causal span flight recorder (see [`TraceConfig`]).
+    pub trace: Option<TraceConfig>,
 }
 
 impl ObsEnv {
@@ -108,7 +183,7 @@ impl ObsEnv {
         ObsEnv::default()
     }
 
-    /// Read `BCD_OBS` / `BCD_PROGRESS`.
+    /// Read `BCD_OBS` / `BCD_PROGRESS` / `BCD_TRACE`.
     pub fn from_env() -> ObsEnv {
         let jsonl_path = std::env::var_os("BCD_OBS")
             .filter(|v| !v.is_empty())
@@ -117,15 +192,28 @@ impl ObsEnv {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .filter(|&n| n > 0);
+        let trace = std::env::var("BCD_TRACE")
+            .ok()
+            .and_then(|v| TraceConfig::parse(&v));
         ObsEnv {
             jsonl_path,
             progress_every,
+            trace,
+        }
+    }
+
+    /// [`ObsEnv::disabled`] plus an armed flight recorder — what the chaos
+    /// harness uses so violation dumps carry the causal window.
+    pub fn with_trace(cfg: TraceConfig) -> ObsEnv {
+        ObsEnv {
+            trace: Some(cfg),
+            ..ObsEnv::default()
         }
     }
 
     /// True if any sink is active.
     pub fn enabled(&self) -> bool {
-        self.jsonl_path.is_some() || self.progress_every.is_some()
+        self.jsonl_path.is_some() || self.progress_every.is_some() || self.trace.is_some()
     }
 }
 
@@ -139,6 +227,30 @@ mod tests {
         assert!(!e.enabled());
         assert!(e.jsonl_path.is_none());
         assert!(e.progress_every.is_none());
+        assert!(e.trace.is_none());
+    }
+
+    #[test]
+    fn trace_config_grammar() {
+        assert_eq!(TraceConfig::parse(""), None);
+        assert_eq!(TraceConfig::parse("0"), None);
+        let def = TraceConfig::parse("1").unwrap();
+        assert_eq!(def, TraceConfig::default());
+        assert_eq!(def.sample.every, 1);
+        assert_eq!(def.capacity, 65_536);
+
+        let full = TraceConfig::parse("sample=1/64,qname=dns-lab.org,cap=1024,out=t.json").unwrap();
+        assert_eq!(full.sample.every, 64);
+        assert_eq!(full.sample.qname_suffix.as_deref(), Some("dns-lab.org"));
+        assert_eq!(full.capacity, 1024);
+        assert_eq!(
+            full.chrome_out.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+
+        // Bare-N sampling and unknown keys.
+        let loose = TraceConfig::parse("sample=8,bogus=1").unwrap();
+        assert_eq!(loose.sample.every, 8);
     }
 
     #[test]

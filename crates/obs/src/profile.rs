@@ -10,20 +10,46 @@
 use bcd_netsim::SimTime;
 use std::time::{Duration, Instant};
 
+/// The process's peak resident-set watermark (`VmHWM`) in KiB, read from
+/// `/proc/self/status`. `None` off Linux or when the read fails. Monotone
+/// over the process lifetime, so successive phase records show which phase
+/// pushed the watermark up — the scale profiler's memory axis.
+pub fn peak_rss_kib() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// One completed phase span.
 #[derive(Debug, Clone)]
 pub struct PhaseRecord {
-    /// Phase name (canonical set: `worldgen-build`, `schedule-build`,
-    /// `shard-run`, `merge`, `analysis`, `report` — free-form names are
-    /// fine too).
+    /// Phase name (canonical set: `worldgen-build`, `target-extract`,
+    /// `source-plans`, `schedule-build`, `shard-spawn`, `shard-run`,
+    /// `shard-extract`, `merge`, `analysis`, `report` — free-form names
+    /// are fine too).
     pub name: String,
-    /// Shard id for per-shard phases (`shard-run`), else `None`.
+    /// Shard id for per-shard phases (`shard-run` and friends), else
+    /// `None`.
     pub shard: Option<usize>,
     /// Wall-clock duration (layout/machine-dependent; excluded from
     /// deterministic output).
     pub wall: Duration,
     /// Virtual-time horizon the phase simulated to, when it ran the engine.
     pub sim_end: Option<SimTime>,
+    /// Process peak-RSS watermark (KiB) at phase completion; `None` off
+    /// Linux. Machine-dependent, like `wall`.
+    pub rss_peak_kib: Option<u64>,
 }
 
 /// An append-only list of phase spans, in completion order.
@@ -37,13 +63,14 @@ impl RunProfile {
         RunProfile::default()
     }
 
-    /// Record an already-measured phase.
+    /// Record an already-measured phase (stamps the current RSS watermark).
     pub fn record(&mut self, name: &str, wall: Duration) {
         self.phases.push(PhaseRecord {
             name: name.to_string(),
             shard: None,
             wall,
             sim_end: None,
+            rss_peak_kib: peak_rss_kib(),
         });
     }
 
@@ -54,6 +81,19 @@ impl RunProfile {
             shard: Some(shard),
             wall,
             sim_end: Some(sim_end),
+            rss_peak_kib: peak_rss_kib(),
+        });
+    }
+
+    /// Record a per-shard phase that does not advance virtual time
+    /// (runtime spawn/warm-up, artifact extraction).
+    pub fn record_shard_phase(&mut self, name: &str, shard: usize, wall: Duration) {
+        self.phases.push(PhaseRecord {
+            name: name.to_string(),
+            shard: Some(shard),
+            wall,
+            sim_end: None,
+            rss_peak_kib: peak_rss_kib(),
         });
     }
 

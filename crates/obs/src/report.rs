@@ -32,6 +32,13 @@ pub mod names {
     pub const ENGINE_EVENTS: &str = "engine.events";
     pub const TRACE_CAPTURED: &str = "trace.captured";
     pub const TRACE_EVICTED: &str = "trace.evicted";
+    /// Causal span flight-recorder counters (`BCD_TRACE`). Stable when the
+    /// run is loss-free (traced traffic is shard-partitioned and warmup is
+    /// never traced); layout-class when stochastic link faults ran.
+    pub const SPAN_RECORDED: &str = "span.recorded";
+    pub const SPAN_RETAINED: &str = "span.retained";
+    pub const SPAN_EVICTED: &str = "span.evicted";
+    pub const SPAN_TRACES: &str = "span.traces";
     /// Client-path resolver counters (deterministic: client traffic is
     /// partitioned by shard, never duplicated).
     pub const DNS_CLIENT_QUERIES: &str = "dns.client_queries";
@@ -200,7 +207,11 @@ pub fn render_run_report(obs: &RunObservation) -> String {
             Some(t) => format!("  (sim {t})"),
             None => String::new(),
         };
-        let _ = writeln!(s, "  {name:<20} {:>9.3}s{sim}", p.wall.as_secs_f64());
+        let rss = match p.rss_peak_kib {
+            Some(kib) => format!("  rss-peak {:.2} GiB", kib as f64 / (1024.0 * 1024.0)),
+            None => String::new(),
+        };
+        let _ = writeln!(s, "  {name:<20} {:>9.3}s{sim}{rss}", p.wall.as_secs_f64());
     }
     let _ = writeln!(
         s,
@@ -211,6 +222,31 @@ pub fn render_run_report(obs: &RunObservation) -> String {
 
     let _ = writeln!(s, "\n-- engine totals (layout-dependent) --");
     render_class(&mut s, &obs.aggregate, Det::Layout, "  ");
+
+    // Bounded-window accounting: the packet-capture ring and the causal
+    // span flight recorder. Both eviction counts are shard-invariant by
+    // construction (canonical-order eviction; the invariance suites assert
+    // equality at every `BCD_SHARDS`).
+    let captured = obs.aggregate.counter(names::TRACE_CAPTURED, &[]);
+    let trace_evicted = obs.aggregate.counter(names::TRACE_EVICTED, &[]);
+    if captured + trace_evicted > 0 {
+        let _ = writeln!(s, "\n-- packet-capture window --");
+        let _ = writeln!(
+            s,
+            "  retained {captured} entries, evicted {trace_evicted} (bounded ring)"
+        );
+    }
+    let recorded = obs.aggregate.counter(names::SPAN_RECORDED, &[]);
+    if recorded > 0 {
+        let _ = writeln!(s, "\n-- causal tracing (flight recorder) --");
+        let _ = writeln!(
+            s,
+            "  {recorded} spans recorded over {} traces; window retains {}, evicted {}",
+            obs.aggregate.counter(names::SPAN_TRACES, &[]),
+            obs.aggregate.counter(names::SPAN_RETAINED, &[]),
+            obs.aggregate.counter(names::SPAN_EVICTED, &[]),
+        );
+    }
 
     if obs.per_shard.len() > 1 {
         let _ = writeln!(

@@ -3,10 +3,17 @@
 //! that (a) the Table 1/2 marginals survive the scale-up and (b) the build
 //! fits CI-class memory.
 //!
+//! The test doubles as the scale profiler: each stage records a
+//! [`bcd_obs::RunProfile`] phase with the process peak-RSS watermark
+//! stamped at completion, the breakdown prints with `--nocapture`, and
+//! `BCD_SCALE_PROFILE=path.jsonl` exports it for the CI artifact — so a
+//! memory blow-up names the phase that allocated, not just the total.
+//!
 //! Ignored by default: this is a release-mode batch job (`cargo test -r
 //! -p bcd-worldgen -- --ignored internet_scale`), not part of tier-1. The
 //! CI `scale-smoke` job runs it.
 
+use bcd_obs::{RunObservation, RunProfile};
 use bcd_worldgen::{build, WorldConfig};
 use std::time::Instant;
 
@@ -27,13 +34,17 @@ fn peak_rss_gib() -> f64 {
 #[test]
 #[ignore = "release-mode batch job: builds the full 62k-AS world"]
 fn internet_scale_world_builds_within_budget() {
+    let mut profile = RunProfile::new();
     let t0 = Instant::now();
-    let w = build::build(WorldConfig::internet_scale(2019));
+    let w = profile.time("worldgen-build", || {
+        build::build(WorldConfig::internet_scale(2019))
+    });
     let build_secs = t0.elapsed().as_secs_f64();
 
     // ---- Table 1 shape: population counts at the paper's order of
     // magnitude. Bands are generous — these are scale checks, not the
     // calibrated-marginal checks (marginals.rs covers those densely).
+    let t_checks = Instant::now();
     assert_eq!(w.measured_asns.len(), 62_000);
     assert!(
         (8_000_000..=16_000_000).contains(&w.ditl_candidates.len()),
@@ -74,15 +85,48 @@ fn internet_scale_world_builds_within_budget() {
     );
     let v6 = w.resolvers.iter().filter(|r| r.addr.is_ipv6()).count();
     assert!(v6 > 100_000, "v6 targets: {v6}");
+    profile.record("marginal-checks", t_checks.elapsed());
 
     // ---- host table consistency: one simulated host per live target plus
     // shared infrastructure; the topology index must resolve a sample.
+    let t_index = Instant::now();
     assert!(
         w.topo.host_count() >= live,
         "host table smaller than live set"
     );
     for r in w.resolvers.iter().step_by(1_000_000) {
         assert_eq!(w.meta_of(r.addr).map(|m| m.addr), Some(r.addr));
+    }
+    profile.record("host-index-probe", t_index.elapsed());
+
+    // ---- scale profile: per-phase wall + RSS-watermark breakdown. The
+    // watermark is monotone, so the first phase whose rss_peak jumps is
+    // the one that allocated.
+    for p in &profile.phases {
+        let rss_gib = p
+            .rss_peak_kib
+            .map(|k| k as f64 / (1024.0 * 1024.0))
+            .unwrap_or(f64::NAN);
+        eprintln!(
+            "scale-profile: {:<16} {:>8.2}s  rss-peak {rss_gib:.2} GiB",
+            p.name,
+            p.wall.as_secs_f64()
+        );
+        assert!(
+            p.rss_peak_kib.is_some(),
+            "VmHWM must be readable on the Linux CI runner"
+        );
+    }
+    if let Ok(path) = std::env::var("BCD_SCALE_PROFILE") {
+        let obs = RunObservation {
+            seed: 2019,
+            shards: 1,
+            profile: profile.clone(),
+            ..RunObservation::default()
+        };
+        obs.write_jsonl(std::path::Path::new(&path))
+            .expect("write BCD_SCALE_PROFILE export");
+        eprintln!("scale-profile: exported to {path}");
     }
 
     // ---- resource budget: the acceptance bar is < 8 GiB peak RSS.

@@ -17,6 +17,10 @@
 //! gates on that. `BCD_SHARDS` picks the shard layout; every printed line
 //! (and the exit code) is identical for any value, because fault fates are
 //! pure functions of shard-invariant packet keys.
+//!
+//! When `BCD_CHAOS_ARTIFACTS=dir` is set, every violation's self-contained
+//! dump (run report + minimal replay line + causal flight-recorder window)
+//! is written to `dir/violation-<seed>-<profile>.txt` — what CI uploads.
 
 use behind_closed_doors::core::chaos::{self, SWEEP_PROFILES};
 use behind_closed_doors::core::ExperimentConfig;
@@ -75,6 +79,20 @@ fn main() {
     println!();
     for run in &outcome.runs {
         println!("replay: BCD_CHAOS={}", run.spec);
+    }
+    if let Ok(dir) = std::env::var("BCD_CHAOS_ARTIFACTS") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create artifact dir");
+        for run in &outcome.runs {
+            if let Some(artifact) = &run.artifact {
+                let path = dir.join(format!(
+                    "violation-{}-{}.txt",
+                    run.world_seed, run.spec.profile
+                ));
+                std::fs::write(&path, artifact).expect("write violation artifact");
+                eprintln!("violation artifact: {}", path.display());
+            }
+        }
     }
     if outcome.total_violations() > 0 {
         eprintln!("\nINVARIANT VIOLATIONS: {}", outcome.total_violations());
