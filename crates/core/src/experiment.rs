@@ -8,9 +8,8 @@
 use crate::observe;
 use crate::qname::QnameCodec;
 use crate::scanner::{HumanNoise, Scanner, ScannerConfig, ScannerStats};
-use crate::schedule::Schedule;
+use crate::schedule::{self, LaneLayout, Schedule, ScheduleMode};
 use crate::shard::{self, ShardOutcome};
-use crate::sources::SourcePlan;
 use crate::targets::TargetSet;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
@@ -20,9 +19,6 @@ use bcd_netsim::{
 use bcd_obs::report::names;
 use bcd_obs::{Det, ObsEnv, RunObservation, RunProfile, TraceConfig};
 use bcd_worldgen::{World, WorldConfig, WorldRuntime};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
 use std::net::IpAddr;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -74,6 +70,17 @@ pub struct ExperimentConfig {
     /// output — depends only on `shards`; `workers` is pure execution
     /// parallelism. The constructors honour `BCD_WORKERS`.
     pub workers: usize,
+    /// Deterministic keep-1-in-N subsample of the target population
+    /// (`None` = the full §3.1 list). The kept set is a hash of the
+    /// canonical target address, so it is identical for any shard layout.
+    /// Survey-tier batch jobs use this to bound the probe count over the
+    /// full 62k-AS world (the CI `survey-smoke` job).
+    pub target_sample: Option<u64>,
+    /// Schedule constructor: the streaming per-shard lane build (default)
+    /// or the legacy-shaped global oracle. The two are byte-equal (the
+    /// differential suite proves it); `Global` exists only so that claim
+    /// stays checkable. The constructors honour `BCD_SCHEDULE=global`.
+    pub schedule_mode: ScheduleMode,
 }
 
 impl ExperimentConfig {
@@ -94,6 +101,8 @@ impl ExperimentConfig {
             wildcard_zone: false,
             shards: shard::shards_from_env().unwrap_or(1),
             workers: shard::workers_from_env().unwrap_or(0),
+            target_sample: None,
+            schedule_mode: schedule::mode_from_env().unwrap_or_default(),
         }
     }
 
@@ -112,7 +121,9 @@ pub struct ExperimentData {
     /// The immutable generated world, shared with any still-live shard
     /// engines (all of them are gone by the time `run` returns).
     pub world: Arc<World>,
-    pub targets: TargetSet,
+    /// The extracted target set, shared with every shard's scanner (the
+    /// compact schedule's target indices point into it).
+    pub targets: Arc<TargetSet>,
     pub codec: QnameCodec,
     /// Snapshot of the experiment estate's query log.
     pub entries: Vec<QueryLogEntry>,
@@ -170,6 +181,46 @@ const NOISE_SALT_STREAM: u64 = 0x4855_4D41_4E5F_4E53; // "HUMAN_NS"
 /// RNG stream base for per-shard engine (link-fault) noise.
 const SHARD_NOISE_STREAM: u64 = 0x5348_4152_4400_0000; // "SHARD"
 
+/// RNG stream id for the schedule's per-target hash salt (plans, phases,
+/// sampling — shared by every shard, see [`crate::schedule`]).
+const SCHEDULE_SALT_STREAM: u64 = 0x5343_4845_4455_4C45; // "SCHEDULE"
+
+/// Run `f(0..n)` on a work-stealing pool of `n_workers` threads (the
+/// calling thread is worker 0) and return the results in index order.
+/// Used for both parallel phases — per-shard schedule construction and the
+/// shard runs; claim order is scheduling-dependent, results are not.
+fn run_pool<T: Send>(n_workers: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    {
+        let worker = || loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let out = f(i);
+            *slots[i].lock().unwrap() = Some(out);
+        };
+        std::thread::scope(|s| {
+            for wid in 1..n_workers.min(n.max(1)) {
+                std::thread::Builder::new()
+                    .name(format!("bcd-worker-{wid}"))
+                    .spawn_scoped(s, worker)
+                    .expect("spawn worker thread");
+            }
+            worker();
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("pool slot missing — worker panicked?")
+        })
+        .collect()
+}
+
 impl Experiment {
     /// Run the full methodology and return the collected data.
     ///
@@ -219,56 +270,100 @@ impl Experiment {
             TargetSet::from_candidates(&world.ditl_candidates, world.topo.routes())
         };
         profile.record("target-extract", t0.elapsed());
+        let targets = Arc::new(targets);
 
-        // §3.2: spoofed-source plans.
-        announce("source-plans");
+        // §3.2 + §3.4 census: count every probe (per-target plan lengths,
+        // no RNG, no allocation) to fix the window extension, the lane
+        // occupancy and the lane → shard map before any schedule memory
+        // exists. Streaming and global constructors consume the same
+        // census, so they agree on the geometry by construction.
+        announce("schedule-census");
         let t0 = Instant::now();
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.world.seed.wrapping_add(2));
-        let plans: Vec<SourcePlan> = targets
-            .iter()
-            .map(|t| {
-                let mut plan = SourcePlan::build_with_hitlist(
-                    t.addr,
-                    world.topo.routes(),
-                    &world.v6_hitlist,
-                    &mut rng,
-                );
-                if let Some(keep) = &cfg.category_filter {
-                    plan.sources.retain(|(cat, _)| keep.contains(cat));
-                }
-                plan
-            })
-            .collect();
-        profile.record("source-plans", t0.elapsed());
-
-        // §3.4: the schedule — built once, with final rate-capped emission
-        // times, *then* partitioned, so a probe fires at the same instant
-        // in every sharding configuration.
-        announce("schedule-build");
-        let t0 = Instant::now();
-        let schedule = Schedule::build(&plans, cfg.window, cfg.rate, &mut rng);
+        let sched_salt = stream_seed(cfg.world.seed, SCHEDULE_SALT_STREAM);
+        let lanes = schedule::lane_count(cfg.rate);
+        let filter = cfg.category_filter.as_deref();
+        let census = schedule::census(
+            &targets,
+            world.topo.routes(),
+            &world.v6_hitlist,
+            filter,
+            lanes,
+            sched_salt,
+            cfg.target_sample,
+        );
+        let layout = LaneLayout::new(
+            cfg.rate,
+            cfg.window,
+            census.total,
+            sched_salt,
+            cfg.target_sample,
+        );
+        let (lane_shard, shards) = shard::assign_lanes(&census.lane_counts, cfg.shards.max(1));
+        profile.record("schedule-census", t0.elapsed());
 
         let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
-        let asn_of: HashMap<IpAddr, u32> = targets.iter().map(|t| (t.addr, t.asn.0)).collect();
+
+        // Worldgen ran once; from here on the world is frozen and shared.
+        let world = Arc::new(world);
+
+        // §3.4: per-shard streaming schedule construction. Each shard
+        // derives only its own lanes' probes (plans and phases are hashes
+        // of the canonical target bytes) and smooths them under the lanes'
+        // own rate quotas — the global query vec is never materialized.
+        // `BCD_SCHEDULE=global` swaps in the legacy-shaped oracle, which
+        // *does* materialize it, then partitions along the same lane map;
+        // the two are byte-equal (tests/schedule_stream.rs).
+        announce("schedule-build");
+        let n_workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        }
+        .clamp(1, shards);
+        let t0 = Instant::now();
+        let parts: Vec<Schedule> = match cfg.schedule_mode {
+            ScheduleMode::Streaming => {
+                let build = |sid: usize| {
+                    Schedule::build_lanes(
+                        &targets,
+                        world.topo.routes(),
+                        &world.v6_hitlist,
+                        filter,
+                        &shard::lanes_of_shard(&lane_shard, sid),
+                        &census,
+                        &layout,
+                    )
+                };
+                run_pool(n_workers, shards, build)
+            }
+            ScheduleMode::Global => {
+                let global = Schedule::build_global(
+                    &targets,
+                    world.topo.routes(),
+                    &world.v6_hitlist,
+                    filter,
+                    &census,
+                    &layout,
+                );
+                global.partition_by_lane(&targets, &lane_shard, shards)
+            }
+        };
+        let total_probes: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        debug_assert_eq!(total_probes, census.total);
+        let sched_end = parts.iter().map(|p| p.end).max().unwrap_or(SimTime::ZERO);
+        profile.record("schedule-build", t0.elapsed());
 
         // Run the scan plus drain time (outages push the real end out, the
         // paper's "longer than the four weeks we had planned"). All shards
-        // simulate the same horizon.
+        // simulate the same horizon — the *global* schedule end, which is
+        // the max over the per-shard ends.
         let outage_total = cfg
             .outages
             .iter()
             .fold(SimDuration::ZERO, |acc, (_, len)| acc + *len);
-        let run_until = schedule.end + outage_total + cfg.drain;
-
-        // The partitioner clamps the effective shard count to the distinct
-        // destination ASes — surplus shards would only simulate an empty
-        // horizon.
-        let parts = shard::partition_schedule(&schedule, &asn_of, cfg.shards.max(1));
-        let shards = parts.len();
-        profile.record("schedule-build", t0.elapsed());
-
-        // Worldgen ran once; from here on the world is frozen and shared.
-        let world = Arc::new(world);
+        let run_until = sched_end + outage_total + cfg.drain;
 
         // Shards run on a work-stealing pool: each worker claims the next
         // unstarted shard id from a shared counter, spawns its own runtime
@@ -281,63 +376,25 @@ impl Experiment {
         announce("shard-run");
         let progress = env.progress_every;
         let trace_cfg = env.trace.clone();
-        let n_workers = if cfg.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            cfg.workers
-        }
-        .clamp(1, shards);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let parts: Vec<std::sync::Mutex<Option<Schedule>>> =
+        let parts: Vec<Mutex<Option<Schedule>>> =
             parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
-        let slots: Vec<std::sync::Mutex<Option<ShardOutcome>>> =
-            (0..shards).map(|_| Mutex::new(None)).collect();
-        {
-            let worker = || loop {
-                let sid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if sid >= shards {
-                    break;
-                }
-                let part = parts[sid]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("shard partition claimed twice");
-                let outcome = run_shard(
-                    &world,
-                    &cfg,
-                    sid,
-                    part,
-                    asn_of.clone(),
-                    run_until,
-                    progress,
-                    trace_cfg.as_ref(),
-                );
-                *slots[sid].lock().unwrap() = Some(outcome);
-            };
-            std::thread::scope(|s| {
-                for wid in 1..n_workers {
-                    std::thread::Builder::new()
-                        .name(format!("bcd-worker-{wid}"))
-                        .spawn_scoped(s, worker)
-                        .expect("spawn worker thread");
-                }
-                // The main thread is worker 0.
-                worker();
-            });
-        }
-
-        // Deterministic merge, always in shard-id order.
-        let outcomes: Vec<ShardOutcome> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("shard outcome missing — worker panicked?")
-            })
-            .collect();
+        let outcomes: Vec<ShardOutcome> = run_pool(n_workers, shards, |sid| {
+            let part = parts[sid]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("shard partition claimed twice");
+            run_shard(
+                &world,
+                &cfg,
+                sid,
+                part,
+                &targets,
+                run_until,
+                progress,
+                trace_cfg.as_ref(),
+            )
+        });
         for (sid, o) in outcomes.iter().enumerate() {
             profile.record_shard_phase("shard-spawn", sid, o.spawn_wall);
             profile.record_shard("shard-run", sid, o.wall, run_until);
@@ -363,6 +420,27 @@ impl Experiment {
             &world,
             &targets,
             loss_free.then_some(&merged.counters),
+        );
+        // Schedule-construction accounting: probe totals and lane geometry
+        // are pure functions of (seed, population, rate) — fully stable.
+        aggregate.add_counter(names::SCHEDULE_PROBES, &[], Det::Stable, total_probes);
+        aggregate.add_counter(
+            names::SCHEDULE_TARGETS,
+            &[],
+            Det::Stable,
+            census.sampled_targets,
+        );
+        aggregate.add_counter(
+            names::SCHEDULE_LANES,
+            &[],
+            Det::Stable,
+            census.occupied_lanes() as u64,
+        );
+        aggregate.add_counter(
+            names::SCHEDULE_END_SECS,
+            &[],
+            Det::Stable,
+            sched_end.as_secs(),
         );
         // Run-level bounded-window accounting, claimed from the *merged*
         // artifacts before the per-shard fold so the folded sums (which
@@ -447,11 +525,11 @@ impl Experiment {
 /// encodes identically).
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
-    world: &World,
+    world: &Arc<World>,
     cfg: &ExperimentConfig,
     shard_id: usize,
     schedule: Schedule,
-    asn_of: HashMap<IpAddr, u32>,
+    targets: &Arc<TargetSet>,
     run_until: SimTime,
     progress: Option<u64>,
     trace_cfg: Option<&TraceConfig>,
@@ -461,10 +539,8 @@ fn run_shard(
     // ever touch, so hosts elsewhere (other shards' measured ASes) are
     // spawned as sinks. Infra/public-DNS/scanner ASes are always live —
     // `spawn_for` adds them unconditionally.
-    let owned: std::collections::HashSet<bcd_netsim::Asn> = schedule
-        .queries
-        .iter()
-        .filter_map(|q| asn_of.get(&q.target).map(|&a| bcd_netsim::Asn(a)))
+    let owned: std::collections::HashSet<bcd_netsim::Asn> = (0..schedule.len())
+        .map(|i| targets.get(schedule.target_index(i) as usize).asn)
         .collect();
     let mut wrt: WorldRuntime = world.spawn_for(Some(&owned));
     let codec = QnameCodec::new(&world.auth.apex, &cfg.keyword);
@@ -481,7 +557,8 @@ fn run_shard(
         v6: world.scanner.v6,
         codec,
         schedule,
-        asn_of,
+        targets: targets.clone(),
+        topo: world.topo.clone(),
         poll_interval: cfg.poll_interval,
         log: wrt.log.clone(),
         followups_per_family: cfg.followups_per_family,
@@ -522,10 +599,16 @@ fn run_shard(
     let run_wall = run_start.elapsed();
     let extract_start = Instant::now();
 
-    let entries = wrt.log.borrow().entries().to_vec();
+    // Pre-sort this shard's streams canonically so the merge can absorb
+    // them with a streaming k-way pass instead of a global re-sort. The
+    // sort runs here — inside the parallel shard phase — not on the merge
+    // thread.
+    let mut entries = wrt.log.borrow().entries().to_vec();
+    shard::canonical_sort(&mut entries);
     let scanner = wrt.net.node::<Scanner>(scanner_host).expect("scanner node");
     let scanner_stats = scanner.stats.clone();
-    let responses = scanner.responses.clone();
+    let mut responses = scanner.responses.clone();
+    responses.sort_by_key(|r| (r.0, r.1));
     let dns = observe::dns_totals(&wrt.net);
     let events = wrt.net.events_processed();
     let pending_deliveries = wrt.net.pending_deliveries();

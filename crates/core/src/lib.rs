@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod attack;
 pub mod chaos;
 pub mod experiment;
+pub(crate) mod hash;
 pub mod invariants;
 pub mod lab;
 pub mod observe;
@@ -53,7 +54,7 @@ pub use invariants::{InvariantChecker, InvariantReport, Violation};
 pub use observe::{dns_totals, shard_registry, stable_aggregate, DnsTotals};
 pub use qname::{ExperimentTag, QnameCodec, SuffixKind};
 pub use scanner::Scanner;
-pub use schedule::{Schedule, ScheduledQuery};
+pub use schedule::{LaneLayout, Schedule, ScheduleMode, ScheduledQuery};
 pub use selfcheck::{SelfCheck, SelfCheckReport, Verdict};
 pub use shard::{shard_of_asn, shards_from_env};
 pub use sources::{SourceCategory, SourcePlan};

@@ -16,40 +16,20 @@
 //!   address inside the target AS — the curious-analyst queries whose long
 //!   lifetime the analysis must filter out.
 
+use crate::hash::{fnv1a, fnv1a_addr, FNV_OFFSET};
 use crate::qname::{Decoded, QnameCodec, SuffixKind};
 use crate::schedule::{Schedule, ScheduledQuery};
+use crate::targets::TargetSet;
 use bcd_dns::SharedLog;
 use bcd_dnswire::{Message, MessageView, RCode, RType, WireWriter, MAX_NAME_WIRE_LEN};
-use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, Transport};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use bcd_netsim::{Node, NodeCtx, Packet, Prefix, SimDuration, SimTime, Topology, Transport};
+use std::collections::{BTreeMap, HashSet};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 const TOK_WALK: u64 = 0;
 const TOK_POLL: u64 = 1;
 const TOK_HUMAN: u64 = 2;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(FNV_PRIME);
-    }
-}
-
-fn fnv1a_addr(h: &mut u64, addr: IpAddr) {
-    match addr {
-        IpAddr::V4(a) => {
-            fnv1a(h, &[4]);
-            fnv1a(h, &a.octets());
-        }
-        IpAddr::V6(a) => {
-            fnv1a(h, &[6]);
-            fnv1a(h, &a.octets());
-        }
-    }
-}
 
 /// Deterministic per-probe uniform draw in `[0, 1)`.
 ///
@@ -82,9 +62,16 @@ pub struct ScannerConfig {
     pub v4: IpAddr,
     pub v6: IpAddr,
     pub codec: QnameCodec,
+    /// This shard's slice of the schedule (compact SoA rows; target
+    /// addresses and ASNs resolve through `targets`).
     pub schedule: Schedule,
-    /// Target → ASN, from the extraction pipeline (encoded into qnames).
-    pub asn_of: HashMap<IpAddr, u32>,
+    /// The shared target set — the schedule's `u32` target indices point
+    /// into it. One `Arc` across all shards; no per-shard copies.
+    pub targets: Arc<TargetSet>,
+    /// The shared topology: follow-up ASN attribution goes through its LPM
+    /// trie (`topo.routes().origin`), the same lookup extraction used, so
+    /// no full-population `HashMap<IpAddr, u32>` is ever built.
+    pub topo: Arc<Topology>,
     /// Log-tail poll interval ("real-time" monitoring granularity).
     pub poll_interval: SimDuration,
     pub log: SharedLog,
@@ -221,13 +208,26 @@ impl Scanner {
             ctx.set_timer(end - now, TOK_WALK);
             return;
         }
-        while self.next_query < self.cfg.schedule.queries.len() {
-            let q = self.cfg.schedule.queries[self.next_query];
-            if q.at > now {
-                ctx.set_timer(q.at - now, TOK_WALK);
+        while self.next_query < self.cfg.schedule.len() {
+            let i = self.next_query;
+            let at = self.cfg.schedule.at(i);
+            if at > now {
+                ctx.set_timer(at - now, TOK_WALK);
                 return;
             }
             self.next_query += 1;
+            // Materialize the compact row: the target (address + ASN)
+            // resolves through the shared TargetSet.
+            let t = self
+                .cfg
+                .targets
+                .get(self.cfg.schedule.target_index(i) as usize);
+            let q = ScheduledQuery {
+                at,
+                target: t.addr,
+                source: self.cfg.schedule.source(i, t.addr.is_ipv6()),
+                category: self.cfg.schedule.category(i),
+            };
             // §3.8: honour opt-out requests received before this probe.
             if self
                 .cfg
@@ -238,7 +238,7 @@ impl Scanner {
                 self.stats.opted_out += 1;
                 continue;
             }
-            let asn = self.cfg.asn_of.get(&q.target).copied().unwrap_or(0);
+            let asn = t.asn.0;
             let qname = self
                 .cfg
                 .codec
@@ -248,7 +248,7 @@ impl Scanner {
                 if self.stats.spoofed_sent.is_multiple_of(every) {
                     // Wall-clock throughput + ETA (display only; never
                     // feeds back into simulation state).
-                    let total = self.cfg.schedule.queries.len() as u64;
+                    let total = self.cfg.schedule.len() as u64;
                     let elapsed = self.wall_start.elapsed().as_secs_f64();
                     let rate = if elapsed > 0.0 {
                         self.stats.spoofed_sent as f64 / elapsed
@@ -290,7 +290,7 @@ impl Scanner {
 
     fn fire_followups(&mut self, ctx: &mut NodeCtx<'_>, src: IpAddr, dst: IpAddr) {
         let now = ctx.now();
-        let asn = self.cfg.asn_of.get(&dst).copied().unwrap_or(0);
+        let asn = self.cfg.topo.routes().origin(dst).map_or(0, |a| a.0);
         self.stats.followup_sets += 1;
         let n = self.cfg.followups_per_family as u64;
         // 10 IPv4-only + 10 IPv6-only, each with a unique timestamp label
@@ -409,8 +409,8 @@ impl Scanner {
 
 impl Node for Scanner {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
-        if let Some(q) = self.cfg.schedule.queries.first() {
-            ctx.set_timer(q.at - SimTime::ZERO, TOK_WALK);
+        if let Some(at) = self.cfg.schedule.first_at() {
+            ctx.set_timer(at - SimTime::ZERO, TOK_WALK);
         }
         ctx.set_timer(self.cfg.poll_interval, TOK_POLL);
     }

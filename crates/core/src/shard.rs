@@ -9,12 +9,15 @@
 //!
 //! Determinism contract: because
 //!
-//! * the schedule (with final, rate-capped emission times) is built once and
-//!   then partitioned — a probe fires at the same instant in every sharding
-//!   configuration,
+//! * the schedule is a per-lane derivation (plans, phases and smoothed
+//!   emission times are pure functions of `(seed, target)` and the lane's
+//!   own traffic — see [`crate::schedule`]) and shards are unions of whole
+//!   lanes ([`assign_lanes`]) — a probe fires at the same instant in every
+//!   sharding configuration,
 //! * every host draws from its own seed-derived RNG stream (see
 //!   [`bcd_netsim::stream_seed`]), so a resolver's behaviour depends only on
-//!   the traffic *it* sees — and all probes for one AS land in one shard,
+//!   the traffic *it* sees — and all probes for one AS land in one lane,
+//!   hence one shard,
 //! * human-noise injection is a pure function of probe identity
 //!   ([`crate::scanner`]), and
 //! * the merge re-establishes one canonical entry order ([`canonical_sort`])
@@ -26,12 +29,10 @@
 
 use crate::observe::DnsTotals;
 use crate::scanner::ScannerStats;
-use crate::schedule::Schedule;
 use bcd_dns::QueryLogEntry;
 use bcd_dnswire::RCode;
 use bcd_netsim::{FlightRecorder, Merge, NetCounters, SimTime, Trace};
 use bcd_obs::MetricsRegistry;
-use std::collections::HashMap;
 use std::net::IpAddr;
 use std::time::Duration;
 
@@ -67,43 +68,37 @@ pub fn shard_of_asn(asn: u32, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
-/// Split a built schedule into per-shard schedules by destination AS.
+/// Map rate lanes onto shards: the non-empty lanes (per the schedule
+/// census) are dealt round-robin onto the effective shard count, which is
+/// clamped to the number of occupied lanes — surplus shards could only
+/// ever receive empty schedules, yet each would still spin up an engine
+/// and simulate the full horizon.
 ///
-/// Probe times are final (the global rate cap already ran), relative order
-/// within each shard is preserved, and every part carries the *global*
-/// schedule end so all shards simulate the same horizon. Targets with no
-/// ASN attribution hash as ASN 0.
-///
-/// The effective shard count is clamped to the number of distinct
-/// destination ASes: with fewer ASes than requested shards, the surplus
-/// shards could only ever receive empty schedules, yet each would still
-/// spin up an engine and simulate the full horizon. The returned vector's
-/// length *is* the effective shard count. Clamping preserves the
-/// equivalence contract — partitioning is per-AS, so any shard count
-/// yields the same merged result.
-pub fn partition_schedule(
-    schedule: &Schedule,
-    asn_of: &HashMap<IpAddr, u32>,
-    shards: usize,
-) -> Vec<Schedule> {
-    let distinct_asns = schedule
-        .queries
-        .iter()
-        .map(|q| asn_of.get(&q.target).copied().unwrap_or(0))
-        .collect::<std::collections::HashSet<u32>>()
-        .len();
-    let shards = shards.max(1).min(distinct_asns.max(1));
-    let mut parts: Vec<Schedule> = (0..shards)
-        .map(|_| Schedule {
-            queries: Vec::new(),
-            end: schedule.end,
-        })
-        .collect();
-    for q in &schedule.queries {
-        let asn = asn_of.get(&q.target).copied().unwrap_or(0);
-        parts[shard_of_asn(asn, shards)].queries.push(*q);
+/// Returns `(lane → shard, effective shard count)`; empty lanes map to
+/// `None`. Because a lane's schedule bytes are independent of the lane →
+/// shard map (see [`crate::schedule`]), *any* shard count yields the same
+/// merged result — the map only chooses which engine runs which lanes.
+pub fn assign_lanes(lane_counts: &[u64], shards: usize) -> (Vec<Option<usize>>, usize) {
+    let occupied = lane_counts.iter().filter(|&&c| c > 0).count();
+    let shards = shards.max(1).min(occupied.max(1));
+    let mut map = vec![None; lane_counts.len()];
+    let mut rank = 0usize;
+    for (lane, &count) in lane_counts.iter().enumerate() {
+        if count > 0 {
+            map[lane] = Some(rank % shards);
+            rank += 1;
+        }
     }
-    parts
+    (map, shards)
+}
+
+/// The lanes `assign_lanes` gave to shard `sid`, in lane order.
+pub fn lanes_of_shard(lane_shard: &[Option<usize>], sid: usize) -> Vec<usize> {
+    lane_shard
+        .iter()
+        .enumerate()
+        .filter_map(|(lane, &s)| (s == Some(sid)).then_some(lane))
+        .collect()
 }
 
 /// Re-establish the single canonical order of a merged query log.
@@ -113,24 +108,28 @@ pub fn partition_schedule(
 /// unique per logged query and the order is independent of which shard
 /// contributed an entry.
 pub fn canonical_sort(entries: &mut [QueryLogEntry]) {
-    entries.sort_by(|a, b| {
-        (
-            a.time,
-            &a.qname,
-            a.src,
-            a.src_port,
-            a.server,
-            proto_rank(a.proto),
-        )
-            .cmp(&(
-                b.time,
-                &b.qname,
-                b.src,
-                b.src_port,
-                b.server,
-                proto_rank(b.proto),
-            ))
-    });
+    entries.sort_by(canonical_cmp);
+}
+
+/// The canonical entry ordering used by [`canonical_sort`] and the k-way
+/// streaming merge.
+pub fn canonical_cmp(a: &QueryLogEntry, b: &QueryLogEntry) -> std::cmp::Ordering {
+    (
+        a.time,
+        &a.qname,
+        a.src,
+        a.src_port,
+        a.server,
+        proto_rank(a.proto),
+    )
+        .cmp(&(
+            b.time,
+            &b.qname,
+            b.src,
+            b.src_port,
+            b.server,
+            proto_rank(b.proto),
+        ))
 }
 
 fn proto_rank(p: bcd_dns::LogProto) -> u8 {
@@ -187,10 +186,48 @@ pub struct ShardOutcome {
     pub extract_wall: Duration,
 }
 
+/// Absorb pre-sorted per-shard streams into one exactly-reserved vec via
+/// a k-way merge (linear head scan — shard counts are ≤ 64, and the first
+/// key component almost always decides). Compared to extend-then-resort
+/// this bounds merge memory to `total + S` heads: no doubling reallocs, no
+/// O(N log N) global re-sort over entries that each arrive sorted.
+///
+/// Ties (possible in `responses`, whose key is not unique) break toward
+/// the lower shard id, which is exactly the order the old stable
+/// extend-then-sort produced.
+fn kway_merge<T>(
+    mut streams: Vec<std::vec::IntoIter<T>>,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> Vec<T> {
+    let total: usize = streams.iter().map(|s| s.as_slice().len()).sum();
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, s) in streams.iter().enumerate() {
+            let Some(head) = s.as_slice().first() else {
+                continue;
+            };
+            match best {
+                Some(b)
+                    if cmp(streams[b].as_slice().first().unwrap(), head)
+                        != std::cmp::Ordering::Greater => {}
+                _ => best = Some(i),
+            }
+        }
+        match best {
+            Some(i) => out.push(streams[i].next().unwrap()),
+            None => break,
+        }
+    }
+    out
+}
+
 /// Fold shard outcomes (in shard-id order) into one logical run.
 ///
-/// Query-log entries are re-sorted canonically, scanner responses by
-/// `(time, responder)`, counters and stats summed via [`Merge`].
+/// Query-log entries arrive canonically pre-sorted per shard (the shard
+/// runner sorts at extraction, in parallel) and are absorbed by a
+/// streaming k-way merge; scanner responses likewise by `(time,
+/// responder)`; counters and stats summed via [`Merge`].
 pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
     let mut merged = ShardOutcome {
         entries: Vec::new(),
@@ -208,10 +245,20 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
         spawn_wall: Duration::ZERO,
         extract_wall: Duration::ZERO,
     };
+    let mut entry_streams: Vec<std::vec::IntoIter<QueryLogEntry>> =
+        Vec::with_capacity(outcomes.len());
+    let mut response_streams: Vec<std::vec::IntoIter<(SimTime, IpAddr, RCode)>> =
+        Vec::with_capacity(outcomes.len());
     for o in outcomes {
-        merged.entries.extend(o.entries);
+        debug_assert!(
+            o.entries
+                .windows(2)
+                .all(|w| canonical_cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater),
+            "shard entries must arrive canonically sorted"
+        );
+        entry_streams.push(o.entries.into_iter());
+        response_streams.push(o.responses.into_iter());
         merged.scanner_stats.merge(o.scanner_stats);
-        merged.responses.extend(o.responses);
         merged.counters.merge(o.counters);
         merged.events += o.events;
         merged.budget_exhausted |= o.budget_exhausted;
@@ -232,89 +279,70 @@ pub fn merge_outcomes(outcomes: Vec<ShardOutcome>) -> ShardOutcome {
             _ => {}
         }
     }
-    canonical_sort(&mut merged.entries);
-    merged.responses.sort_by_key(|r| (r.0, r.1));
+    merged.entries = kway_merge(entry_streams, canonical_cmp);
+    merged.responses = kway_merge(response_streams, |a, b| (a.0, a.1).cmp(&(b.0, b.1)));
     merged
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::ScheduledQuery;
-    use crate::sources::SourceCategory;
 
-    fn sched(n: usize) -> (Schedule, HashMap<IpAddr, u32>) {
-        let mut queries = Vec::new();
-        let mut asn_of = HashMap::new();
-        for i in 0..n {
-            let target: IpAddr = format!("192.0.{}.{}", i / 200, 1 + i % 200)
-                .parse()
-                .unwrap();
-            asn_of.insert(target, (i % 17) as u32 + 1);
-            queries.push(ScheduledQuery {
-                at: SimTime::from_secs(i as u64),
-                target,
-                source: "198.51.100.7".parse().unwrap(),
-                category: SourceCategory::OtherPrefix,
-            });
+    #[test]
+    fn assign_lanes_covers_every_occupied_lane() {
+        let counts: Vec<u64> = (0..64u64)
+            .map(|l| if l % 3 == 0 { l + 1 } else { 0 })
+            .collect();
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        let (map, shards) = assign_lanes(&counts, 4);
+        assert_eq!(shards, 4);
+        for (lane, &count) in counts.iter().enumerate() {
+            assert_eq!(map[lane].is_some(), count > 0, "lane {lane}");
+            if let Some(sid) = map[lane] {
+                assert!(sid < shards);
+            }
         }
-        (
-            Schedule {
-                queries,
-                end: SimTime::from_secs(n as u64),
-            },
-            asn_of,
-        )
+        // Every shard gets some lanes, and the union is exactly the
+        // occupied set.
+        let mut total = 0;
+        for sid in 0..shards {
+            let lanes = lanes_of_shard(&map, sid);
+            assert!(!lanes.is_empty());
+            total += lanes.len();
+        }
+        assert_eq!(total, occupied);
     }
 
     #[test]
-    fn partition_is_exhaustive_and_by_as() {
-        let (s, asn_of) = sched(500);
-        let parts = partition_schedule(&s, &asn_of, 4);
-        assert_eq!(parts.len(), 4);
-        assert_eq!(parts.iter().map(|p| p.queries.len()).sum::<usize>(), 500);
-        for (sid, part) in parts.iter().enumerate() {
-            assert_eq!(part.end, s.end);
-            for q in &part.queries {
-                let asn = asn_of[&q.target];
-                assert_eq!(shard_of_asn(asn, 4), sid);
-            }
-            // Relative order within a shard is the global order.
-            for w in part.queries.windows(2) {
-                assert!(w[0].at <= w[1].at);
-            }
-        }
+    fn assign_lanes_clamps_to_occupied_lanes() {
+        // 3 occupied lanes: asking for 8 shards must not produce 5 empty
+        // engines.
+        let mut counts = vec![0u64; 64];
+        counts[3] = 10;
+        counts[17] = 5;
+        counts[40] = 1;
+        let (map, shards) = assign_lanes(&counts, 8);
+        assert_eq!(shards, 3);
+        assert_eq!(lanes_of_shard(&map, 0), vec![3]);
+        assert_eq!(lanes_of_shard(&map, 1), vec![17]);
+        assert_eq!(lanes_of_shard(&map, 2), vec![40]);
+        // No occupied lanes clamps to a single (empty) shard.
+        let (map, shards) = assign_lanes(&vec![0u64; 64], 8);
+        assert_eq!(shards, 1);
+        assert!(map.iter().all(Option::is_none));
     }
 
     #[test]
-    fn single_shard_partition_is_identity() {
-        let (s, asn_of) = sched(50);
-        let parts = partition_schedule(&s, &asn_of, 1);
-        assert_eq!(parts.len(), 1);
-        assert_eq!(parts[0].queries, s.queries);
-    }
-
-    #[test]
-    fn shard_count_clamps_to_distinct_destination_ases() {
-        // 500 queries over 17 distinct ASNs: asking for 64 shards must not
-        // produce 47 empty engines.
-        let (s, asn_of) = sched(500);
-        let parts = partition_schedule(&s, &asn_of, 64);
-        assert_eq!(parts.len(), 17);
-        assert_eq!(parts.iter().map(|p| p.queries.len()).sum::<usize>(), 500);
-        // Still grouped per AS.
-        for (sid, part) in parts.iter().enumerate() {
-            for q in &part.queries {
-                assert_eq!(shard_of_asn(asn_of[&q.target], 17), sid);
-            }
-        }
-        // An empty schedule clamps to a single (empty) shard.
-        let empty = Schedule {
-            queries: Vec::new(),
-            end: s.end,
-        };
-        let parts = partition_schedule(&empty, &asn_of, 8);
-        assert_eq!(parts.len(), 1);
+    fn kway_merge_is_stable_across_streams() {
+        // Equal keys must come out in stream order (the old stable
+        // extend-then-sort contract).
+        let a = vec![(1, 'a'), (3, 'a'), (3, 'a')];
+        let b = vec![(1, 'b'), (2, 'b'), (3, 'b')];
+        let merged = kway_merge(vec![a.into_iter(), b.into_iter()], |x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            merged,
+            vec![(1, 'a'), (1, 'b'), (2, 'b'), (3, 'a'), (3, 'a'), (3, 'b')]
+        );
     }
 
     #[test]

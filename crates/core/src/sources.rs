@@ -89,56 +89,8 @@ impl SourcePlan {
         let sub_len = if v6 { 64 } else { 24 };
         let own_subnet = Prefix::subprefix_of(target, sub_len);
 
-        if let Some(asn) = routes.origin(target) {
-            let mut other: Vec<Prefix> = Vec::new();
-            // Hitlist preference (IPv6 only): this AS's active /64s go in
-            // first, before any blind enumeration — "we gave preference to
-            // /64 prefixes that contained IPv6 addresses from an IPv6 hit
-            // list" (§3.2).
-            if v6 {
-                for h in hitlist {
-                    if h.is_v6()
-                        && h.len() == sub_len
-                        && *h != own_subnet
-                        && routes.origin(h.network()) == Some(asn)
-                    {
-                        other.push(*h);
-                    }
-                    if other.len() >= MAX_OTHER_PREFIX {
-                        break;
-                    }
-                }
-            }
-            let preferred: std::collections::HashSet<Prefix> = other.iter().copied().collect();
-            // Divide the rest of the AS's space into /24s or /64s.
-            'walk: for p in routes.prefixes_of(asn) {
-                if p.is_v6() != v6 {
-                    continue;
-                }
-                for sub in p.subprefixes(sub_len) {
-                    if sub != own_subnet && !preferred.contains(&sub) {
-                        other.push(sub);
-                    }
-                    if other.len() >= MAX_OTHER_PREFIX * 4 {
-                        break 'walk;
-                    }
-                }
-            }
-            // Cap at 97 prefixes with a deterministic spread over the
-            // non-preferred tail (hitlist entries sit at the head and
-            // always survive the cap).
-            if other.len() > MAX_OTHER_PREFIX {
-                let head = preferred.len().min(MAX_OTHER_PREFIX);
-                let tail: Vec<Prefix> = other.split_off(head);
-                let need = MAX_OTHER_PREFIX - head;
-                if let Some(step) = tail.len().checked_div(need) {
-                    let step = step.max(1);
-                    other.extend(tail.into_iter().step_by(step).take(need));
-                }
-            }
-            for p in other {
-                sources.push((SourceCategory::OtherPrefix, pick_in_prefix(p, rng, None)));
-            }
+        for p in other_prefixes(target, routes, hitlist) {
+            sources.push((SourceCategory::OtherPrefix, pick_in_prefix(p, rng, None)));
         }
 
         // Same-prefix: an address in the target's own subnet, ≠ target.
@@ -164,6 +116,33 @@ impl SourcePlan {
         SourcePlan { target, sources }
     }
 
+    /// Build the plan from a seed salt alone: the RNG is seeded from a
+    /// hash of the canonical target bytes, so the plan depends only on
+    /// `(salt, target, routes, hitlist)` — never on how many *other*
+    /// targets were planned before this one. This is what lets each shard
+    /// derive exactly its own targets' plans and still agree byte-for-byte
+    /// with every other shard layout (the PR 8 txid/sport trick applied to
+    /// planning).
+    pub fn build_deterministic(
+        target: IpAddr,
+        routes: &PrefixTable,
+        hitlist: &[Prefix],
+        salt: u64,
+    ) -> SourcePlan {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(crate::hash::addr_hash(salt, target, b"plan"));
+        SourcePlan::build_with_hitlist(target, routes, hitlist, &mut rng)
+    }
+
+    /// The exact length [`SourcePlan::build_with_hitlist`] would produce,
+    /// without drawing any source addresses: the capped other-prefix count
+    /// plus the four per-target categories. The census prepass calls this
+    /// for every target to size lanes and the window extension before any
+    /// schedule memory is allocated.
+    pub fn planned_len(target: IpAddr, routes: &PrefixTable, hitlist: &[Prefix]) -> usize {
+        other_prefixes(target, routes, hitlist).len() + 4
+    }
+
     /// Number of sources in the plan.
     pub fn len(&self) -> usize {
         self.sources.len()
@@ -173,6 +152,66 @@ impl SourcePlan {
     pub fn is_empty(&self) -> bool {
         self.sources.is_empty()
     }
+}
+
+/// The capped other-prefix list for `target` (§3.2): hitlist-preferred
+/// /64s first, then the AS's announced space divided into /24s or /64s,
+/// spread-capped at [`MAX_OTHER_PREFIX`]. Shared by the plan builder
+/// (which draws one source per prefix) and [`SourcePlan::planned_len`]
+/// (which only counts) so the two can never disagree.
+fn other_prefixes(target: IpAddr, routes: &PrefixTable, hitlist: &[Prefix]) -> Vec<Prefix> {
+    let v6 = target.is_ipv6();
+    let sub_len = if v6 { 64 } else { 24 };
+    let own_subnet = Prefix::subprefix_of(target, sub_len);
+    let Some(asn) = routes.origin(target) else {
+        return Vec::new();
+    };
+    let mut other: Vec<Prefix> = Vec::new();
+    // Hitlist preference (IPv6 only): this AS's active /64s go in first,
+    // before any blind enumeration — "we gave preference to /64 prefixes
+    // that contained IPv6 addresses from an IPv6 hit list" (§3.2).
+    if v6 {
+        for h in hitlist {
+            if h.is_v6()
+                && h.len() == sub_len
+                && *h != own_subnet
+                && routes.origin(h.network()) == Some(asn)
+            {
+                other.push(*h);
+            }
+            if other.len() >= MAX_OTHER_PREFIX {
+                break;
+            }
+        }
+    }
+    let preferred: std::collections::HashSet<Prefix> = other.iter().copied().collect();
+    // Divide the rest of the AS's space into /24s or /64s.
+    'walk: for p in routes.prefixes_of(asn) {
+        if p.is_v6() != v6 {
+            continue;
+        }
+        for sub in p.subprefixes(sub_len) {
+            if sub != own_subnet && !preferred.contains(&sub) {
+                other.push(sub);
+            }
+            if other.len() >= MAX_OTHER_PREFIX * 4 {
+                break 'walk;
+            }
+        }
+    }
+    // Cap at 97 prefixes with a deterministic spread over the
+    // non-preferred tail (hitlist entries sit at the head and always
+    // survive the cap).
+    if other.len() > MAX_OTHER_PREFIX {
+        let head = preferred.len().min(MAX_OTHER_PREFIX);
+        let tail: Vec<Prefix> = other.split_off(head);
+        let need = MAX_OTHER_PREFIX - head;
+        if let Some(step) = tail.len().checked_div(need) {
+            let step = step.max(1);
+            other.extend(tail.into_iter().step_by(step).take(need));
+        }
+    }
+    other
 }
 
 /// Classify an observed (spoofed) source relative to its target — the
@@ -342,6 +381,42 @@ mod tests {
             .sources
             .iter()
             .all(|(k, _)| *k != SourceCategory::OtherPrefix));
+    }
+
+    #[test]
+    fn planned_len_matches_built_plan() {
+        let cases: &[(&[&str], &str)] = &[
+            (&["203.0.112.0/22"], "203.0.112.10"),
+            (&["16.0.0.0/14"], "16.0.0.5"),
+            (&["2600:9::/48"], "2600:9:0:5::42"),
+            (&[], "203.0.112.10"),
+        ];
+        for (prefixes, target) in cases {
+            let routes = routes_with(prefixes, 7);
+            let target: IpAddr = target.parse().unwrap();
+            let plan = SourcePlan::build(target, &routes, &mut rng());
+            assert_eq!(
+                SourcePlan::planned_len(target, &routes, &[]),
+                plan.len(),
+                "census length must equal built length for {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_build_independent_of_context() {
+        // The whole point: the plan depends only on (salt, target), not on
+        // any shared RNG stream position — two "shards" planning different
+        // subsets agree on the shared target.
+        let routes = routes_with(&["16.0.0.0/14"], 9);
+        let target: IpAddr = "16.0.1.5".parse().unwrap();
+        let a = SourcePlan::build_deterministic(target, &routes, &[], 42);
+        // Plan other targets "first" — no effect on the shared target.
+        let _ = SourcePlan::build_deterministic("16.0.2.9".parse().unwrap(), &routes, &[], 42);
+        let b = SourcePlan::build_deterministic(target, &routes, &[], 42);
+        assert_eq!(a.sources, b.sources);
+        let c = SourcePlan::build_deterministic(target, &routes, &[], 43);
+        assert_ne!(a.sources, c.sources, "salt must matter");
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct TargetSet {
     pub excluded_special: usize,
     /// Unique addresses dropped for lacking an announced route.
     pub excluded_unrouted: usize,
+    /// Candidates rejected by [`TargetSet::from_candidates`] for violating
+    /// the deduplicated-and-sorted contract (duplicates or out-of-order
+    /// entries). Always 0 for a well-formed stream; non-zero means the
+    /// producer is broken and would previously have double-counted targets
+    /// in release builds.
+    pub excluded_unsorted: usize,
 }
 
 impl TargetSet {
@@ -46,9 +52,28 @@ impl TargetSet {
     /// generator (`World::ditl_candidates`). Equivalent to [`extract`] on
     /// the materialized trace: the stream dedupes and sorts, so only the
     /// exclusion/attribution steps remain.
+    ///
+    /// The dedup-and-sorted contract is enforced in release builds too: a
+    /// duplicate or out-of-order candidate is rejected and counted in
+    /// [`TargetSet::excluded_unsorted`] rather than silently inflating the
+    /// target population (a broken producer used to get past the old
+    /// `debug_assert!` and double-count).
     pub fn from_candidates(unique_sorted: &[IpAddr], routes: &PrefixTable) -> TargetSet {
-        debug_assert!(unique_sorted.windows(2).all(|w| w[0] < w[1]));
-        Self::from_unique_sources(unique_sorted.iter().copied(), routes)
+        let mut out = TargetSet::default();
+        let mut last: Option<IpAddr> = None;
+        for &addr in unique_sorted {
+            if last.is_some_and(|l| addr <= l) {
+                out.excluded_unsorted += 1;
+                continue;
+            }
+            last = Some(addr);
+            out.push_source(addr, routes);
+        }
+        debug_assert_eq!(
+            out.excluded_unsorted, 0,
+            "from_candidates fed an unsorted/duplicated stream"
+        );
+        out
     }
 
     fn from_unique_sources(
@@ -57,22 +82,27 @@ impl TargetSet {
     ) -> TargetSet {
         let mut out = TargetSet::default();
         for addr in unique {
-            if special::is_special_purpose(addr) {
-                out.excluded_special += 1;
-                continue;
-            }
-            let Some(asn) = routes.origin(addr) else {
-                out.excluded_unrouted += 1;
-                continue;
-            };
-            let t = Target { addr, asn };
-            if addr.is_ipv6() {
-                out.v6.push(t);
-            } else {
-                out.v4.push(t);
-            }
+            out.push_source(addr, routes);
         }
         out
+    }
+
+    /// Exclusion/attribution for one unique candidate (steps 3–5).
+    fn push_source(&mut self, addr: IpAddr, routes: &PrefixTable) {
+        if special::is_special_purpose(addr) {
+            self.excluded_special += 1;
+            return;
+        }
+        let Some(asn) = routes.origin(addr) else {
+            self.excluded_unrouted += 1;
+            return;
+        };
+        let t = Target { addr, asn };
+        if addr.is_ipv6() {
+            self.v6.push(t);
+        } else {
+            self.v4.push(t);
+        }
     }
 
     /// Total targets across both families.
@@ -88,6 +118,22 @@ impl TargetSet {
     /// All targets, v4 first.
     pub fn iter(&self) -> impl Iterator<Item = &Target> {
         self.v4.iter().chain(self.v6.iter())
+    }
+
+    /// The target at flat index `i` (v4 first, then v6 — the [`iter`]
+    /// order). Because each family vec is sorted by address and `IpAddr`'s
+    /// `Ord` places every v4 before every v6, the flat index is monotone in
+    /// the target address: comparing indices is comparing addresses. The
+    /// compact schedule leans on this to store a `u32` per probe instead of
+    /// a 17-byte `IpAddr`.
+    ///
+    /// [`iter`]: TargetSet::iter
+    pub fn get(&self, i: usize) -> Target {
+        if i < self.v4.len() {
+            self.v4[i]
+        } else {
+            self.v6[i - self.v4.len()]
+        }
     }
 
     /// Distinct ASNs among v4 targets.
@@ -152,5 +198,48 @@ mod tests {
         let set = TargetSet::extract(&[], &routes());
         assert!(set.is_empty());
         assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn flat_index_is_monotone_in_address() {
+        let trace = vec![
+            rec("203.0.112.9"),
+            rec("203.0.112.5"),
+            rec("2600:1::42"),
+            rec("2600:1::7"),
+        ];
+        let set = TargetSet::extract(&trace, &routes());
+        assert_eq!(set.len(), 4);
+        for i in 1..set.len() {
+            assert!(set.get(i - 1).addr < set.get(i).addr);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "unsorted"))]
+    fn from_candidates_rejects_duplicates_and_disorder() {
+        // Release builds must reject rather than double-count; debug builds
+        // additionally assert so the broken producer is caught in tests.
+        let candidates: Vec<IpAddr> = vec![
+            "203.0.112.5".parse().unwrap(),
+            "203.0.112.5".parse().unwrap(), // duplicate
+            "203.0.112.9".parse().unwrap(),
+            "203.0.112.7".parse().unwrap(), // out of order
+        ];
+        let set = TargetSet::from_candidates(&candidates, &routes());
+        assert_eq!(set.v4.len(), 2, "only the in-order unique survivors");
+        assert_eq!(set.excluded_unsorted, 2);
+    }
+
+    #[test]
+    fn from_candidates_accepts_well_formed_stream() {
+        let candidates: Vec<IpAddr> = vec![
+            "203.0.112.5".parse().unwrap(),
+            "203.0.112.9".parse().unwrap(),
+            "2600:1::42".parse().unwrap(),
+        ];
+        let set = TargetSet::from_candidates(&candidates, &routes());
+        assert_eq!(set.excluded_unsorted, 0);
+        assert_eq!(set.len(), 3);
     }
 }

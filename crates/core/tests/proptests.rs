@@ -6,6 +6,7 @@ use bcd_core::scanner::ScannerStats;
 use bcd_core::schedule::Schedule;
 use bcd_core::shard::canonical_sort;
 use bcd_core::sources::{classify_source, SourceCategory, SourcePlan};
+use bcd_core::targets::TargetSet;
 use bcd_dns::{LogProto, QueryLogEntry};
 use bcd_netsim::{Asn, Prefix, PrefixTable, SimDuration, SimTime};
 use bcd_netsim::{DropReason, Merge, NetCounters};
@@ -126,37 +127,56 @@ proptest! {
     }
 
     /// Schedules preserve query counts, respect the rate cap, and stay
-    /// sorted, for arbitrary small worlds.
+    /// sorted, for arbitrary small worlds — under the streaming per-lane
+    /// constructor (the production path).
     #[test]
     fn schedule_invariants(
         n_targets in 1usize..20,
         rate in 1u32..200,
         window_secs in 1u64..500,
-        seed in any::<u64>(),
+        salt in any::<u64>(),
     ) {
         let mut routes = PrefixTable::new();
         routes.announce("17.0.0.0/14".parse::<Prefix>().unwrap(), Asn(1));
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let plans: Vec<SourcePlan> = (0..n_targets)
+        routes.announce("18.0.0.0/16".parse::<Prefix>().unwrap(), Asn(2));
+        let mut candidates: Vec<IpAddr> = (0..n_targets)
             .map(|i| {
-                let addr: IpAddr = format!("17.0.{}.{}", i / 200, 1 + i % 200).parse().unwrap();
-                SourcePlan::build(addr, &routes, &mut rng)
+                let net = 17 + (i % 2);
+                format!("{net}.0.{}.{}", i / 200, 1 + i % 100).parse().unwrap()
             })
             .collect();
-        let total: usize = plans.iter().map(|p| p.len()).sum();
-        let s = Schedule::build(&plans, SimDuration::from_secs(window_secs), rate, &mut rng);
-        prop_assert_eq!(s.len(), total);
+        candidates.sort_unstable();
+        candidates.dedup();
+        let targets = TargetSet::from_candidates(&candidates, &routes);
+        let lanes = bcd_core::schedule::lane_count(rate);
+        let census = bcd_core::schedule::census(&targets, &routes, &[], None, lanes, salt, None);
+        let layout = bcd_core::LaneLayout::new(
+            rate,
+            SimDuration::from_secs(window_secs),
+            census.total,
+            salt,
+            None,
+        );
+        let owned: Vec<usize> = (0..lanes).collect();
+        let s = Schedule::build_lanes(&targets, &routes, &[], None, &owned, &census, &layout);
+        prop_assert_eq!(s.len() as u64, census.total);
         prop_assert!(s.peak_rate() <= rate);
-        for w in s.queries.windows(2) {
-            prop_assert!(w[0].at <= w[1].at);
+        for i in 1..s.len() {
+            prop_assert!(s.at(i - 1) <= s.at(i));
         }
-        // Every planned (target, source) pair is scheduled exactly once.
-        let mut planned: Vec<(IpAddr, IpAddr)> = plans
+        // Every planned (target, source) pair is scheduled exactly once —
+        // against independently rebuilt per-target deterministic plans.
+        let mut planned: Vec<(IpAddr, IpAddr)> = targets
             .iter()
-            .flat_map(|p| p.sources.iter().map(move |(_, s)| (p.target, *s)))
+            .flat_map(|t| {
+                SourcePlan::build_deterministic(t.addr, &routes, &[], salt)
+                    .sources
+                    .into_iter()
+                    .map(move |(_, s)| (t.addr, s))
+            })
             .collect();
         let mut scheduled: Vec<(IpAddr, IpAddr)> =
-            s.queries.iter().map(|q| (q.target, q.source)).collect();
+            s.iter_with(&targets).map(|q| (q.target, q.source)).collect();
         planned.sort();
         scheduled.sort();
         prop_assert_eq!(planned, scheduled);

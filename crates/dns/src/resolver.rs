@@ -777,19 +777,30 @@ impl RecursiveResolver {
     }
 
     fn handle_tcp(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Packet, seg: &TcpSegment) {
-        // Find the pending TCP exchange by our ephemeral port.
-        let Some((&id, _)) = self
+        // Find the pending TCP exchange by our ephemeral port. A late or
+        // chaos-duplicated segment can arrive after the exchange completed
+        // (entry gone, or back in UDP mode) — every lookup below must
+        // tolerate a miss rather than unwrap. When several entries match
+        // (port reuse), take the lowest id: HashMap iteration order is not
+        // deterministic, and the choice must not depend on it.
+        let Some(id) = self
             .pending
             .iter()
-            .find(|(_, p)| p.tcp.is_some() && p.sport == seg.dst_port && p.server == Some(pkt.src))
+            .filter(|(_, p)| {
+                p.tcp.is_some() && p.sport == seg.dst_port && p.server == Some(pkt.src)
+            })
+            .map(|(&id, _)| id)
+            .min()
         else {
-            return;
+            return; // late, duplicated, or unsolicited segment
         };
         if seg.flags.syn && seg.flags.ack {
             // Connection open: send the query.
-            let p = self.pending.get_mut(&id).unwrap();
-            if p.tcp != Some(TcpPhase::SynSent) {
+            let Some(p) = self.pending.get_mut(&id) else {
                 return;
+            };
+            if p.tcp != Some(TcpPhase::SynSent) {
+                return; // duplicated SYN-ACK: the query already went out
             }
             p.tcp = Some(TcpPhase::QuerySent);
             let qtype = if p.current_qname == p.qname {
@@ -823,13 +834,19 @@ impl RecursiveResolver {
             let Ok(resp) = Message::decode(&seg.payload) else {
                 return;
             };
-            if resp.header.id != self.pending.get(&id).unwrap().txid {
+            // Only an exchange that actually sent its query over this
+            // connection may consume a data segment; a duplicated PSH
+            // replayed after the stage completed (tcp back to None, or the
+            // entry re-keyed for the next stage) must fall through, not
+            // panic on a stale id.
+            let Some(p) = self.pending.get_mut(&id) else {
+                return;
+            };
+            if p.tcp != Some(TcpPhase::QuerySent) || resp.header.id != p.txid {
                 return;
             }
             // Leaving TCP mode: the response is final for this stage.
-            if let Some(p) = self.pending.get_mut(&id) {
-                p.tcp = None;
-            }
+            p.tcp = None;
             self.process_response(ctx, id, resp);
         }
     }

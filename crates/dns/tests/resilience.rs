@@ -9,8 +9,8 @@ use bcd_dns::{
 };
 use bcd_dnswire::{Name, RCode, RType};
 use bcd_netsim::{
-    Asn, BorderPolicy, HostConfig, LinkProfile, Network, NetworkConfig, Prefix, SimDuration,
-    StackPolicy,
+    Asn, BorderPolicy, ChaosConfig, ChaosProfile, FaultDomain, FaultSchedule, HostConfig,
+    LinkProfile, Network, NetworkConfig, Prefix, SimDuration, StackPolicy,
 };
 use bcd_osmodel::Os;
 use std::net::IpAddr;
@@ -341,4 +341,94 @@ fn negative_cache_suppresses_repeat_upstream_traffic() {
         .all(|r| r.rcode == RCode::NXDomain));
     let stats = &net.node::<RecursiveResolver>(resolver).unwrap().stats;
     assert_eq!(stats.cache_hits, 1, "{stats:?}");
+}
+
+#[test]
+fn duplicated_tcp_answer_does_not_panic_the_resolver() {
+    // Regression: the resolver removed its pending entry when the first
+    // TCP answer segment arrived, then `unwrap()`ed the (now-missing)
+    // entry when a chaos-duplicated copy of the same PSH landed. A 100%
+    // duplication fault schedule replays every inter-AS packet twice, so
+    // the TCP answer to a TC-forced retry is guaranteed to arrive again
+    // after the transaction completed.
+    let mut net = Network::new(NetworkConfig {
+        seed: 6,
+        core_link: LinkProfile::ideal(),
+        intra_link: LinkProfile::instant(),
+        ..Default::default()
+    });
+    net.add_simple_as(Asn(1), BorderPolicy::strict());
+    net.add_simple_as(Asn(2), BorderPolicy::open());
+    net.announce(pre("20.0.0.0/24"), Asn(1));
+    net.announce(pre("21.0.0.0/24"), Asn(2));
+    let log = shared_log();
+    let auth = ip("20.0.0.53");
+    let root = Zone::new(Name::root(), ZoneMode::Static(vec![]))
+        .delegate(n("zone.test"), vec![(n("ns.zone.test"), vec![auth])]);
+    net.add_host(
+        HostConfig {
+            addrs: vec![auth],
+            asn: Asn(1),
+            stack: StackPolicy::strict(),
+        },
+        Box::new(AuthServer::new(AuthServerConfig {
+            // TruncateUdp forces TC=1 over UDP; the real answer only
+            // arrives over the TCP retry — the path under test.
+            zones: vec![root, Zone::new(n("zone.test"), ZoneMode::TruncateUdp)],
+            log: log.clone(),
+            log_queries: true,
+        })),
+    );
+    let resolver = net.add_host(
+        HostConfig {
+            addrs: vec![ip("21.0.0.53")],
+            asn: Asn(2),
+            stack: Os::LinuxModern.stack_policy(),
+        },
+        Box::new(RecursiveResolver::new(ResolverConfig::test_default(
+            vec![ip("21.0.0.53")],
+            vec![auth],
+        ))),
+    );
+    let stub = net.add_host(
+        HostConfig {
+            addrs: vec![ip("21.0.0.9")],
+            asn: Asn(2),
+            stack: StackPolicy::strict(),
+        },
+        Box::new(StubClient::new(
+            ip("21.0.0.9"),
+            (0..5)
+                .map(|i| q(1 + i, &format!("d{i}.zone.test")))
+                .collect(),
+        )),
+    );
+    let chaos = ChaosConfig::custom(
+        7,
+        "dup-all",
+        ChaosProfile {
+            duplicate: 1.0,
+            ..ChaosProfile::calm()
+        },
+    );
+    let domain = FaultDomain {
+        asns: vec![Asn(1), Asn(2)],
+        crash_hosts: vec![],
+    };
+    net.set_faults(Some(std::sync::Arc::new(FaultSchedule::compile(
+        &chaos, &domain,
+    ))));
+    net.run();
+    let stub_node = net.node::<StubClient>(stub).unwrap();
+    // TruncateUdp answers NXDOMAIN over TCP: five delivered NXDomains
+    // prove five completed TCP exchanges (and no panic on the replayed
+    // data segments).
+    let ok = stub_node
+        .responses
+        .iter()
+        .filter(|r| r.rcode == RCode::NXDomain)
+        .count();
+    assert_eq!(ok, 5, "every TC-forced resolution must still complete");
+    let stats = &net.node::<RecursiveResolver>(resolver).unwrap().stats;
+    assert!(stats.tcp_retries >= 5, "TCP path not exercised: {stats:?}");
 }

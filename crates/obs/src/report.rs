@@ -39,6 +39,13 @@ pub mod names {
     pub const SPAN_RETAINED: &str = "span.retained";
     pub const SPAN_EVICTED: &str = "span.evicted";
     pub const SPAN_TRACES: &str = "span.traces";
+    /// Schedule-construction accounting (streaming per-lane build): probe
+    /// totals, sampled-target counts and lane occupancy are pure functions
+    /// of (seed, population, rate) — fully stable across layouts.
+    pub const SCHEDULE_PROBES: &str = "schedule.probes";
+    pub const SCHEDULE_TARGETS: &str = "schedule.targets";
+    pub const SCHEDULE_LANES: &str = "schedule.lanes";
+    pub const SCHEDULE_END_SECS: &str = "schedule.end_secs";
     /// Client-path resolver counters (deterministic: client traffic is
     /// partitioned by shard, never duplicated).
     pub const DNS_CLIENT_QUERIES: &str = "dns.client_queries";
