@@ -3,8 +3,12 @@
 //! All analyses consume the same [`AnalysisInput`]: the authoritative query
 //! log plus the planning artifacts (target set, routes, geo database) — the
 //! same observables the authors had. Ground truth from `bcd-worldgen` is
-//! never read here; validation joins happen in tests and reports only.
+//! never read here; validation joins happen in tests and reports only. The
+//! one deliberate exception is [`agreement`], whose whole purpose is that
+//! join: it scores both measurement methods' observable-only verdicts
+//! against the generator's rolled SAV policies.
 
+pub mod agreement;
 pub mod categories;
 pub mod country;
 pub mod forwarding;

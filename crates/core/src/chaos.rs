@@ -37,8 +37,9 @@ use std::fmt::Write;
 const CHAOS_SEED_STREAM: u64 = 0x4348_414F_5353_4431; // "CHAOSSD1"
 
 /// The default profile set a sweep fans over: one ambient-loss profile,
-/// one windowed-burst, one delay/reorder, one crash/restart.
-pub const SWEEP_PROFILES: [&str; 4] = ["drizzle", "bursty", "jittery", "crashy"];
+/// one windowed-burst, one delay/reorder, one crash/restart, and the
+/// off-path spoofed-response adversary.
+pub const SWEEP_PROFILES: [&str; 5] = ["drizzle", "bursty", "jittery", "crashy", "spoofy"];
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -176,20 +176,27 @@ impl ExperimentData {
 pub struct Experiment;
 
 /// RNG stream id for the human-noise salt (shared by every shard).
-const NOISE_SALT_STREAM: u64 = 0x4855_4D41_4E5F_4E53; // "HUMAN_NS"
+pub(crate) const NOISE_SALT_STREAM: u64 = 0x4855_4D41_4E5F_4E53; // "HUMAN_NS"
 
 /// RNG stream base for per-shard engine (link-fault) noise.
 const SHARD_NOISE_STREAM: u64 = 0x5348_4152_4400_0000; // "SHARD"
 
 /// RNG stream id for the schedule's per-target hash salt (plans, phases,
-/// sampling — shared by every shard, see [`crate::schedule`]).
-const SCHEDULE_SALT_STREAM: u64 = 0x5343_4845_4455_4C45; // "SCHEDULE"
+/// sampling — shared by every shard and, crucially, by *both* measurement
+/// methods: the CRP pass ([`crate::crp`]) derives its source plans from the
+/// same salt, which is what makes the two methods probe identical
+/// (src, dst) pairs).
+pub(crate) const SCHEDULE_SALT_STREAM: u64 = 0x5343_4845_4455_4C45; // "SCHEDULE"
 
 /// Run `f(0..n)` on a work-stealing pool of `n_workers` threads (the
 /// calling thread is worker 0) and return the results in index order.
 /// Used for both parallel phases — per-shard schedule construction and the
 /// shard runs; claim order is scheduling-dependent, results are not.
-fn run_pool<T: Send>(n_workers: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn run_pool<T: Send>(
+    n_workers: usize,
+    n: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     {

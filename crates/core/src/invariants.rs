@@ -28,6 +28,13 @@
 //!   * `closed-never-opens` — a resolver classified *closed* in the clean
 //!     run must never classify *open* under faults (§5.1: "open" requires
 //!     an answered non-spoofed probe, and faults cannot answer probes).
+//!
+//! Cross-method invariants ([`InvariantChecker::check_agreement`],
+//! [`InvariantChecker::check_crp_monotone`]) extend both kinds to the
+//! dual-method agreement matrix: neither method may ever call a
+//! ground-truth-closed AS open, a clean network forces exact agreement
+//! with the oracle, and faults may only shrink the inbound method's open
+//! set.
 
 use crate::analysis::openclosed::OpenClosedReport;
 use crate::analysis::reachability::Reachability;
@@ -121,6 +128,87 @@ impl InvariantChecker {
         report
     }
 
+    /// Cross-method invariants over an agreement matrix
+    /// ([`crate::analysis::agreement`]).
+    ///
+    /// * `agreement-no-false-open` — always: neither method may call an AS
+    ///   open that the ground-truth oracle says is closed. Evidence is a
+    ///   query *arriving* at our authoritative servers; no fault — loss,
+    ///   delay, duplication, or the spoofed-response adversary's forged
+    ///   answers (rejected at the resolver's (txid, port) demux) — can
+    ///   manufacture an arrival.
+    /// * `agreement-no-false-closed` + `agreement-clean-exact` — clean
+    ///   network only: with no faults, both methods must match the oracle
+    ///   exactly, and therefore each other.
+    pub fn check_agreement(
+        matrix: &crate::analysis::agreement::AgreementMatrix,
+        clean: bool,
+    ) -> InvariantReport {
+        let mut report = InvariantReport::default();
+        report.checked.push("agreement-no-false-open");
+        for (method, set) in [("a", &matrix.false_open_a), ("b", &matrix.false_open_b)] {
+            if !set.is_empty() {
+                let asns: Vec<u32> = set.iter().map(|a| a.0).collect();
+                report.violations.push(Violation {
+                    invariant: "agreement-no-false-open",
+                    detail: format!(
+                        "method {method} called ground-truth-closed ASes open: {asns:?}"
+                    ),
+                });
+            }
+        }
+        if clean {
+            report.checked.push("agreement-no-false-closed");
+            for (method, set) in [("a", &matrix.false_closed_a), ("b", &matrix.false_closed_b)] {
+                if !set.is_empty() {
+                    let asns: Vec<u32> = set.iter().map(|a| a.0).collect();
+                    report.violations.push(Violation {
+                        invariant: "agreement-no-false-closed",
+                        detail: format!(
+                            "method {method} missed oracle-open ASes on a clean network: {asns:?}"
+                        ),
+                    });
+                }
+            }
+            report.checked.push("agreement-clean-exact");
+            if !matrix.a_only.is_empty() || !matrix.b_only.is_empty() {
+                let a: Vec<u32> = matrix.a_only.iter().map(|x| x.0).collect();
+                let b: Vec<u32> = matrix.b_only.iter().map(|x| x.0).collect();
+                report.violations.push(Violation {
+                    invariant: "agreement-clean-exact",
+                    detail: format!(
+                        "methods disagree on a clean network: a_only={a:?} b_only={b:?}"
+                    ),
+                });
+            }
+        }
+        report
+    }
+
+    /// Baseline-relative cross-method invariant: faults may only *shrink*
+    /// the inbound method's open set, mirroring
+    /// `reachability-monotone-asns` for method B.
+    pub fn check_crp_monotone(
+        clean: &crate::analysis::agreement::AgreementMatrix,
+        chaos: &crate::analysis::agreement::AgreementMatrix,
+    ) -> InvariantReport {
+        let mut report = InvariantReport::default();
+        report.checked.push("crp-monotone-asns");
+        let clean_open = clean.b_open();
+        let extra: Vec<u32> = chaos
+            .b_open()
+            .difference(&clean_open)
+            .map(|a| a.0)
+            .collect();
+        if !extra.is_empty() {
+            report.violations.push(Violation {
+                invariant: "crp-monotone-asns",
+                detail: format!("ASes CRP-open only under faults: {extra:?}"),
+            });
+        }
+        report
+    }
+
     fn check_soundness(data: &ExperimentData, reach: &Reachability, report: &mut InvariantReport) {
         report.checked.push("soundness-no-false-dsav");
         let bad: Vec<u32> = reach
@@ -140,7 +228,10 @@ impl InvariantChecker {
     fn check_conservation(data: &ExperimentData, report: &mut InvariantReport) {
         report.checked.push("conservation");
         let c = &data.counters;
-        let sent = c.sent + c.duplicated;
+        // Forged responses from the spoofed-response adversary enter the
+        // network without a `sent` increment; they are accounted on the
+        // left so their deliveries balance.
+        let sent = c.sent + c.duplicated + c.injected;
         let accounted = c.delivered + c.total_drops() + data.pending_deliveries;
         // On budget exhaustion the engine truncates the *whole* queue —
         // timers included — so drops may over-count packets; the balance
@@ -154,8 +245,8 @@ impl InvariantChecker {
             report.violations.push(Violation {
                 invariant: "conservation",
                 detail: format!(
-                    "sent+duplicated = {sent} but delivered+drops+in-flight = {accounted} \
-                     (delivered={} drops={} in-flight={} budget_exhausted={})",
+                    "sent+duplicated+injected = {sent} but delivered+drops+in-flight = \
+                     {accounted} (delivered={} drops={} in-flight={} budget_exhausted={})",
                     c.delivered,
                     c.total_drops(),
                     data.pending_deliveries,

@@ -33,6 +33,7 @@
 pub mod analysis;
 pub mod attack;
 pub mod chaos;
+pub mod crp;
 pub mod experiment;
 pub(crate) mod hash;
 pub mod invariants;
@@ -48,7 +49,9 @@ pub mod shard;
 pub mod sources;
 pub mod targets;
 
+pub use analysis::agreement::AgreementMatrix;
 pub use chaos::{chaos_config, chaos_seed, entries_digest, ChaosRun, SweepOutcome};
+pub use crp::{run_crp, run_dual, CrpData, DualRun, CRP_CATEGORIES};
 pub use experiment::{Experiment, ExperimentConfig, ExperimentData};
 pub use invariants::{InvariantChecker, InvariantReport, Violation};
 pub use observe::{dns_totals, shard_registry, stable_aggregate, DnsTotals};

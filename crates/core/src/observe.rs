@@ -113,6 +113,7 @@ pub fn shard_registry(
     m.add_counter(names::NET_SENT, &[], det, counters.sent);
     m.add_counter(names::NET_DELIVERED, &[], det, counters.delivered);
     m.add_counter(names::NET_DUPLICATED, &[], det, counters.duplicated);
+    m.add_counter(names::NET_INJECTED, &[], det, counters.injected);
     m.add_counter(names::NET_INTERCEPTED, &[], det, counters.intercepted);
     for (reason, n) in &counters.drops {
         m.add_counter(names::NET_DROP, &[("reason", &reason.to_string())], det, *n);
@@ -222,6 +223,16 @@ pub fn stable_aggregate(
     );
     m.set_gauge(names::WORLD_TARGETS_V4, &[], det, targets.v4.len() as i64);
     m.set_gauge(names::WORLD_TARGETS_V6, &[], det, targets.v6.len() as i64);
+    // Extraction hygiene: candidate rows rejected for breaking the
+    // deduplicated-and-sorted contract. Deterministic, and 0 on healthy
+    // worldgen output — surfaced so a broken producer fails loudly in the
+    // golden/JSONL surface instead of silently shrinking the population.
+    m.add_counter(
+        names::TARGETS_EXCLUDED_UNSORTED,
+        &[],
+        det,
+        targets.excluded_unsorted as u64,
+    );
     // Chaos schedule shape (compiled once per world, shared by every
     // shard, so the counts are deterministic even though the *drops* the
     // faults cause are not part of the stable surface).

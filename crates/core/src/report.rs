@@ -496,6 +496,58 @@ pub fn render_local(report: &LocalInfiltrationReport) -> String {
     s
 }
 
+/// Cross-method validation: the AS-level agreement matrix between the
+/// outbound survey and the inbound CRP scan, scored against the
+/// generator's ground-truth SAV registry. Deterministic: sets are
+/// `BTreeSet`s and only counts plus the first few ASN exemplars render.
+pub fn render_agreement(m: &crate::analysis::agreement::AgreementMatrix) -> String {
+    fn exemplars(set: &std::collections::BTreeSet<bcd_netsim::Asn>) -> String {
+        if set.is_empty() {
+            return String::new();
+        }
+        let head: Vec<String> = set.iter().take(5).map(|a| format!("AS{}", a.0)).collect();
+        let more = if set.len() > 5 { ", ..." } else { "" };
+        format!("  e.g. {}{}", head.join(", "), more)
+    }
+    let mut s = String::new();
+    writeln!(
+        s,
+        "== cross-method validation: outbound survey vs inbound CRP scan =="
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "universe: {} ASes with >=1 scheduled target; agreement {:.1}%",
+        m.universe,
+        100.0 * m.agreement_rate()
+    )
+    .unwrap();
+    for (label, set) in [
+        ("agree-open   (both methods open)", &m.agree_open),
+        ("agree-closed (both methods closed)", &m.agree_closed),
+        ("method-A-only (outbound only)", &m.a_only),
+        ("method-B-only (inbound only)", &m.b_only),
+    ] {
+        writeln!(s, "  {label:<36} {:>6}{}", set.len(), exemplars(set)).unwrap();
+    }
+    writeln!(s, "vs ground truth:").unwrap();
+    for (label, set) in [
+        ("false-open A", &m.false_open_a),
+        ("false-closed A", &m.false_closed_a),
+        ("false-open B", &m.false_open_b),
+        ("false-closed B", &m.false_closed_b),
+    ] {
+        writeln!(s, "  {label:<36} {:>6}{}", set.len(), exemplars(set)).unwrap();
+    }
+    writeln!(
+        s,
+        "oracle match: {}",
+        if m.is_exact() { "exact" } else { "divergent" }
+    )
+    .unwrap();
+    s
+}
+
 /// §3.6 methodology summaries (lifetime, qmin, middlebox).
 pub fn render_methodology(
     reach: &Reachability,

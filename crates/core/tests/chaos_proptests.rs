@@ -29,17 +29,19 @@ fn any_profile() -> impl Strategy<Value = ChaosProfile> {
         0u64..200,
         0.0f64..0.30,
         0.0f64..0.05,
+        0.0f64..0.50,
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
     )
         .prop_map(
-            |(loss, jitter_ms, reorder, duplicate, burst, flap, crash)| ChaosProfile {
+            |(loss, jitter_ms, reorder, duplicate, spoof, burst, flap, crash)| ChaosProfile {
                 loss,
                 jitter: SimDuration::from_millis(jitter_ms),
                 reorder,
                 reorder_delay: SimDuration::from_millis(150),
                 duplicate,
+                spoof,
                 burst: burst.then_some(BurstLoss {
                     fraction: 0.4,
                     bad_loss: 0.6,

@@ -1,0 +1,222 @@
+//! Cross-method differential harness: the outbound survey (method A) vs
+//! the inbound Closed-Resolver-Project scan (method B,
+//! [`bcd_core::crp`]), scored AS by AS against the generator's ground
+//! truth ([`bcd_core::analysis::agreement`]).
+//!
+//! The contract under test:
+//!
+//! * **clean agreement** — on a fault-free network both methods match the
+//!   oracle (and therefore each other) on 100% of the universe, for every
+//!   seed tried,
+//! * **layout invariance** — the agreement matrix and its rendering are
+//!   byte-identical across `BCD_SHARDS` ∈ {1, 4, 8} and both schedule
+//!   constructors, and the rendering is pinned by a golden snapshot
+//!   (regenerate with `UPDATE_GOLDEN=1`),
+//! * **stream hygiene** — the candidate stream fed to target extraction
+//!   is sorted and duplicate-free, surfaced as the stable
+//!   `targets.excluded_unsorted` counter (always 0 for a well-formed
+//!   world),
+//! * **survey tier** (`--ignored`) — the dual-method run over the full
+//!   `internet_scale` world stays inside the 8 GiB CI budget and still
+//!   agrees exactly. The CI `agreement-smoke` job runs it.
+
+use bcd_core::invariants::InvariantChecker;
+use bcd_core::schedule::ScheduleMode;
+use bcd_core::{report, run_dual, ExperimentConfig};
+use bcd_netsim::SimDuration;
+use bcd_obs::report::names;
+use bcd_obs::ObsEnv;
+use bcd_worldgen::WorldConfig;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing snapshot {path:?}; regenerate with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "snapshot mismatch for {name}; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// A reduced world for the multi-seed sweep: each dual run pays for two
+/// full experiment passes in debug mode.
+fn small(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::tiny(seed);
+    cfg.world.n_as = 24;
+    cfg.world.target_scale = 0.05;
+    cfg.shards = 1;
+    cfg
+}
+
+#[test]
+fn clean_dual_run_agrees_with_ground_truth() {
+    for (i, cfg) in [ExperimentConfig::tiny(2019), small(777), small(31)]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = cfg.world.seed;
+        let dual = run_dual(cfg, &ObsEnv::disabled());
+        let m = &dual.matrix;
+        assert!(m.universe > 0, "seed={seed}: empty comparison universe");
+        assert!(
+            dual.b.stats.probes_sent > 0,
+            "seed={seed}: CRP pass sent nothing"
+        );
+        assert!(!dual.b.budget_exhausted, "seed={seed}: CRP budget blown");
+        // The first config is the golden world; its matrix must be
+        // non-degenerate in both directions or the differential test
+        // would pass vacuously.
+        if i == 0 {
+            assert!(!m.agree_open.is_empty(), "no AS open under both methods");
+            assert!(
+                !m.agree_closed.is_empty(),
+                "no AS closed under both methods"
+            );
+        }
+        let inv = InvariantChecker::check_agreement(m, true);
+        assert!(inv.is_ok(), "seed={seed}: {}", inv.render());
+        assert!(
+            m.is_exact(),
+            "seed={seed}: methods diverge from ground truth: a_only={:?} b_only={:?} \
+             false_open_a={:?} false_open_b={:?} false_closed_a={:?} false_closed_b={:?}",
+            m.a_only,
+            m.b_only,
+            m.false_open_a,
+            m.false_open_b,
+            m.false_closed_a,
+            m.false_closed_b
+        );
+        assert_eq!(m.agreement_rate(), 1.0, "seed={seed}");
+
+        // Stream hygiene: the candidate stream was sorted and unique, and
+        // the stable counter says so.
+        assert_eq!(dual.a.targets.excluded_unsorted, 0, "seed={seed}");
+        assert_eq!(
+            dual.a
+                .obs
+                .aggregate
+                .counter(names::TARGETS_EXCLUDED_UNSORTED, &[]),
+            0,
+            "seed={seed}"
+        );
+        // The agreement counters in the aggregate mirror the matrix.
+        let agg = &dual.a.obs.aggregate;
+        assert_eq!(
+            agg.counter(names::AGREEMENT_UNIVERSE, &[]),
+            m.universe as u64
+        );
+        assert_eq!(
+            agg.counter(names::AGREEMENT_AGREE_OPEN, &[]),
+            m.agree_open.len() as u64
+        );
+        assert_eq!(
+            agg.counter(names::AGREEMENT_FALSE_OPEN, &[("method", "b")]),
+            0
+        );
+    }
+}
+
+#[test]
+fn agreement_matrix_is_layout_invariant_and_matches_golden() {
+    let layouts: [(usize, ScheduleMode); 4] = [
+        (1, ScheduleMode::Streaming),
+        (4, ScheduleMode::Streaming),
+        (8, ScheduleMode::Streaming),
+        (4, ScheduleMode::Global),
+    ];
+    let mut baseline: Option<(String, bcd_core::AgreementMatrix, u64, usize)> = None;
+    for (shards, mode) in layouts {
+        let mut cfg = ExperimentConfig::tiny(2019);
+        cfg.shards = shards;
+        cfg.schedule_mode = mode;
+        let dual = run_dual(cfg, &ObsEnv::disabled());
+        let rendered = report::render_agreement(&dual.matrix);
+        let probes = dual.b.stats.probes_sent;
+        let log_len = dual.b.entries.len();
+        match &baseline {
+            None => baseline = Some((rendered, dual.matrix, probes, log_len)),
+            Some((r0, m0, p0, l0)) => {
+                assert_eq!(
+                    r0, &rendered,
+                    "S={shards} {mode:?}: agreement rendering depends on layout"
+                );
+                assert_eq!(m0, &dual.matrix, "S={shards} {mode:?}: matrix differs");
+                assert_eq!(*p0, probes, "S={shards} {mode:?}: CRP probe count differs");
+                assert_eq!(*l0, log_len, "S={shards} {mode:?}: CRP log length differs");
+            }
+        }
+    }
+    check("agreement", &baseline.unwrap().0);
+}
+
+/// Peak resident set size of this process in GiB (`VmHWM` from
+/// `/proc/self/status`). Linux-only, like the CI runner.
+fn peak_rss_gib() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("VmHWM line")
+        .parse()
+        .expect("VmHWM value");
+    kb / (1024.0 * 1024.0)
+}
+
+#[test]
+#[ignore = "release-mode batch job: dual-method survey over the full 62k-AS world"]
+fn dual_method_survey_within_budget() {
+    let sample: u64 = std::env::var("BCD_AGREEMENT_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8192);
+    let mut cfg = ExperimentConfig::paper_shape(2019);
+    cfg.world = WorldConfig::internet_scale(2019);
+    cfg.target_sample = Some(sample);
+    cfg.window = SimDuration::from_mins(5);
+    let t0 = std::time::Instant::now();
+    let dual = run_dual(cfg, &ObsEnv::from_env());
+    let run_secs = t0.elapsed().as_secs_f64();
+
+    let m = &dual.matrix;
+    assert!(
+        m.universe > 100,
+        "universe {} too small to bite",
+        m.universe
+    );
+    assert!(
+        !m.agree_open.is_empty(),
+        "no AS open under both methods at survey scale"
+    );
+    let inv = InvariantChecker::check_agreement(m, true);
+    assert!(inv.is_ok(), "{}", inv.render());
+    assert!(m.is_exact(), "survey-scale divergence from ground truth");
+    assert!(!dual.a.budget_exhausted && !dual.b.budget_exhausted);
+
+    if let Ok(path) = std::env::var("BCD_AGREEMENT_REPORT") {
+        std::fs::write(&path, report::render_agreement(m)).expect("write BCD_AGREEMENT_REPORT");
+        eprintln!("agreement-report: exported to {path}");
+    }
+    let rss = peak_rss_gib();
+    eprintln!(
+        "agreement_smoke: ran in {run_secs:.1}s, peak RSS {rss:.2} GiB, universe {} ASes, \
+         {} agree-open, {} agree-closed, {} CRP probes",
+        m.universe,
+        m.agree_open.len(),
+        m.agree_closed.len(),
+        dual.b.stats.probes_sent
+    );
+    assert!(rss < 8.0, "peak RSS {rss:.2} GiB exceeds the 8 GiB budget");
+}

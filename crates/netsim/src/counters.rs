@@ -79,6 +79,9 @@ pub struct NetCounters {
     pub delivered: u64,
     /// Duplicated deliveries from link fault injection.
     pub duplicated: u64,
+    /// Forged packets injected by the off-path spoofed-response adversary
+    /// (`FaultSchedule::spoof_response`).
+    pub injected: u64,
     /// Packets redirected to a middlebox interceptor.
     pub intercepted: u64,
     /// Drop counts by reason.
@@ -106,10 +109,11 @@ impl fmt::Display for NetCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "sent={} delivered={} duplicated={} intercepted={} dropped={}",
+            "sent={} delivered={} duplicated={} injected={} intercepted={} dropped={}",
             self.sent,
             self.delivered,
             self.duplicated,
+            self.injected,
             self.intercepted,
             self.total_drops()
         )?;

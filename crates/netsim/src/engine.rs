@@ -124,8 +124,10 @@ pub fn stream_seed(base: u64, stream: u64) -> u64 {
 }
 
 /// Deterministic per-(AS, source-subnet) permille bucket for partial
-/// internal SAV (FNV-1a over ASN and subnet bits).
-fn subnet_permille(asn: Asn, src: IpAddr) -> u64 {
+/// internal SAV (FNV-1a over ASN and subnet bits). Public so ground-truth
+/// oracles (cross-method agreement scoring) can predict exactly which
+/// source subnets a partially-filtering border admits.
+pub fn subnet_permille(asn: Asn, src: IpAddr) -> u64 {
     let sub = Prefix::subprefix_of(src, if src.is_ipv6() { 64 } else { 24 });
     let (key, _) = sub.key();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -781,6 +783,7 @@ impl Runtime {
         // would (see `crate::faults`).
         let mut chaos_extra = SimDuration::ZERO;
         let mut chaos_dup: Option<SimDuration> = None;
+        let mut chaos_spoof = false;
         if crossing {
             // Take/restore instead of cloning the Arc: the schedule is
             // consulted for every crossing packet, and the refcount bump
@@ -788,6 +791,7 @@ impl Runtime {
             if let Some(f) = self.faults.take() {
                 let key = self.flow_key(&f, &pkt, origin_asn, dst_asn);
                 let fate = f.link_fate(key, self.now, origin_asn, dst_asn);
+                chaos_spoof = f.spoof_response(key, &pkt);
                 self.faults = Some(f);
                 match fate {
                     LinkFate::Drop(reason) => {
@@ -826,6 +830,35 @@ impl Runtime {
         }
         let mut delivered = pkt;
         delivered.ttl = delivered.ttl.saturating_sub(hops).max(1);
+
+        // Chaos: the off-path spoofed-response adversary races the genuine
+        // answer with a forged copy — same flow and ports, wrong txid —
+        // injected at half the link delay so it always arrives first.
+        // Receivers demultiplexing on (txid, port) reject it; the injection
+        // is a pure function of the shard-invariant flow key.
+        if chaos_spoof {
+            self.counters.injected += 1;
+            self.span(delivered.trace, SpanKind::Fate, || {
+                "chaos-spoof-inject".to_string()
+            });
+            let mut forged = delivered.clone();
+            if let Transport::Udp(u) = &mut forged.transport {
+                let mut bytes = u.payload.as_slice().to_vec();
+                bytes[0] ^= 0xFF;
+                bytes[1] ^= 0xA5;
+                u.payload = bytes.into();
+            }
+            let seq = self.next_seq();
+            self.queue.push(QueuedEvent {
+                at: self.now + SimDuration::from_nanos(delay.as_nanos() / 2),
+                seq,
+                kind: EventKind::Deliver {
+                    pkt: forged,
+                    from_asn: origin_asn,
+                    dst_asn,
+                },
+            });
+        }
 
         if let Some(dup_delay) = dup {
             self.counters.duplicated += 1;

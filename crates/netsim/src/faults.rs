@@ -68,6 +68,7 @@ const REORDER_SALT: u64 = 0x30;
 const REORDER_SPREAD_SALT: u64 = 0x31;
 const DUP_SALT: u64 = 0x40;
 const DUP_DELAY_SALT: u64 = 0x41;
+const SPOOF_SALT: u64 = 0x50;
 
 /// Map a 64-bit hash to a uniform draw in `[0, 1)`.
 fn unit(h: u64) -> f64 {
@@ -141,6 +142,11 @@ pub struct ChaosProfile {
     pub reorder_delay: SimDuration,
     /// Probability a packet delivers twice.
     pub duplicate: f64,
+    /// Probability a DNS response is raced by an off-path spoofed copy
+    /// with a wrong txid (Whac-A-Mole-style adversary). The forgery is
+    /// injected *ahead* of the genuine answer; receivers that validate
+    /// `(txid, port)` must reject it.
+    pub spoof: f64,
     /// Two-state burst loss, if enabled.
     pub burst: Option<BurstLoss>,
     /// Link flaps, if enabled.
@@ -164,6 +170,7 @@ impl ChaosProfile {
             reorder: 0.0,
             reorder_delay: SimDuration::ZERO,
             duplicate: 0.0,
+            spoof: 0.0,
             burst: None,
             flap: None,
             crash: None,
@@ -182,7 +189,7 @@ impl ChaosProfile {
     /// All registered profile names, in replay-line order.
     pub fn names() -> &'static [&'static str] {
         &[
-            "calm", "drizzle", "lossy", "bursty", "jittery", "flaky", "crashy", "hostile",
+            "calm", "drizzle", "lossy", "bursty", "jittery", "flaky", "crashy", "hostile", "spoofy",
         ]
     }
 
@@ -235,12 +242,17 @@ impl ChaosProfile {
                 }),
                 ..ChaosProfile::calm()
             },
+            "spoofy" => ChaosProfile {
+                spoof: 0.35,
+                ..ChaosProfile::calm()
+            },
             "hostile" => ChaosProfile {
                 loss: 0.05,
                 jitter: SimDuration::from_millis(120),
                 reorder: 0.15,
                 reorder_delay: SimDuration::from_millis(200),
                 duplicate: 0.01,
+                spoof: 0.0,
                 burst: Some(BurstLoss {
                     fraction: 0.25,
                     bad_loss: 0.5,
@@ -400,6 +412,9 @@ pub enum FaultKind {
     Reorder { p: f64, delay: SimDuration },
     /// Deliver a fraction of packets twice.
     Duplicate { p: f64 },
+    /// Race a fraction of DNS responses with an off-path spoofed copy
+    /// carrying a wrong txid.
+    SpoofInject { p: f64 },
     /// One bad-state window of two-state burst loss at an AS border.
     BurstLoss { asn: Asn, loss: f64 },
     /// One link-flap window: the AS border drops everything.
@@ -416,6 +431,7 @@ impl FaultKind {
             FaultKind::Jitter { .. } => "jitter",
             FaultKind::Reorder { .. } => "reorder",
             FaultKind::Duplicate { .. } => "duplicate",
+            FaultKind::SpoofInject { .. } => "spoof-inject",
             FaultKind::BurstLoss { .. } => "burst-loss",
             FaultKind::LinkFlap { .. } => "link-flap",
             FaultKind::Crash { .. } => "crash",
@@ -497,6 +513,7 @@ pub struct FaultSchedule {
     reorder: f64,
     reorder_delay_ns: u64,
     duplicate: f64,
+    spoof: f64,
     /// Per-AS bad-state windows, sorted, non-overlapping: (from, until, loss).
     burst: HashMap<u32, Vec<(u64, u64, f64)>>,
     /// Per-AS flap windows, sorted, non-overlapping: (from, until).
@@ -573,6 +590,9 @@ impl FaultSchedule {
         }
         if p.duplicate > 0.0 {
             push(FaultKind::Duplicate { p: p.duplicate }, SimTime::ZERO, end);
+        }
+        if p.spoof > 0.0 {
+            push(FaultKind::SpoofInject { p: p.spoof }, SimTime::ZERO, end);
         }
         if let Some(b) = p.burst {
             for &asn in &domain.asns {
@@ -652,6 +672,7 @@ impl FaultSchedule {
             reorder: 0.0,
             reorder_delay_ns: 0,
             duplicate: 0.0,
+            spoof: 0.0,
             burst: HashMap::new(),
             flap: HashMap::new(),
             crash: HashMap::new(),
@@ -675,6 +696,7 @@ impl FaultSchedule {
         self.reorder = 0.0;
         self.reorder_delay_ns = 0;
         self.duplicate = 0.0;
+        self.spoof = 0.0;
         self.burst.clear();
         self.flap.clear();
         self.crash.clear();
@@ -691,6 +713,7 @@ impl FaultSchedule {
                     self.reorder_delay_ns = delay.as_nanos();
                 }
                 FaultKind::Duplicate { p } => self.duplicate = p,
+                FaultKind::SpoofInject { p } => self.spoof = p,
                 FaultKind::BurstLoss { asn, loss } => {
                     self.burst
                         .entry(asn.0)
@@ -792,6 +815,22 @@ impl FaultSchedule {
             }
         }
         h
+    }
+
+    /// True if an off-path attacker spoofs a forged copy of this DNS
+    /// response (same flow, wrong txid) that races the genuine answer.
+    /// A pure hash draw over the shard-invariant packet key, so the
+    /// injection pattern is byte-identical across `BCD_SHARDS`. Only UDP
+    /// packets sourced from port 53 (responses) with a demuxable header
+    /// are eligible.
+    pub fn spoof_response(&self, key: u64, pkt: &Packet) -> bool {
+        if self.spoof <= 0.0 {
+            return false;
+        }
+        let Transport::Udp(u) = &pkt.transport else {
+            return false;
+        };
+        u.src_port == 53 && u.payload.len() >= 2 && unit(mix(key, SPOOF_SALT)) < self.spoof
     }
 
     /// True if `host` is inside a crash epoch at `now`.
@@ -1010,6 +1049,38 @@ mod tests {
                 LinkFate::Pass { .. }
             ));
         }
+    }
+
+    #[test]
+    fn spoof_draw_targets_responses_only_and_is_pure() {
+        let s = FaultSchedule::compile(&ChaosConfig::named(5, "spoofy").unwrap(), &domain());
+        assert_eq!(s.event_counts().get("spoof-inject"), Some(&1));
+        let src: IpAddr = "60.0.0.1".parse().unwrap();
+        let dst: IpAddr = "60.1.0.1".parse().unwrap();
+        let response = Packet::udp(src, dst, 53, 31111, vec![0xAB, 0xCD, 1, 2]);
+        let query = Packet::udp(src, dst, 31111, 53, vec![0xAB, 0xCD, 1, 2]);
+        let spoofed = (0..20_000)
+            .filter(|&i| s.spoof_response(splitmix64(i), &response))
+            .count();
+        let rate = spoofed as f64 / 20_000.0;
+        assert!(
+            (rate - 0.35).abs() < 0.02,
+            "spoof rate {rate} far from nominal 0.35"
+        );
+        for key in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(
+                s.spoof_response(key, &response),
+                s.spoof_response(key, &response),
+                "spoof draw must be a pure function of the key"
+            );
+            assert!(
+                !s.spoof_response(key, &query),
+                "queries (dst port 53) must never be spoof-raced"
+            );
+        }
+        // Disabling the single ambient event turns the adversary off.
+        let off = s.with_events(&[]);
+        assert!((0..1000).all(|i| !off.spoof_response(splitmix64(i), &response)));
     }
 
     #[test]

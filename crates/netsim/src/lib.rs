@@ -57,7 +57,8 @@ pub mod trace;
 
 pub use counters::{DropReason, NetCounters};
 pub use engine::{
-    splitmix64, stream_seed, HostConfig, Network, NetworkConfig, Runtime, Topology, TopologyBuilder,
+    splitmix64, stream_seed, subnet_permille, HostConfig, Network, NetworkConfig, Runtime,
+    Topology, TopologyBuilder,
 };
 pub use faults::{
     BurstLoss, ChaosConfig, ChaosProfile, ChaosSpec, CrashRestart, FaultDomain, FaultEvent,

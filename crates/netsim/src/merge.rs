@@ -23,6 +23,7 @@ impl Merge for NetCounters {
         self.sent += other.sent;
         self.delivered += other.delivered;
         self.duplicated += other.duplicated;
+        self.injected += other.injected;
         self.intercepted += other.intercepted;
         for (reason, n) in other.drops {
             *self.drops.entry(reason).or_insert(0) += n;

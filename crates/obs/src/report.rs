@@ -90,6 +90,27 @@ pub mod names {
     pub const WORLD_ASES: &str = "world.ases";
     pub const WORLD_TARGETS_V4: &str = "world.targets_v4";
     pub const WORLD_TARGETS_V6: &str = "world.targets_v6";
+    /// Target-extraction hygiene: DITL candidate rows the streaming
+    /// deduplicator had to reject because they arrived out of canonical
+    /// order (deterministic; 0 on healthy worldgen output).
+    pub const TARGETS_EXCLUDED_UNSORTED: &str = "targets.excluded_unsorted";
+    /// Forged responses injected by the spoofed-response chaos adversary
+    /// (layout-dependent: injection rides the per-shard fault stream).
+    pub const NET_INJECTED: &str = "net.injected";
+    /// Cross-method validation counters (deterministic: both methods and
+    /// the matrix are shard-invariant). `agreement.*` counts ASes in each
+    /// cell of the method-A × method-B matrix; `false_open`/`false_closed`
+    /// carry a `method` label and score each method against the world's
+    /// ground-truth SAV policy.
+    pub const CRP_PROBES: &str = "crp.probes";
+    pub const CRP_LOG_ENTRIES: &str = "crp.log_entries";
+    pub const AGREEMENT_UNIVERSE: &str = "agreement.universe";
+    pub const AGREEMENT_AGREE_OPEN: &str = "agreement.agree_open";
+    pub const AGREEMENT_AGREE_CLOSED: &str = "agreement.agree_closed";
+    pub const AGREEMENT_A_ONLY: &str = "agreement.a_only";
+    pub const AGREEMENT_B_ONLY: &str = "agreement.b_only";
+    pub const AGREEMENT_FALSE_OPEN: &str = "agreement.false_open";
+    pub const AGREEMENT_FALSE_CLOSED: &str = "agreement.false_closed";
 }
 
 fn fmt_labels(labels: &[(String, String)]) -> String {

@@ -120,6 +120,29 @@ pub struct WorldRuntime {
     pub root_log: SharedLog,
 }
 
+/// Ground-truth inbound-filtering posture of one measured AS, as the
+/// generator rolled it. Cross-method validation scores both survey
+/// methods against this registry: the generator *knows* which border
+/// knobs each AS got, so agreement with it is the strongest soundness
+/// statement a simulated survey can make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavTruth {
+    pub asn: Asn,
+    /// Full destination-side source-address validation at the border.
+    pub dsav: bool,
+    /// Subnet-granular SAVI: drops claimed sources from the destination's
+    /// own /24 (v4) or /64 (v6).
+    pub subnet_savi: bool,
+    /// Partial internal SAV pass threshold: a source subnet passes iff its
+    /// deterministic permille bucket (`bcd_netsim::subnet_permille`) is
+    /// below this. 1000 = fully open to internal sources, 0 = fully closed.
+    pub internal_pass_permille: u16,
+    /// Ingress martian filter for v4 destination-as-source packets.
+    pub filter_ds_ingress_v4: bool,
+    /// The AS runs a transparent DNS interceptor (middlebox).
+    pub interceptor: bool,
+}
+
 impl World {
     /// Ground truth for a target address.
     pub fn meta_of(&self, addr: IpAddr) -> Option<&ResolverMeta> {
@@ -140,6 +163,25 @@ impl World {
             .as_info(asn)
             .map(|a| !a.policy.dsav)
             .unwrap_or(false)
+    }
+
+    /// The generator's ground-truth SAV posture for every measured AS, in
+    /// ASN order — the registry cross-method agreement is scored against.
+    pub fn sav_ground_truth(&self) -> Vec<SavTruth> {
+        self.measured_asns
+            .iter()
+            .map(|&asn| {
+                let info = self.as_info(asn).expect("measured AS must be registered");
+                SavTruth {
+                    asn,
+                    dsav: info.policy.dsav,
+                    subnet_savi: info.policy.subnet_savi,
+                    internal_pass_permille: info.policy.internal_pass_permille,
+                    filter_ds_ingress_v4: info.policy.filter_ds_ingress_v4,
+                    interceptor: info.dns_interceptor.is_some(),
+                }
+            })
+            .collect()
     }
 
     /// Instantiate a live engine over the shared topology: fresh query logs,

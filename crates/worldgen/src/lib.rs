@@ -17,7 +17,7 @@ pub mod config;
 pub mod ditl;
 pub mod profile;
 
-pub use build::{AuthEstate, ScannerSlot, World, WorldRuntime, LOG_EXPERIMENT, LOG_ROOT};
+pub use build::{AuthEstate, SavTruth, ScannerSlot, World, WorldRuntime, LOG_EXPERIMENT, LOG_ROOT};
 pub use config::WorldConfig;
 pub use ditl::DitlRecord;
 pub use profile::{AclKind, Port2018, PortClass, ResolverMeta};

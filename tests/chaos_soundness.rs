@@ -64,11 +64,15 @@ fn every_sweep_profile_stays_sound_and_bites() {
             run.invariants.render()
         );
         // Chaos with no observable effect tests nothing: either the query
-        // log changed, or the fault layers left drop/duplication marks.
+        // log changed, or the fault layers left drop/duplication/injection
+        // marks. (The spoofed-response adversary is *supposed* to leave
+        // the query log untouched — its forgeries die at the (txid, port)
+        // demux — so its mark is the injected-packet counter.)
         let chaos_marks = run.data.counters.dropped(DropReason::ChaosLoss)
             + run.data.counters.dropped(DropReason::LinkFlap)
             + run.data.counters.dropped(DropReason::HostDown)
-            + run.data.counters.duplicated;
+            + run.data.counters.duplicated
+            + run.data.counters.injected;
         assert!(
             chaos::entries_digest(&run.data) != chaos::entries_digest(&clean) || chaos_marks > 0,
             "profile {profile} had no observable effect"
